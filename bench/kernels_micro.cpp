@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the execution kernels: complex
+// GEMM across square and narrow shapes (§5.1: narrow GEMM collapses to a
+// bandwidth problem), permutation strategies (§5.3.1 map reduction), and
+// the gather/scatter slice primitives.
+#include <benchmark/benchmark.h>
+
+#include "exec/contract.hpp"
+#include "exec/gemm.hpp"
+#include "exec/permute.hpp"
+#include "util/rng.hpp"
+
+using namespace ltns;
+using exec::cfloat;
+
+namespace {
+
+std::vector<cfloat> random_buf(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> b(n);
+  for (auto& v : b) v = cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  return b;
+}
+
+void BM_GemmSquare(benchmark::State& state) {
+  const int n = int(state.range(0));
+  auto a = random_buf(size_t(n) * n, 1), b = random_buf(size_t(n) * n, 2);
+  std::vector<cfloat> c(size_t(n) * n);
+  for (auto _ : state) {
+    exec::cgemm(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(exec::gemm_flops(n, n, n),
+                                               benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// The paper's narrow regime: two of m,n,k < 16 -> bandwidth-bound.
+void BM_GemmNarrow(benchmark::State& state) {
+  const int m = int(state.range(0)), n = int(state.range(1)), k = int(state.range(2));
+  auto a = random_buf(size_t(m) * k, 3), b = random_buf(size_t(k) * n, 4);
+  std::vector<cfloat> c(size_t(m) * n);
+  for (auto _ : state) {
+    exec::cgemm(m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(exec::gemm_flops(m, n, k),
+                                               benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmNarrow)
+    ->Args({4096, 4, 4})
+    ->Args({4096, 2, 8})
+    ->Args({8192, 4, 2})
+    ->Args({4, 4096, 4});
+
+void BM_PermuteNaive(benchmark::State& state) {
+  const int r = int(state.range(0));
+  std::vector<int> ixs, order;
+  for (int i = 0; i < r; ++i) ixs.push_back(i);
+  order = ixs;
+  std::reverse(order.begin(), order.end());
+  auto t = exec::random_tensor(ixs, 5);
+  for (auto _ : state) {
+    auto out = exec::permute_naive(t, order);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(t.size()) * 8);
+}
+BENCHMARK(BM_PermuteNaive)->Arg(10)->Arg(14)->Arg(18);
+
+// Leading-axes-only permutation: the §5.3.1 reduced map moves whole blocks.
+void BM_PermuteReducedMap(benchmark::State& state) {
+  const int r = int(state.range(0));
+  std::vector<int> ixs, order;
+  for (int i = 0; i < r; ++i) ixs.push_back(i);
+  order = ixs;
+  std::swap(order[0], order[1]);
+  std::swap(order[2], order[3]);
+  auto t = exec::random_tensor(ixs, 6);
+  for (auto _ : state) {
+    auto out = exec::permute(t, order);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(t.size()) * 8);
+}
+BENCHMARK(BM_PermuteReducedMap)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_PermuteFullMap(benchmark::State& state) {
+  const int r = int(state.range(0));
+  std::vector<int> ixs, order;
+  for (int i = 0; i < r; ++i) ixs.push_back(i);
+  order = ixs;
+  std::reverse(order.begin(), order.end());
+  auto t = exec::random_tensor(ixs, 7);
+  for (auto _ : state) {
+    auto out = exec::permute(t, order);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(t.size()) * 8);
+}
+BENCHMARK(BM_PermuteFullMap)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_SliceGather(benchmark::State& state) {
+  const int r = int(state.range(0));
+  std::vector<int> ixs;
+  for (int i = 0; i < r; ++i) ixs.push_back(i);
+  auto t = exec::random_tensor(ixs, 8);
+  for (auto _ : state) {
+    auto s = t.fixed(r / 2, 1);  // strided mid-axis slice
+    benchmark::DoNotOptimize(s.raw());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(t.size()) * 4);
+}
+BENCHMARK(BM_SliceGather)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ContractTTGT(benchmark::State& state) {
+  // A typical stem step: rank-r tensor absorbs a rank-4 branch over 2 axes.
+  const int r = int(state.range(0));
+  std::vector<int> big_ixs, branch_ixs{0, 1, 100, 101};
+  for (int i = 0; i < r; ++i) big_ixs.push_back(i);
+  auto big = exec::random_tensor(big_ixs, 9);
+  auto branch = exec::random_tensor(branch_ixs, 10);
+  for (auto _ : state) {
+    auto out = exec::contract(big, branch);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      exec::gemm_flops(double(size_t(1) << (r - 2)), 4, 4),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ContractTTGT)->Arg(10)->Arg(14)->Arg(18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

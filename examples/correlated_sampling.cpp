@@ -1,0 +1,70 @@
+// Correlated-sample generation — the paper's "1M correlated samples" output
+// mode, demonstrated exactly at verifiable scale.
+//
+//   $ ./correlated_sampling [num_samples]
+//
+// Leaves a handful of output qubits open so one sliced contraction yields a
+// whole batch of amplitudes; bitstrings are then frequency-sampled from the
+// batch distribution. Sampled frequencies are cross-checked against the
+// exact probabilities from the statevector simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "api/simulator.hpp"
+#include "sv/statevector.hpp"
+
+using namespace ltns;
+
+int main(int argc, char** argv) {
+  const int num_samples = argc > 1 ? std::atoi(argv[1]) : 100000;
+  auto device = circuit::Device::grid(3, 4);
+  circuit::RqcOptions rqc;
+  rqc.cycles = 10;
+  auto circ = circuit::random_quantum_circuit(device, rqc);
+
+  api::SimulatorOptions opt;
+  opt.plan.target_log2size = 10;
+  api::Simulator sim(circ, opt);
+
+  // Open four qubits; the rest are pinned to 0: one contraction -> a batch
+  // of 16 correlated amplitudes.
+  std::vector<int> bits(size_t(circ.num_qubits), 0);
+  std::vector<int> open{0, 5, 6, 11};
+  auto batch = sim.batch_amplitudes(bits, open);
+  std::printf("batch of %zu amplitudes over open qubits {0, 5, 6, 11}\n",
+              batch.amplitudes.size());
+  std::printf("slicing: 2^%.0f subtasks, overhead %.4f\n",
+              batch.slicing.log2_num_subtasks, batch.slicing.overhead());
+
+  auto samples = api::Simulator::sample_from_batch(batch, num_samples, 1234);
+  std::map<uint64_t, int> hist;
+  for (auto s : samples) hist[s]++;
+
+  // Exact conditional distribution from the statevector.
+  sv::Statevector sv(circ.num_qubits);
+  sv.run(circ);
+  double total = 0;
+  std::vector<double> p(batch.amplitudes.size());
+  for (size_t k = 0; k < p.size(); ++k) {
+    p[k] = std::norm(batch.amplitudes[k]);
+    total += p[k];
+  }
+
+  std::printf("\n%-8s %12s %12s %12s\n", "bits", "sampled", "batch |a|^2", "exact |a|^2");
+  double max_err = 0;
+  for (size_t k = 0; k < p.size(); ++k) {
+    auto full = bits;
+    for (size_t i = 0; i < open.size(); ++i)
+      full[size_t(open[i])] = int((k >> (open.size() - 1 - i)) & 1);
+    double exact = std::norm(sv.amplitude_bits(full));
+    double sampled = double(hist[k]) / num_samples;
+    std::printf("%c%c%c%c     %12.5f %12.5f %12.5f\n", '0' + char((k >> 3) & 1),
+                '0' + char((k >> 2) & 1), '0' + char((k >> 1) & 1), '0' + char(k & 1), sampled,
+                p[k] / total, exact / total);
+    max_err = std::max(max_err, std::abs(p[k] - exact));
+  }
+  std::printf("\nmax |batch - exact| probability error: %.3g -> %s\n", max_err,
+              max_err < 1e-6 ? "MATCH" : "MISMATCH");
+  return max_err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Lifetime explorer: visualize the paper's central concept on a real
+// Sycamore-style network.
+//
+//   $ ./lifetime_explorer [cycles] [target_log2size]
+//
+// Prints the stem of the best contraction tree, the lifetime interval of
+// every stem edge, and compares the three slicers (greedy baseline,
+// Algorithm 1, Algorithm 1 + Algorithm 2) on slicing-set size and overhead.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/greedy_slicer.hpp"
+#include "core/slice_finder.hpp"
+#include "core/slice_refiner.hpp"
+#include "circuit/lowering.hpp"
+#include "path/optimizer.hpp"
+#include "tn/stem.hpp"
+
+using namespace ltns;
+
+int main(int argc, char** argv) {
+  const int cycles = argc > 1 ? std::atoi(argv[1]) : 12;
+  auto device = circuit::Device::grid(5, 5);
+  circuit::RqcOptions rqc;
+  rqc.cycles = cycles;
+  auto ln = circuit::lower(circuit::random_quantum_circuit(device, rqc));
+  circuit::simplify(ln);
+  std::printf("network: %d tensors, %d indices after simplification\n",
+              ln.net.num_alive_vertices(), ln.net.num_alive_edges());
+
+  path::OptimizerOptions po;
+  po.greedy_trials = 24;
+  po.partition_trials = 8;
+  auto pr = path::find_path(ln.net, po);
+  auto tree = tn::ContractionTree::build(ln.net, pr.path);
+  auto stem = tn::extract_stem(tree);
+  std::printf("path (%s): cost 2^%.2f, max tensor 2^%.1f\n", pr.method.c_str(), pr.log2cost,
+              pr.log2size);
+  std::printf("stem: %d tensors, %.1f%% of total flops\n\n", stem.length(),
+              100.0 * stem.cost_fraction());
+
+  // Stem profile: rank per position (the Fig. 6 x-axis).
+  std::printf("stem tensor ranks (bottom -> root):\n  ");
+  for (int p = 0; p < stem.length(); ++p) std::printf("%.0f ", stem.log2size(p));
+  std::printf("\n\n");
+
+  const double target = argc > 2 ? std::atof(argv[2]) : std::max(4.0, pr.log2size - 6);
+  std::printf("memory target: 2^%.0f elements per tensor\n\n", target);
+
+  // Lifetimes of the edges of the fattest stem tensor.
+  auto lt = core::StemLifetimes::build(stem);
+  int fat = 0;
+  for (int p = 0; p < stem.length(); ++p)
+    if (stem.log2size(p) > stem.log2size(fat)) fat = p;
+  std::printf("lifetimes of the indices of the biggest stem tensor (pos %d):\n", fat);
+  tree.node(stem.nodes[size_t(fat)]).ixs.for_each([&](int e) {
+    auto iv = lt.of(e);
+    std::printf("  edge %4d: [%3d, %3d]  len %3d  ", e, iv.begin, iv.end, iv.length());
+    for (int p = 0; p < stem.length(); ++p) std::putchar(iv.contains(p) ? '#' : '.');
+    std::printf("\n");
+  });
+
+  // Slicer comparison (the Fig. 10 measurement, one path).
+  core::GreedySlicerOptions go;
+  go.target_log2size = target;
+  core::SlicedMetrics mg;
+  auto Sg = core::greedy_slice(tree, go, &mg);
+
+  core::SliceFinderOptions fo;
+  fo.target_log2size = target;
+  core::SlicedMetrics mf;
+  auto Sf = core::lifetime_slice_finder(stem, fo, &mf);
+
+  core::SliceRefinerOptions ro;
+  ro.target_log2size = target;
+  auto Sr = core::refine_slices(stem, Sf, ro);
+  auto mr = core::evaluate_slicing(tree, Sr);
+
+  std::printf("\n%-28s %8s %14s %12s\n", "slicer", "|S|", "total cost", "overhead");
+  std::printf("%-28s %8d %11.2f lg %12.4f\n", "greedy (cotengra-style)", Sg.size(),
+              mg.log2_total_cost, mg.overhead());
+  std::printf("%-28s %8d %11.2f lg %12.4f\n", "lifetime finder (Alg.1)", Sf.size(),
+              mf.log2_total_cost, mf.overhead());
+  std::printf("%-28s %8d %11.2f lg %12.4f\n", "  + SA refiner (Alg.2)", Sr.size(),
+              mr.log2_total_cost, mr.overhead());
+  return 0;
+}

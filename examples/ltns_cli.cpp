@@ -1,0 +1,159 @@
+// ltns_cli: command-line front end over the public API.
+//
+//   ltns_cli gen   <rows> <cols> <cycles> [seed]          # emit a circuit file
+//   ltns_cli gen-sycamore <cycles> [seed]
+//   ltns_cli plan  <circuit-file> [depth]                 # path + lifetime slicing report
+//   ltns_cli amp   <circuit-file> <bitstring>             # one amplitude (verified vs sv if <=22q)
+//   ltns_cli sample <circuit-file> <n_open> <n_samples>   # correlated samples
+//
+// Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
+// stdin. This is the fourth runnable example and the scripting entry point.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "api/simulator.hpp"
+#include "circuit/io.hpp"
+#include "core/planner.hpp"
+#include "sv/statevector.hpp"
+
+using namespace ltns;
+
+namespace {
+
+circuit::Circuit load_circuit(const char* path) {
+  if (std::strcmp(path, "-") == 0) return circuit::read_circuit(std::cin);
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", path);
+    std::exit(2);
+  }
+  return circuit::read_circuit(f);
+}
+
+int cmd_gen(int argc, char** argv, bool sycamore) {
+  circuit::RqcOptions rqc;
+  circuit::Device dev;
+  int base;
+  if (sycamore) {
+    if (argc < 3) return 64;
+    dev = circuit::Device::sycamore53();
+    rqc.cycles = std::atoi(argv[2]);
+    base = 3;
+  } else {
+    if (argc < 5) return 64;
+    dev = circuit::Device::grid(std::atoi(argv[2]), std::atoi(argv[3]));
+    rqc.cycles = std::atoi(argv[4]);
+    base = 5;
+  }
+  if (argc > base) rqc.seed = uint64_t(std::atoll(argv[base]));
+  circuit::write_circuit(std::cout, circuit::random_quantum_circuit(dev, rqc));
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 3) return 64;
+  auto circ = load_circuit(argv[2]);
+  const double depth = argc > 3 ? std::atof(argv[3]) : 12;
+
+  auto ln = circuit::lower(circ);
+  circuit::simplify(ln);
+  std::printf("circuit: %d qubits, %zu gates -> %d tensors / %d indices\n", circ.num_qubits,
+              circ.ops.size(), ln.net.num_alive_vertices(), ln.net.num_alive_edges());
+
+  core::PlanOptions po;
+  po.path.greedy_trials = 32;
+  po.path.partition_trials = 8;
+  {
+    auto probe = path::find_path(ln.net, po.path);
+    po.target_log2size = std::max(4.0, probe.log2size - depth);
+  }
+  auto plan = core::make_plan(ln.net, po);
+  std::printf("path (%s): cost 2^%.2f flops, max tensor 2^%.1f\n", plan.path_method.c_str(),
+              plan.tree->total_log2cost(), plan.tree->max_log2size());
+  std::printf("stem: %d tensors (%.1f%% of flops)\n", plan.stem.length(),
+              100 * plan.stem.cost_fraction());
+  std::printf("slicing: %d edges -> %.0f subtasks, overhead %.4f, sliced max 2^%.1f\n",
+              plan.num_slices(), plan.num_subtasks(), plan.metrics.overhead(),
+              plan.metrics.max_log2size);
+  return 0;
+}
+
+int cmd_amp(int argc, char** argv) {
+  if (argc < 4) return 64;
+  auto circ = load_circuit(argv[2]);
+  const char* bitstr = argv[3];
+  if (int(std::strlen(bitstr)) != circ.num_qubits) {
+    std::fprintf(stderr, "bitstring must have %d bits\n", circ.num_qubits);
+    return 2;
+  }
+  std::vector<int> bits(size_t(circ.num_qubits));
+  for (int q = 0; q < circ.num_qubits; ++q) bits[size_t(q)] = bitstr[q] == '1';
+
+  api::SimulatorOptions opt;
+  opt.plan.target_log2size = 16;
+  api::Simulator sim(circ, opt);
+  auto res = sim.amplitude(bits);
+  std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", res.amplitude.real(),
+              res.amplitude.imag(), std::norm(res.amplitude));
+  std::printf("slices %d, overhead %.4f, flops %.3g\n", res.num_slices, res.slicing.overhead(),
+              res.stats.flops);
+  if (circ.num_qubits <= 22) {
+    auto exact = sv::simulate_amplitude(circ, bits);
+    std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
+  }
+  return 0;
+}
+
+int cmd_sample(int argc, char** argv) {
+  if (argc < 5) return 64;
+  auto circ = load_circuit(argv[2]);
+  const int n_open = std::atoi(argv[3]);
+  const int n_samples = std::atoi(argv[4]);
+  if (n_open < 1 || n_open > 20 || n_open > circ.num_qubits) {
+    std::fprintf(stderr, "n_open out of range\n");
+    return 2;
+  }
+  std::vector<int> bits(size_t(circ.num_qubits), 0);
+  std::vector<int> open;
+  for (int i = 0; i < n_open; ++i) open.push_back(i * circ.num_qubits / n_open);
+
+  api::SimulatorOptions opt;
+  opt.plan.target_log2size = 16;
+  api::Simulator sim(circ, opt);
+  auto batch = sim.batch_amplitudes(bits, open);
+  auto samples = api::Simulator::sample_from_batch(batch, n_samples, 7);
+  std::printf("# open qubits:");
+  for (int q : open) std::printf(" %d", q);
+  std::printf("\n");
+  for (auto s : samples) {
+    for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
+    std::putchar('\n');
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ltns_cli gen <rows> <cols> <cycles> [seed]\n"
+                 "       ltns_cli gen-sycamore <cycles> [seed]\n"
+                 "       ltns_cli plan <circuit|-> [depth]\n"
+                 "       ltns_cli amp <circuit|-> <bitstring>\n"
+                 "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n");
+    return 64;
+  }
+  std::string cmd = argv[1];
+  int rc = 64;
+  if (cmd == "gen") rc = cmd_gen(argc, argv, false);
+  else if (cmd == "gen-sycamore") rc = cmd_gen(argc, argv, true);
+  else if (cmd == "plan") rc = cmd_plan(argc, argv);
+  else if (cmd == "amp") rc = cmd_amp(argc, argv);
+  else if (cmd == "sample") rc = cmd_sample(argc, argv);
+  if (rc == 64) std::fprintf(stderr, "bad arguments; run without arguments for usage\n");
+  return rc;
+}

@@ -1,0 +1,127 @@
+#include "api/simulator.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ltns::api {
+
+Simulator::Simulator(circuit::Circuit c, SimulatorOptions opt)
+    : circuit_(std::move(c)), opt_(std::move(opt)) {}
+
+namespace {
+
+struct Prepared {
+  circuit::LoweredNetwork lowered;
+  core::Plan plan;
+  double plan_seconds = 0;
+};
+
+Prepared prepare(const circuit::Circuit& c, const SimulatorOptions& opt,
+                 const std::vector<int>& bits, const std::vector<int>& open_qubits) {
+  Timer t;
+  circuit::LoweringOptions lo;
+  lo.output_bits = bits;
+  lo.open_qubits = open_qubits;
+  Prepared p{circuit::lower(c, lo), core::Plan{}, 0};
+  circuit::simplify(p.lowered);
+  p.plan = core::make_plan(p.lowered.net, opt.plan);
+  p.plan_seconds = t.seconds();
+  return p;
+}
+
+exec::SliceRunResult run(const Prepared& p, const SimulatorOptions& opt,
+                         exec::FusedPlan* fused_storage) {
+  exec::SliceRunOptions ro;
+  ro.pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
+  if (opt.fused) {
+    *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
+    ro.fused = fused_storage;
+  }
+  auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
+    return ln.tensors[size_t(v)];
+  };
+  return exec::run_sliced(*p.plan.tree, leaves, p.plan.slices, ro);
+}
+
+}  // namespace
+
+AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
+  auto p = prepare(circuit_, opt_, bits, {});
+  AmplitudeResult res;
+  res.slicing = p.plan.metrics;
+  res.num_slices = p.plan.num_slices();
+  res.plan_seconds = p.plan_seconds;
+
+  Timer t;
+  exec::FusedPlan fused;
+  auto rr = run(p, opt_, &fused);
+  res.exec_seconds = t.seconds();
+  res.stats = rr.stats;
+  assert(rr.accumulated.rank() == 0);
+  res.amplitude = std::complex<double>(rr.accumulated.data()[0]) * p.lowered.scalar;
+  return res;
+}
+
+BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
+                                        const std::vector<int>& open_qubits) const {
+  assert(!open_qubits.empty() && open_qubits.size() <= 24);
+  auto p = prepare(circuit_, opt_, bits, open_qubits);
+  BatchResult res;
+  res.open_qubits = open_qubits;
+  res.slicing = p.plan.metrics;
+
+  exec::FusedPlan fused;
+  auto rr = run(p, opt_, &fused);
+  res.stats = rr.stats;
+
+  // The result tensor's axes are the open output edges in some order;
+  // re-index so open_qubits[0] is the most significant bit.
+  const exec::Tensor& t = rr.accumulated;
+  assert(t.rank() == int(open_qubits.size()));
+  std::vector<int> axis_for_qubit(open_qubits.size());
+  for (size_t i = 0; i < open_qubits.size(); ++i) {
+    int edge = p.lowered.output_edge[size_t(open_qubits[i])];
+    int ax = t.axis_of(edge);
+    assert(ax >= 0);
+    axis_for_qubit[i] = ax;
+  }
+  const size_t n = size_t(1) << open_qubits.size();
+  res.amplitudes.resize(n);
+  const int r = t.rank();
+  for (size_t k = 0; k < n; ++k) {
+    size_t off = 0;
+    for (size_t i = 0; i < open_qubits.size(); ++i) {
+      size_t bit = (k >> (open_qubits.size() - 1 - i)) & 1;
+      off |= bit << (r - 1 - axis_for_qubit[i]);
+    }
+    res.amplitudes[k] = std::complex<double>(t.data()[off]) * p.lowered.scalar;
+  }
+  return res;
+}
+
+std::vector<uint64_t> Simulator::sample_from_batch(const BatchResult& batch, int n,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (const auto& a : batch.amplitudes) total += std::norm(a);
+  std::vector<uint64_t> out;
+  out.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    double u = rng.next_double() * total;
+    double acc = 0;
+    uint64_t pick = 0;
+    for (size_t k = 0; k < batch.amplitudes.size(); ++k) {
+      acc += std::norm(batch.amplitudes[k]);
+      if (u <= acc) {
+        pick = k;
+        break;
+      }
+    }
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace ltns::api

@@ -1,0 +1,72 @@
+// Simulator: the public facade tying the whole pipeline together.
+//
+//   circuit -> lower -> simplify -> plan (path + lifetime slicing)
+//           -> execute (step-by-step or fused/secondary-slicing)
+//           -> amplitude / correlated-sample batch
+//
+// This is the API the examples use; everything underneath is reachable for
+// users who need the pieces (e.g. to swap the slicer, as the benches do).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/lowering.hpp"
+#include "core/planner.hpp"
+#include "exec/slice_runner.hpp"
+
+namespace ltns::api {
+
+struct SimulatorOptions {
+  core::PlanOptions plan;
+  bool fused = true;              // secondary-slicing executor on the stem
+  size_t ldm_elems = 32768;       // LDM model capacity: 256 KB / 8 B
+  ThreadPool* pool = nullptr;     // defaults to the global pool
+};
+
+struct AmplitudeResult {
+  std::complex<double> amplitude{0, 0};
+  core::SlicedMetrics slicing;
+  int num_slices = 0;
+  exec::ExecStats stats;
+  double plan_seconds = 0;
+  double exec_seconds = 0;
+};
+
+struct BatchResult {
+  // amplitudes[k] is the amplitude whose open-qubit bits are the binary
+  // digits of k (open_qubits[0] = most significant).
+  std::vector<std::complex<double>> amplitudes;
+  std::vector<int> open_qubits;
+  core::SlicedMetrics slicing;
+  exec::ExecStats stats;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(circuit::Circuit c, SimulatorOptions opt = {});
+
+  const circuit::Circuit& circuit() const { return circuit_; }
+  const SimulatorOptions& options() const { return opt_; }
+
+  // Single closed amplitude <bits|C|0...0>.
+  AmplitudeResult amplitude(const std::vector<int>& bits) const;
+
+  // Correlated batch: qubits in `open_qubits` are left open, the rest fixed
+  // to `bits`; one contraction yields all 2^|open| amplitudes (§6.2's "1M
+  // correlated samples" method).
+  BatchResult batch_amplitudes(const std::vector<int>& bits,
+                               const std::vector<int>& open_qubits) const;
+
+  // Draws `n` samples of the open qubits from the batch distribution
+  // |amplitude|^2 (renormalized over the batch).
+  static std::vector<uint64_t> sample_from_batch(const BatchResult& batch, int n, uint64_t seed);
+
+ private:
+  circuit::Circuit circuit_;
+  SimulatorOptions opt_;
+};
+
+}  // namespace ltns::api

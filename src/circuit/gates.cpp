@@ -1,0 +1,81 @@
+#include "circuit/gates.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ltns::circuit {
+
+namespace {
+const cd I{0, 1};
+}
+
+GateDef gate_x() { return {"X", 1, {0, 1, 1, 0}}; }
+GateDef gate_y() { return {"Y", 1, {0, -I, I, 0}}; }
+GateDef gate_z() { return {"Z", 1, {1, 0, 0, -1}}; }
+
+GateDef gate_h() {
+  double s = 1.0 / std::sqrt(2.0);
+  return {"H", 1, {s, s, s, -s}};
+}
+
+GateDef gate_sqrt_x() {
+  // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+  cd p = cd(0.5, 0.5), m = cd(0.5, -0.5);
+  return {"sqrt_X", 1, {p, m, m, p}};
+}
+
+GateDef gate_sqrt_y() {
+  // sqrt(Y) = 1/2 [[1+i, -1-i], [1+i, 1+i]]
+  cd p = cd(0.5, 0.5);
+  return {"sqrt_Y", 1, {p, -p, p, p}};
+}
+
+GateDef gate_sqrt_w() {
+  // W = (X+Y)/sqrt(2); W^2 = I, so sqrt(W) = (1+i)/2 I + (1-i)/2 W:
+  //   [[(1+i)/2, -i/sqrt(2)], [1/sqrt(2), (1+i)/2]]
+  double s = 1.0 / std::sqrt(2.0);
+  cd p = cd(0.5, 0.5);
+  return {"sqrt_W", 1, {p, cd(0, -s), cd(s, 0), p}};
+}
+
+GateDef gate_cz() {
+  GateDef g{"CZ", 2, std::vector<cd>(16, 0)};
+  g.matrix[0] = g.matrix[5] = g.matrix[10] = 1;
+  g.matrix[15] = -1;
+  return g;
+}
+
+GateDef gate_fsim(double theta, double phi) {
+  // Basis order |00>, |01>, |10>, |11>.
+  GateDef g{"fSim", 2, std::vector<cd>(16, 0)};
+  g.matrix[0] = 1;
+  g.matrix[5] = std::cos(theta);
+  g.matrix[6] = -I * std::sin(theta);
+  g.matrix[9] = -I * std::sin(theta);
+  g.matrix[10] = std::cos(theta);
+  g.matrix[15] = std::exp(-I * phi);
+  return g;
+}
+
+GateDef gate_sycamore() {
+  auto g = gate_fsim(M_PI / 2, M_PI / 6);
+  g.name = "SYC";
+  return g;
+}
+
+double unitarity_defect(const GateDef& g) {
+  const int n = 1 << g.arity;
+  double worst = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      cd acc = 0;
+      for (int k = 0; k < n; ++k)
+        acc += g.matrix[size_t(i * n + k)] * std::conj(g.matrix[size_t(j * n + k)]);
+      cd want = (i == j) ? cd(1, 0) : cd(0, 0);
+      worst = std::max(worst, std::abs(acc - want));
+    }
+  }
+  return worst;
+}
+
+}  // namespace ltns::circuit

@@ -1,0 +1,40 @@
+// Gate library for Sycamore-class random quantum circuits.
+//
+// Matrices are stored row-major in double precision (output index = row,
+// input index = column); the lowering casts to complex<float>. The native
+// set is the one used by the quantum-advantage experiments: the
+// single-qubit layer gates sqrt(X), sqrt(Y), sqrt(W) with W = (X+Y)/sqrt(2),
+// and the two-qubit fSim(theta, phi) family (Sycamore: theta ~ pi/2,
+// phi ~ pi/6). H, CZ, and the Pauli set are included for examples/tests.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace ltns::circuit {
+
+using cd = std::complex<double>;
+
+struct GateDef {
+  std::string name;
+  int arity = 1;                // qubits acted on
+  std::vector<cd> matrix;       // (2^arity)^2 entries, row-major
+};
+
+GateDef gate_x();
+GateDef gate_y();
+GateDef gate_z();
+GateDef gate_h();
+GateDef gate_sqrt_x();
+GateDef gate_sqrt_y();
+GateDef gate_sqrt_w();
+GateDef gate_cz();
+GateDef gate_fsim(double theta, double phi);
+// The Sycamore two-qubit gate: fSim(pi/2, pi/6).
+GateDef gate_sycamore();
+
+// ||U U† − I||_max; 0 for exactly unitary matrices.
+double unitarity_defect(const GateDef& g);
+
+}  // namespace ltns::circuit

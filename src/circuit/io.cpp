@@ -1,0 +1,103 @@
+#include "circuit/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ltns::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Serialized name for a gate (fsim carries its angles separately).
+std::string wire_name(const GateDef& g, double* theta, double* phi) {
+  std::string n = lower(g.name);
+  if (n == "fsim" || n == "syc") {
+    // Recover the angles from the matrix: cos(theta) at |01><01|,
+    // exp(-i phi) at |11><11|.
+    *theta = std::atan2(-g.matrix[6].imag(), g.matrix[5].real());
+    *phi = -std::arg(g.matrix[15]);
+    return "fsim";
+  }
+  return n;
+}
+
+}  // namespace
+
+void write_circuit(std::ostream& os, const Circuit& c) {
+  os.precision(17);  // round-trip exact doubles for the fsim angles
+  os << "ltnsqc v1\n";
+  os << "qubits " << c.num_qubits << "\n";
+  for (const auto& op : c.ops) {
+    double theta = 0, phi = 0;
+    std::string name = wire_name(op.gate, &theta, &phi);
+    os << name;
+    for (int q : op.qubits) os << ' ' << q;
+    if (name == "fsim") os << ' ' << theta << ' ' << phi;
+    os << "\n";
+  }
+}
+
+Circuit read_circuit(std::istream& is) {
+  std::string header, version;
+  is >> header >> version;
+  if (header != "ltnsqc" || version != "v1")
+    throw std::runtime_error("circuit io: bad header '" + header + " " + version + "'");
+  std::string kw;
+  Circuit c;
+  is >> kw >> c.num_qubits;
+  if (kw != "qubits" || c.num_qubits <= 0)
+    throw std::runtime_error("circuit io: expected 'qubits N'");
+
+  std::string line;
+  std::getline(is, line);  // finish the qubits line
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name) || name.empty() || name[0] == '#') continue;
+    name = lower(name);
+    auto read_q = [&](int n) {
+      std::vector<int> qs(size_t(n), 0);
+      for (int& q : qs) {
+        if (!(ls >> q) || q < 0 || q >= c.num_qubits)
+          throw std::runtime_error("circuit io: bad qubit in '" + line + "'");
+      }
+      return qs;
+    };
+    if (name == "x") c.apply(gate_x(), read_q(1));
+    else if (name == "y") c.apply(gate_y(), read_q(1));
+    else if (name == "z") c.apply(gate_z(), read_q(1));
+    else if (name == "h") c.apply(gate_h(), read_q(1));
+    else if (name == "sqrt_x") c.apply(gate_sqrt_x(), read_q(1));
+    else if (name == "sqrt_y") c.apply(gate_sqrt_y(), read_q(1));
+    else if (name == "sqrt_w") c.apply(gate_sqrt_w(), read_q(1));
+    else if (name == "cz") c.apply(gate_cz(), read_q(2));
+    else if (name == "fsim") {
+      auto qs = read_q(2);
+      double theta, phi;
+      if (!(ls >> theta >> phi)) throw std::runtime_error("circuit io: fsim needs theta phi");
+      c.apply(gate_fsim(theta, phi), qs);
+    } else {
+      throw std::runtime_error("circuit io: unknown gate '" + name + "'");
+    }
+  }
+  return c;
+}
+
+std::string circuit_to_string(const Circuit& c) {
+  std::ostringstream os;
+  write_circuit(os, c);
+  return os.str();
+}
+
+Circuit circuit_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_circuit(is);
+}
+
+}  // namespace ltns::circuit

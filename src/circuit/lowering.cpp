@@ -1,0 +1,121 @@
+#include "circuit/lowering.hpp"
+
+#include <cassert>
+
+#include "exec/contract.hpp"
+
+namespace ltns::circuit {
+
+using exec::cfloat;
+using exec::Tensor;
+
+namespace {
+
+// Gate matrix (out-major) -> tensor data in [in..., out...] axis order.
+std::vector<cfloat> gate_tensor_data(const GateDef& g) {
+  const int n = 1 << g.arity;
+  std::vector<cfloat> data(size_t(n) * n);
+  for (int in = 0; in < n; ++in)
+    for (int out = 0; out < n; ++out)
+      data[size_t(in) * n + out] = cfloat(g.matrix[size_t(out) * n + in]);
+  return data;
+}
+
+}  // namespace
+
+LoweredNetwork lower(const Circuit& c, const LoweringOptions& opt) {
+  LoweredNetwork ln;
+  ln.output_edge.assign(size_t(c.num_qubits), tn::kNone);
+  std::vector<int> bits = opt.output_bits;
+  if (bits.empty()) bits.assign(size_t(c.num_qubits), 0);
+  assert(int(bits.size()) == c.num_qubits);
+
+  auto add_tensor = [&](tn::VertId v, Tensor t) {
+    if (int(ln.tensors.size()) <= v) ln.tensors.resize(size_t(v) + 1);
+    ln.tensors[size_t(v)] = std::move(t);
+  };
+
+  // |0> caps.
+  std::vector<int> cur(size_t(c.num_qubits));
+  for (int q = 0; q < c.num_qubits; ++q) {
+    tn::VertId v = ln.net.add_vertex("ket0_q" + std::to_string(q));
+    int e = ln.net.add_edge(v, tn::kNone);
+    cur[size_t(q)] = e;
+    add_tensor(v, Tensor({e}, {cfloat{1, 0}, cfloat{0, 0}}));
+  }
+
+  // Gate tensors.
+  for (const auto& op : c.ops) {
+    tn::VertId v = ln.net.add_vertex(op.gate.name);
+    std::vector<int> ixs;
+    for (int q : op.qubits) {
+      ln.net.connect_open_edge(cur[size_t(q)], v);
+      ixs.push_back(cur[size_t(q)]);
+    }
+    for (int q : op.qubits) {
+      int e = ln.net.add_edge(v, tn::kNone);
+      cur[size_t(q)] = e;
+      ixs.push_back(e);
+    }
+    add_tensor(v, Tensor(ixs, gate_tensor_data(op.gate)));
+  }
+
+  // Output caps / open edges.
+  for (int q = 0; q < c.num_qubits; ++q) {
+    bool open = false;
+    for (int oq : opt.open_qubits) open = open || (oq == q);
+    if (open) {
+      ln.output_edge[size_t(q)] = cur[size_t(q)];
+      continue;
+    }
+    tn::VertId v = ln.net.add_vertex("bra_q" + std::to_string(q));
+    ln.net.connect_open_edge(cur[size_t(q)], v);
+    Tensor t({cur[size_t(q)]}, {cfloat{0, 0}, cfloat{0, 0}});
+    t.data()[size_t(bits[size_t(q)])] = cfloat{1, 0};
+    add_tensor(v, std::move(t));
+  }
+  ln.tensors.resize(size_t(ln.net.num_vertices()));
+  return ln;
+}
+
+SimplifyStats simplify(LoweredNetwork& ln) {
+  SimplifyStats st;
+  tn::TensorNetwork& net = ln.net;
+  bool progress = true;
+  while (progress && net.num_alive_vertices() > 2) {
+    progress = false;
+    for (tn::VertId v = 0; v < net.num_vertices() && net.num_alive_vertices() > 2; ++v) {
+      if (!net.vertex(v).alive) continue;
+      int rank = net.vertex_rank(v);
+      if (rank > 2) continue;
+      // Find a neighbor to absorb into.
+      tn::VertId u = tn::kNone;
+      for (int e : net.vertex(v).edges) {
+        tn::VertId other = net.neighbor_via(v, e);
+        if (other != tn::kNone) {
+          u = other;
+          break;
+        }
+      }
+      if (u == tn::kNone) continue;  // only open edges: keep (output cap)
+      Tensor merged = exec::contract(ln.tensors[size_t(u)], ln.tensors[size_t(v)]);
+      if (merged.rank() == 0) {
+        ln.scalar *= std::complex<double>(merged.data()[0]);
+        // Both tensors fully contracted away: kill the pair.
+        net.contract(u, v);
+        net.vertex(u).alive = false;
+        net.vertex(u).edges.clear();
+        ln.tensors[size_t(u)] = Tensor{};
+      } else {
+        net.contract(u, v);
+        ln.tensors[size_t(u)] = std::move(merged);
+      }
+      ln.tensors[size_t(v)] = Tensor{};
+      (rank <= 1 ? st.absorbed_rank1 : st.absorbed_rank2)++;
+      progress = true;
+    }
+  }
+  return st;
+}
+
+}  // namespace ltns::circuit

@@ -1,0 +1,50 @@
+// Circuit -> tensor network lowering, plus the rank-1/rank-2 preprocessing
+// simplification (quimb's pre-process, §2.1.2).
+//
+// Every qubit worldline starts with a |0> cap (rank-1), threads through its
+// gate tensors, and ends either with a <b| cap (computing one amplitude) or
+// with an open edge (a batch axis for correlated samples). Simplification
+// absorbs every rank-1 and rank-2 tensor into a neighbor — collapsing the
+// single-qubit layers into the fSim tensors and leaving the rank-4-dominated
+// graph the path optimizers expect.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "exec/tensor.hpp"
+#include "tn/tensor_network.hpp"
+
+namespace ltns::circuit {
+
+struct LoweredNetwork {
+  tn::TensorNetwork net;
+  std::vector<exec::Tensor> tensors;  // per vertex id (dead vertices: empty)
+  // Global scalar factor collected when simplification fully contracts a
+  // connected component (tiny circuits).
+  std::complex<double> scalar{1.0, 0.0};
+  // Per qubit: the open output edge id, or tn::kNone when closed.
+  std::vector<int> output_edge;
+
+  exec::Tensor leaf(tn::VertId v) const { return tensors[size_t(v)]; }
+};
+
+struct LoweringOptions {
+  // Output bits per qubit (closed qubits). Qubits listed in `open_qubits`
+  // ignore their bit and keep an open output edge.
+  std::vector<int> output_bits;  // defaults to all-zero
+  std::vector<int> open_qubits;
+};
+
+LoweredNetwork lower(const Circuit& c, const LoweringOptions& opt = {});
+
+struct SimplifyStats {
+  int absorbed_rank1 = 0;
+  int absorbed_rank2 = 0;
+};
+
+// In-place absorption of rank<=2 tensors; stops when fewer than three
+// vertices remain alive.
+SimplifyStats simplify(LoweredNetwork& ln);
+
+}  // namespace ltns::circuit

@@ -1,0 +1,66 @@
+#include "core/dynamic_slicer.hpp"
+
+#include <cassert>
+
+namespace ltns::core {
+
+namespace {
+
+// One greedy pick: the candidate edge (from the still-oversized nodes) that
+// minimizes the sliced total cost. Returns kNone when already under bound.
+tn::EdgeId pick_edge(const tn::ContractionTree& tree, const SliceSet& S, double target) {
+  if (satisfies_memory_bound(tree, S, target)) return tn::kNone;
+  IndexSet cand(tree.network()->num_edges());
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    if (sliced_node_log2size(tree, i, S.edges()) <= target + 1e-9) continue;
+    cand |= tree.node(i).ixs;
+  }
+  cand -= S.edges();
+  tn::EdgeId best = tn::kNone;
+  double best_cost = 0;
+  SliceSet probe = S;
+  cand.for_each([&](int e) {
+    probe.add(e);
+    double c = evaluate_slicing(tree, probe).log2_total_cost;
+    probe.remove(e);
+    if (best == tn::kNone || c < best_cost) {
+      best = e;
+      best_cost = c;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+DynamicSlicerResult dynamic_slice(const tn::ContractionTree& tree,
+                                  const DynamicSlicerOptions& opt) {
+  const tn::TensorNetwork& net = *tree.network();
+  DynamicSlicerResult out{SliceSet(net), tn::to_ssa_path(tree), {}, 0};
+  tn::ContractionTree cur = tn::ContractionTree::build(net, out.path);
+
+  while (!satisfies_memory_bound(cur, out.slices, opt.target_log2size)) {
+    assert(out.slices.size() < opt.max_slices);
+    tn::EdgeId e = pick_edge(cur, out.slices, opt.target_log2size);
+    if (e == tn::kNone) break;
+    out.slices.add(e);
+
+    // Local tuning between slice picks: re-optimize small subtrees so the
+    // path adapts to the shrunken index. (Tuning works on unsliced Eq. 1
+    // costs — a tree optimal for the unsliced network stays near-optimal
+    // per subtask, since slicing only removes fixed indices.)
+    path::LocalTuneOptions lt;
+    lt.max_leaves = opt.tune_max_leaves;
+    lt.sweeps = opt.tune_sweeps;
+    auto tuned = path::local_tune(cur, lt);
+    if (tuned.improved_subtrees > 0) {
+      ++out.retunes;
+      out.path = std::move(tuned.path);
+      cur = tn::ContractionTree::build(net, out.path);
+    }
+  }
+  out.metrics = evaluate_slicing(cur, out.slices);
+  return out;
+}
+
+}  // namespace ltns::core

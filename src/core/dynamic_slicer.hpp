@@ -1,0 +1,39 @@
+// Dynamic slicing — the Alibaba strategy (§2.1.2, ref [16]) the paper
+// compares against and that cotengra adopted.
+//
+// Instead of slicing a frozen contraction tree, the dynamic design
+// interleaves the two: pick one edge greedily (minimum Eq. 4 growth), then
+// *re-tune the tree locally* so the remaining contractions adapt to the
+// slice, and repeat until the memory bound holds. This erases much of the
+// inherent slicing overhead of a fixed tree, but — as the paper notes — it
+// can fail to find the optimal set when the local-tuning condition is not
+// met; the lifetime finder + SA refiner is the paper's answer.
+//
+// Implemented here as the third slicer so the ablation bench can compare
+// greedy / dynamic / lifetime(+SA) under identical conditions.
+#pragma once
+
+#include "core/slicing.hpp"
+#include "path/local_tune.hpp"
+
+namespace ltns::core {
+
+struct DynamicSlicerOptions {
+  double target_log2size = 30;
+  int max_slices = 256;
+  // Local-tuning effort between slice picks.
+  int tune_max_leaves = 6;
+  int tune_sweeps = 1;
+};
+
+struct DynamicSlicerResult {
+  SliceSet slices;
+  tn::SsaPath path;       // the re-tuned path (may differ from the input tree)
+  SlicedMetrics metrics;  // evaluated on the re-tuned tree
+  int retunes = 0;        // how many local-tuning passes changed the tree
+};
+
+DynamicSlicerResult dynamic_slice(const tn::ContractionTree& tree,
+                                  const DynamicSlicerOptions& opt);
+
+}  // namespace ltns::core

@@ -1,0 +1,43 @@
+#include "core/lifetime.hpp"
+
+#include <cassert>
+
+namespace ltns::core {
+
+StemLifetimes StemLifetimes::build(const tn::Stem& stem) {
+  StemLifetimes lt;
+  lt.stem_ = &stem;
+  const auto& tree = *stem.tree;
+  lt.intervals_.assign(size_t(tree.network()->num_edges()), LifetimeInterval{});
+  for (int pos = 0; pos < stem.length(); ++pos) {
+    const IndexSet& ixs = tree.node(stem.nodes[size_t(pos)]).ixs;
+    ixs.for_each([&](int e) {
+      auto& iv = lt.intervals_[size_t(e)];
+      if (!iv.alive()) {
+        iv.begin = pos;
+        iv.end = pos;
+      } else {
+        assert(iv.end == pos - 1 && "stem lifetimes must be contiguous");
+        iv.end = pos;
+      }
+    });
+  }
+  return lt;
+}
+
+std::vector<EdgeId> StemLifetimes::edges_at(int pos) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < num_edges(); ++e)
+    if (intervals_[size_t(e)].contains(pos)) out.push_back(e);
+  return out;
+}
+
+std::vector<std::vector<int>> tree_lifetimes(const tn::ContractionTree& tree) {
+  std::vector<std::vector<int>> lt(size_t(tree.network()->num_edges()));
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    tree.node(i).ixs.for_each([&](int e) { lt[size_t(e)].push_back(i); });
+  }
+  return lt;
+}
+
+}  // namespace ltns::core

@@ -1,0 +1,54 @@
+// Lifetime (Definition 1 of the paper).
+//
+// The lifetime of an edge k, given a contraction tree B, is the set of
+// intermediate tensors whose index set contains k. Slicing k halves exactly
+// the tensors in its lifetime and leaves the time complexity of their
+// contractions unchanged — every other contraction is redundantly repeated
+// across subtasks. On a *stem* the nested-subtree structure makes every
+// lifetime a contiguous interval of stem positions, which is what the slice
+// finder (Algorithm 1) and refiner (Algorithm 2) exploit.
+#pragma once
+
+#include <vector>
+
+#include "tn/stem.hpp"
+#include "util/index_set.hpp"
+
+namespace ltns::core {
+
+using tn::EdgeId;
+
+// Inclusive interval of stem positions; empty (begin > end) if the edge
+// never appears on the stem.
+struct LifetimeInterval {
+  int begin = 0;
+  int end = -1;
+  bool alive() const { return begin <= end; }
+  int length() const { return alive() ? end - begin + 1 : 0; }
+  bool contains(int pos) const { return begin <= pos && pos <= end; }
+  bool contains(const LifetimeInterval& o) const {
+    return o.alive() && begin <= o.begin && o.end <= end;
+  }
+};
+
+// Per-edge lifetimes over a stem.
+class StemLifetimes {
+ public:
+  static StemLifetimes build(const tn::Stem& stem);
+
+  const LifetimeInterval& of(EdgeId e) const { return intervals_[size_t(e)]; }
+  int num_edges() const { return int(intervals_.size()); }
+  // Edges alive at stem position `pos`, i.e. indices of that stem tensor.
+  std::vector<EdgeId> edges_at(int pos) const;
+
+ private:
+  std::vector<LifetimeInterval> intervals_;
+  const tn::Stem* stem_ = nullptr;
+};
+
+// Whole-tree lifetime of Definition 1: node ids whose output index set
+// contains e, for every edge. Used by tests to cross-check the interval
+// representation and by the Fig. 6 bench.
+std::vector<std::vector<int>> tree_lifetimes(const tn::ContractionTree& tree);
+
+}  // namespace ltns::core

@@ -1,0 +1,47 @@
+#include "core/planner.hpp"
+
+#include "core/greedy_slicer.hpp"
+
+namespace ltns::core {
+
+Plan make_plan(const tn::TensorNetwork& net, const PlanOptions& opt) {
+  auto pr = path::find_path(net, opt.path);
+
+  Plan plan{std::move(pr.path),
+            nullptr,
+            tn::Stem{},
+            SliceSet(net),
+            SlicedMetrics{},
+            pr.method};
+  plan.tree = std::make_shared<tn::ContractionTree>(tn::ContractionTree::build(net, plan.path));
+  plan.stem = tn::extract_stem(*plan.tree);
+
+  switch (opt.slicer) {
+    case SlicerKind::kGreedyBaseline: {
+      GreedySlicerOptions g;
+      g.target_log2size = opt.target_log2size;
+      plan.slices = greedy_slice(*plan.tree, g, &plan.metrics);
+      break;
+    }
+    case SlicerKind::kLifetime: {
+      SliceFinderOptions f;
+      f.target_log2size = opt.target_log2size;
+      plan.slices = lifetime_slice_finder(plan.stem, f, &plan.metrics);
+      break;
+    }
+    case SlicerKind::kLifetimeRefined: {
+      SliceFinderOptions f;
+      f.target_log2size = opt.target_log2size;
+      SliceSet s = lifetime_slice_finder(plan.stem, f);
+      SliceRefinerOptions r = opt.refiner;
+      r.target_log2size = opt.target_log2size;
+      r.seed = opt.seed;
+      plan.slices = refine_slices(plan.stem, std::move(s), r);
+      plan.metrics = evaluate_slicing(*plan.tree, plan.slices);
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace ltns::core

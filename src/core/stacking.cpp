@@ -1,0 +1,46 @@
+#include "core/stacking.hpp"
+
+#include <cmath>
+
+namespace ltns::core {
+
+StackingCost stacking_cost(const tn::Stem& stem, const SliceSet& S, const StorageLevel& lvl,
+                           double bytes_per_element) {
+  const tn::ContractionTree& tree = *stem.tree;
+  const TensorNetwork& net = *tree.network();
+  StackingCost out;
+
+  // Stacking keeps the *full* tensors resident on the lower level. Each
+  // stem step reads its input stem tensor and writes its output stem
+  // tensor across the boundary (slice-by-slice DMA/IO), so the traffic is
+  // the sum of full stem-tensor sizes along the steps, twice (get + put).
+  Log2Accumulator bytes;
+  for (int p = 0; p < stem.length(); ++p) {
+    const auto& n = tree.node(stem.nodes[size_t(p)]);
+    (void)net;
+    bytes.add(n.log2size + std::log2(bytes_per_element) + 1.0 /* get+put */);
+  }
+  out.log2_bytes_moved = bytes.value();
+  out.log2_equivalent_flops = out.log2_bytes_moved + std::log2(lvl.flops_per_byte());
+  out.log2_equivalent_overhead = out.log2_equivalent_flops - tree.total_log2cost();
+  (void)S;
+  return out;
+}
+
+Discriminant choose_strategy(const tn::Stem& stem, const SliceSet& S, const StorageLevel& lvl,
+                             double bytes_per_element) {
+  const tn::ContractionTree& tree = *stem.tree;
+  auto m = evaluate_slicing(tree, S);
+  auto sc = stacking_cost(stem, S, lvl, bytes_per_element);
+
+  Discriminant d;
+  // Redundant flops of slicing = total_sliced - original (linear-domain
+  // difference), expressed in log2.
+  d.log2_slice_overhead_flops = log2_sub(m.log2_total_cost, tree.total_log2cost());
+  d.log2_stack_overhead_flops = sc.log2_equivalent_flops;
+  d.choice = d.log2_slice_overhead_flops <= d.log2_stack_overhead_flops ? Strategy::kSlice
+                                                                        : Strategy::kStack;
+  return d;
+}
+
+}  // namespace ltns::core

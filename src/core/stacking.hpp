@@ -1,0 +1,61 @@
+// Stacking and the slice-vs-stack discriminant (§3.3, Fig. 7).
+//
+// Stacking is the inverse of slicing: keep the full tensor on the *lower*
+// (bigger, slower) storage level and move one slice at a time up for
+// computation, putting results back. It eliminates the redundant-compute
+// overhead of a sliced edge at the price of data movement across the level
+// boundary. Whether slicing (redundant flops) or stacking (extra bytes)
+// wins on a given storage-level pair depends on the bandwidth of that pair:
+// translate the moved bytes into "equivalent flops" through the machine
+// balance (peak flops / bandwidth) and compare with the slicing overhead.
+// The paper's conclusion: slice across IO -> DRAM (slow link, small
+// overhead), stack across DRAM -> LDM (fast link — this is exactly the
+// fused design of §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/slicing.hpp"
+#include "tn/stem.hpp"
+
+namespace ltns::core {
+
+// One manually-controllable storage-level boundary.
+struct StorageLevel {
+  std::string name;         // "disk->dram", "dram->ldm", ...
+  double capacity_bytes;    // capacity of the *upper* (faster) level
+  double bandwidth;         // bytes/s across the boundary
+  double peak_flops;        // compute rate fed by the upper level
+  // Machine balance: flops that could have been done while moving a byte.
+  double flops_per_byte() const { return peak_flops / bandwidth; }
+};
+
+struct StackingCost {
+  double log2_bytes_moved = 0;       // total traffic for stack+unstack
+  double log2_equivalent_flops = 0;  // translated through machine balance
+  // Overhead expressed like Eq. 2: equivalent flops / original flops.
+  double log2_equivalent_overhead = 0;
+};
+
+// Cost of *stacking* the edges of `S` at level `lvl` instead of slicing
+// them: every tensor in the lifetime of a stacked edge crosses the boundary
+// once down and once up per step it participates in (bytes counted from
+// sliced tensor sizes; `bytes_per_element` is 8 for complex<float>).
+StackingCost stacking_cost(const tn::Stem& stem, const SliceSet& S, const StorageLevel& lvl,
+                           double bytes_per_element = 8.0);
+
+enum class Strategy { kSlice, kStack };
+
+struct Discriminant {
+  Strategy choice;
+  double log2_slice_overhead_flops;  // redundant flops if slicing
+  double log2_stack_overhead_flops;  // equivalent flops if stacking
+};
+
+// The §3.3 decision rule for one level boundary: pick whichever equivalent
+// overhead is smaller.
+Discriminant choose_strategy(const tn::Stem& stem, const SliceSet& S, const StorageLevel& lvl,
+                             double bytes_per_element = 8.0);
+
+}  // namespace ltns::core

@@ -1,0 +1,26 @@
+// Mixed-precision GEMM: complex<float> operands, complex<double>
+// accumulation (the "mixed precision" configuration the paper's Fig. 13
+// quotes at arithmetic intensity 2.6 vs 1.22 for pure single precision —
+// twice the accumulator traffic per flop).
+//
+// Long stems chain tens of contractions; single-precision accumulation
+// loses ~half a digit per fat GEMM, and the quantum-advantage workloads
+// validate cross-entropy from amplitudes of magnitude ~2^-27, so the
+// accumulator precision matters at scale even though the memory-bound
+// analysis only sees the byte counts.
+#pragma once
+
+#include "exec/tensor.hpp"
+#include "util/parallel.hpp"
+
+namespace ltns::exec {
+
+// C = A · B, row-major, double accumulation, result rounded to cfloat.
+void cgemm_mixed(int m, int n, int k, const cfloat* a, const cfloat* b, cfloat* c,
+                 ThreadPool* pool = nullptr);
+
+// Bytes-per-flop bookkeeping for the roofline: mixed precision moves the
+// 16-byte accumulator tile instead of 8-byte results.
+inline double mixed_bytes_per_elem() { return 16.0; }
+
+}  // namespace ltns::exec

@@ -1,0 +1,61 @@
+// Tensor permutation kernels (§5.1, §5.3.1).
+//
+// Permutations sit before every fused contraction step and are one of the
+// hot spots of the TTGT pipeline. Three strategies, mirroring the paper's
+// discussion:
+//   * naive      — in-situ index computation per element, O(N·rank) time,
+//                  O(1) extra space;
+//   * mapped     — a pre-computed map (O(N) space) applied as a gather,
+//                  amortized across repeated applications;
+//   * reduced    — the paper's recursion-formula map reduction: when the
+//                  last m axes are unpermuted, elements move in contiguous
+//                  blocks of 2^m, the map shrinks to N / 2^m entries and the
+//                  inner copy is a memcpy (map[i+k] = map[i] + k·offset is
+//                  the same observation applied to leading unpermuted axes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/tensor.hpp"
+
+namespace ltns::exec {
+
+struct PermuteStats {
+  size_t elements = 0;
+  size_t map_entries = 0;   // size of the map actually materialized
+  size_t block_elems = 1;   // contiguous copy granularity
+};
+
+// out axis j takes in axis perm[j]; returns the permutation or aborts if
+// new_ixs is not a permutation of t.ixs().
+std::vector<int> permutation_between(const std::vector<int>& from_ixs,
+                                     const std::vector<int>& to_ixs);
+
+// Reference implementation (naive).
+Tensor permute_naive(const Tensor& t, const std::vector<int>& new_ixs);
+
+// Reusable pre-computed map with §5.3.1 block reduction.
+class PermuteMap {
+ public:
+  PermuteMap(const std::vector<int>& perm, int rank);
+
+  int rank() const { return rank_; }
+  size_t map_entries() const { return map_.size(); }
+  size_t block_elems() const { return size_t(1) << block_axes_; }
+  int block_axes() const { return block_axes_; }
+
+  // out must have 2^rank elements.
+  void apply(const cfloat* in, cfloat* out) const;
+
+ private:
+  int rank_;
+  int block_axes_;            // trailing unpermuted axes, moved as one block
+  std::vector<uint32_t> map_; // out block index -> in element offset
+};
+
+// Fast path used by the contraction planner: builds (or reuses) the map and
+// applies it. Identity permutations are returned as plain copies.
+Tensor permute(const Tensor& t, const std::vector<int>& new_ixs, PermuteStats* stats = nullptr);
+
+}  // namespace ltns::exec

@@ -1,0 +1,45 @@
+#include "exec/slice_runner.hpp"
+
+#include <cassert>
+
+#include "util/timer.hpp"
+
+namespace ltns::exec {
+
+SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& leaves,
+                          const core::SliceSet& slices, const SliceRunOptions& opt) {
+  auto sliced = slices.to_vector();
+  assert(sliced.size() < 63);
+  const uint64_t all = uint64_t(1) << sliced.size();
+  uint64_t first = opt.first_task;
+  uint64_t count = opt.num_tasks == 0 ? all : opt.num_tasks;
+  assert(first < all && first + count <= all);
+
+  SliceRunResult res;
+  Timer wall;
+  for (uint64_t t = first; t < first + count; ++t) {
+    Tensor r;
+    if (opt.fused != nullptr) {
+      FusedStats fs;
+      r = execute_fused(*opt.fused, leaves, t, opt.pool, &fs);
+      res.stats.merge(fs.exec);
+    } else {
+      ExecStats es;
+      r = execute_tree(tree, leaves, sliced, t, opt.pool, &es);
+      res.stats.merge(es);
+    }
+    if (res.tasks_run == 0) {
+      res.accumulated = std::move(r);
+    } else {
+      // The subtasks' outputs share one layout; accumulate elementwise —
+      // the paper's single allReduce.
+      assert(r.ixs() == res.accumulated.ixs());
+      for (size_t i = 0; i < r.size(); ++i) res.accumulated.data()[i] += r.data()[i];
+    }
+    ++res.tasks_run;
+  }
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+}  // namespace ltns::exec

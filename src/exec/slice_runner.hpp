@@ -1,0 +1,40 @@
+// Slice runner: the process-level loop over slicing subtasks (§2.1.1).
+//
+// The 2^|S| subtasks are independent; each computes the same (shrunken)
+// contraction tree with its sliced indices fixed, and the results are
+// summed — the paper's single allReduce at the end of the program. With
+// open output edges the per-subtask results are elementwise-added tensors
+// (a batch of correlated amplitudes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "exec/fused_executor.hpp"
+#include "exec/tree_executor.hpp"
+
+namespace ltns::exec {
+
+struct SliceRunOptions {
+  // Run only assignments [first_task, first_task + num_tasks); num_tasks = 0
+  // means all 2^|S|. Benches use a subset and extrapolate, exactly like the
+  // paper measures 1024 nodes and projects the full machine.
+  uint64_t first_task = 0;
+  uint64_t num_tasks = 0;
+  ThreadPool* pool = nullptr;
+  // When set, each subtask runs through the fused (secondary-slicing)
+  // executor over the stem instead of step-by-step.
+  const FusedPlan* fused = nullptr;
+};
+
+struct SliceRunResult {
+  Tensor accumulated;      // sum over executed subtasks
+  uint64_t tasks_run = 0;
+  ExecStats stats;         // merged over subtasks
+  double wall_seconds = 0;
+};
+
+SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& leaves,
+                          const core::SliceSet& slices, const SliceRunOptions& opt = {});
+
+}  // namespace ltns::exec

@@ -1,0 +1,126 @@
+#include "exec/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace ltns::exec {
+
+Tensor::Tensor(std::vector<int> ixs)
+    : ixs_(std::move(ixs)), data_(size_t(1) << ixs_.size(), cfloat{0, 0}) {
+  assert(ixs_.size() < 48);
+}
+
+Tensor::Tensor(std::vector<int> ixs, std::vector<cfloat> data)
+    : ixs_(std::move(ixs)), data_(std::move(data)) {
+  assert(data_.size() == size_t(1) << ixs_.size());
+}
+
+int Tensor::axis_of(int edge) const {
+  for (int d = 0; d < rank(); ++d)
+    if (ixs_[size_t(d)] == edge) return d;
+  return -1;
+}
+
+cfloat Tensor::at(const std::vector<int>& bits) const {
+  assert(int(bits.size()) == rank());
+  size_t off = 0;
+  for (int d = 0; d < rank(); ++d) off |= size_t(bits[size_t(d)]) << bit_of_axis(d);
+  return data_[off];
+}
+
+void Tensor::set(const std::vector<int>& bits, cfloat v) {
+  assert(int(bits.size()) == rank());
+  size_t off = 0;
+  for (int d = 0; d < rank(); ++d) off |= size_t(bits[size_t(d)]) << bit_of_axis(d);
+  data_[off] = v;
+}
+
+Tensor Tensor::fixed(int edge, int bit) const {
+  int d = axis_of(edge);
+  assert(d >= 0 && (bit == 0 || bit == 1));
+  std::vector<int> nixs = ixs_;
+  nixs.erase(nixs.begin() + d);
+  Tensor out(std::move(nixs));
+  const int pos = bit_of_axis(d);  // bit position of the fixed axis
+  const size_t block = size_t(1) << pos;
+  const size_t nblocks = out.size() >> pos;
+  // Axes above d keep relative order; copy contiguous runs of 2^pos.
+  for (size_t hi = 0; hi < nblocks; ++hi) {
+    size_t src = (hi << (pos + 1)) | (size_t(bit) << pos);
+    std::memcpy(out.data_.data() + hi * block, data_.data() + src, block * sizeof(cfloat));
+  }
+  return out;
+}
+
+Tensor Tensor::fixed_all(const std::vector<int>& edges, uint64_t bits) const {
+  Tensor cur = *this;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (cur.axis_of(edges[i]) < 0) continue;
+    cur = cur.fixed(edges[i], int((bits >> i) & 1));
+  }
+  return cur;
+}
+
+Tensor Tensor::gather_fixed(const std::vector<int>& edges, uint64_t bits,
+                            size_t* block_elems_out) const {
+  const int r = rank();
+  // Per-axis fixed bit (-1 = kept), plus the fixed part of the src offset.
+  std::vector<int> fixed_bit(static_cast<size_t>(r), -1);
+  size_t src_base = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    int d = axis_of(edges[i]);
+    if (d < 0) continue;
+    fixed_bit[size_t(d)] = int((bits >> i) & 1);
+    src_base |= size_t((bits >> i) & 1) << bit_of_axis(d);
+  }
+  std::vector<int> kept_ixs;
+  std::vector<int> kept_pos;  // src bit position per kept axis (out order)
+  for (int d = 0; d < r; ++d) {
+    if (fixed_bit[size_t(d)] >= 0) continue;
+    kept_ixs.push_back(ixs_[size_t(d)]);
+    kept_pos.push_back(bit_of_axis(d));
+  }
+  // Contiguous tail: trailing kept axes occupying the low src bits.
+  int tail = 0;
+  while (tail < int(kept_pos.size()) && kept_pos[kept_pos.size() - 1 - size_t(tail)] == tail)
+    ++tail;
+  const size_t block = size_t(1) << tail;
+  if (block_elems_out) *block_elems_out = block;
+
+  Tensor out(kept_ixs);
+  const int lead = int(kept_pos.size()) - tail;
+  const size_t nblocks = out.size() >> tail;
+  for (size_t ob = 0; ob < nblocks; ++ob) {
+    size_t src = src_base;
+    // Leading out bit p (above the tail) feeds kept axis (lead-1-p).
+    for (int p = 0; p < lead; ++p)
+      src |= ((ob >> p) & 1) << kept_pos[size_t(lead - 1 - p)];
+    std::memcpy(out.data_.data() + ob * block, data_.data() + src, block * sizeof(cfloat));
+  }
+  return out;
+}
+
+double Tensor::norm2() const {
+  double s = 0;
+  for (const cfloat& v : data_) s += double(v.real()) * v.real() + double(v.imag()) * v.imag();
+  return s;
+}
+
+Tensor random_tensor(std::vector<int> ixs, uint64_t seed) {
+  Tensor t(std::move(ixs));
+  Rng rng(seed);
+  for (auto& v : t.data()) v = cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  return t;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.ixs() == b.ixs());
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, double(std::abs(a.data()[i] - b.data()[i])));
+  return m;
+}
+
+}  // namespace ltns::exec

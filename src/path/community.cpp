@@ -1,0 +1,107 @@
+#include "path/community.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace ltns::path {
+
+using tn::EdgeId;
+using tn::VertId;
+
+std::vector<int> label_propagation_communities(const tn::TensorNetwork& net,
+                                               const CommunityOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<int> label(size_t(net.num_vertices()), tn::kNone);
+  auto verts = net.alive_vertices();
+  for (VertId v : verts) label[size_t(v)] = v;
+
+  std::vector<VertId> order = verts;
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    // Shuffle to avoid label-propagation cycling.
+    for (size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    bool changed = false;
+    for (VertId v : order) {
+      std::map<int, double> weight;
+      for (EdgeId e : net.vertex(v).edges) {
+        if (!net.edge(e).alive) continue;
+        VertId u = net.neighbor_via(v, e);
+        if (u == tn::kNone) continue;
+        weight[label[size_t(u)]] += net.edge(e).log2w;
+      }
+      if (weight.empty()) continue;
+      auto best = std::max_element(weight.begin(), weight.end(),
+                                   [](auto& a, auto& b) { return a.second < b.second; });
+      if (best->first != label[size_t(v)]) {
+        label[size_t(v)] = best->first;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return label;
+}
+
+tn::SsaPath community_path(const tn::TensorNetwork& net, const CommunityOptions& opt) {
+  auto label = label_propagation_communities(net, opt);
+  tn::SsaPath path;
+  path.leaf_vertices = net.alive_vertices();
+  const int L = int(path.leaf_vertices.size());
+  if (L <= 1) return path;
+
+  std::vector<IndexSet> sets;
+  std::vector<int> ids, grp;
+  sets.reserve(size_t(L));
+  for (int i = 0; i < L; ++i) {
+    VertId v = path.leaf_vertices[size_t(i)];
+    sets.push_back(net.vertex_index_set(v));
+    ids.push_back(i);
+    grp.push_back(label[size_t(v)]);
+  }
+  int next_id = L;
+
+  // Two phases: intra-community pairs first, then everything.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (;;) {
+      size_t bi = 0, bj = 0;
+      double best = 1e300;
+      for (size_t i = 0; i < ids.size(); ++i)
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          if (phase == 0 && grp[i] != grp[j]) continue;
+          if (!sets[i].intersects(sets[j])) continue;
+          double so = tn::log2w_of(net, sets[i] ^ sets[j]) -
+                      log2_add(tn::log2w_of(net, sets[i]), tn::log2w_of(net, sets[j]));
+          if (so < best) {
+            best = so;
+            bi = i;
+            bj = j;
+          }
+        }
+      if (bi == bj) break;
+      path.steps.emplace_back(ids[bi], ids[bj]);
+      sets[bi] ^= sets[bj];
+      grp[bi] = std::min(grp[bi], grp[bj]);
+      ids[bi] = next_id++;
+      sets.erase(sets.begin() + long(bj));
+      ids.erase(ids.begin() + long(bj));
+      grp.erase(grp.begin() + long(bj));
+    }
+  }
+  // Disconnected leftovers: outer products.
+  while (ids.size() > 1) {
+    path.steps.emplace_back(ids[0], ids[1]);
+    sets[0] ^= sets[1];
+    ids[0] = next_id++;
+    sets.erase(sets.begin() + 1);
+    ids.erase(ids.begin() + 1);
+    grp.erase(grp.begin() + 1);
+  }
+  assert(int(path.steps.size()) == L - 1);
+  return path;
+}
+
+}  // namespace ltns::path

@@ -1,0 +1,28 @@
+// Community-based path finder (§2.1.2, ref [13]).
+//
+// Girvan–Newman betweenness is far too slow for per-trial use, so the
+// community stage is weighted label propagation (the standard fast
+// substitute): vertices repeatedly adopt the label carrying the largest
+// incident edge weight. Tensors inside one community are contracted first
+// (greedy), then the community tensors are contracted across (greedy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::path {
+
+struct CommunityOptions {
+  int max_sweeps = 32;
+  uint64_t seed = 1;
+};
+
+// Exposed separately for tests: the label of every vertex (kNone for dead).
+std::vector<int> label_propagation_communities(const tn::TensorNetwork& net,
+                                               const CommunityOptions& opt = {});
+
+tn::SsaPath community_path(const tn::TensorNetwork& net, const CommunityOptions& opt = {});
+
+}  // namespace ltns::path

@@ -1,0 +1,128 @@
+#include "path/greedy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace ltns::path {
+namespace {
+
+struct Candidate {
+  double score;
+  int a, b;            // ssa ids
+  uint32_t va, vb;     // version stamps for lazy invalidation
+  bool operator>(const Candidate& o) const { return score > o.score; }
+};
+
+}  // namespace
+
+tn::SsaPath greedy_path(const tn::TensorNetwork& net, const GreedyOptions& opt) {
+  Rng rng(opt.seed);
+  tn::SsaPath path;
+  path.leaf_vertices = net.alive_vertices();
+  const int L = int(path.leaf_vertices.size());
+  assert(L >= 1);
+  if (L == 1) return path;
+
+  // Active tensors in SSA id space.
+  std::vector<IndexSet> ixs;
+  std::vector<double> size_log2;
+  std::vector<uint32_t> version;
+  std::vector<char> alive;
+  ixs.reserve(size_t(2 * L));
+  for (tn::VertId v : path.leaf_vertices) {
+    ixs.push_back(net.vertex_index_set(v));
+    size_log2.push_back(net.vertex_log2size(v));
+    version.push_back(0);
+    alive.push_back(1);
+  }
+
+  // Edge -> the (up to two) active ssa ids holding it.
+  std::vector<std::array<int, 2>> owner(size_t(net.num_edges()), {tn::kNone, tn::kNone});
+  for (int s = 0; s < L; ++s) {
+    ixs[size_t(s)].for_each([&](int e) {
+      auto& o = owner[size_t(e)];
+      (o[0] == tn::kNone ? o[0] : o[1]) = s;
+    });
+  }
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  auto gumbel = [&]() {
+    double u = rng.next_double();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(-std::log(u));
+  };
+  auto push_pair = [&](int a, int b) {
+    if (a == b || a == tn::kNone || b == tn::kNone) return;
+    if (!alive[size_t(a)] || !alive[size_t(b)]) return;
+    double so = tn::log2w_of(net, ixs[size_t(a)] ^ ixs[size_t(b)]);
+    double score = so - log2_add(size_log2[size_t(a)], size_log2[size_t(b)]);
+    if (opt.temperature > 0) score -= opt.temperature * gumbel();
+    pq.push(Candidate{score, a, b, version[size_t(a)], version[size_t(b)]});
+  };
+
+  for (int e = 0; e < net.num_edges(); ++e) {
+    if (!net.edge(e).alive) continue;
+    push_pair(owner[size_t(e)][0], owner[size_t(e)][1]);
+  }
+
+  int remaining = L;
+  while (remaining > 1) {
+    int a = -1, b = -1;
+    while (!pq.empty()) {
+      Candidate c = pq.top();
+      pq.pop();
+      if (alive[size_t(c.a)] && alive[size_t(c.b)] && version[size_t(c.a)] == c.va &&
+          version[size_t(c.b)] == c.vb) {
+        a = c.a;
+        b = c.b;
+        break;
+      }
+    }
+    if (a < 0) {
+      // Disconnected remainder: contract the two lowest-id survivors
+      // (outer product), matching what any path finder must do.
+      for (int i = 0; i < int(alive.size()) && b < 0; ++i) {
+        if (!alive[size_t(i)]) continue;
+        if (a < 0) {
+          a = i;
+        } else {
+          b = i;
+        }
+      }
+    }
+    int id = int(ixs.size());
+    path.steps.emplace_back(a, b);
+    ixs.push_back(ixs[size_t(a)] ^ ixs[size_t(b)]);
+    size_log2.push_back(tn::log2w_of(net, ixs.back()));
+    version.push_back(0);
+    alive.push_back(1);
+    alive[size_t(a)] = alive[size_t(b)] = 0;
+    --remaining;
+
+    // Re-point edge owners and collect the merged node's neighbors.
+    std::vector<int> nbrs;
+    ixs[size_t(id)].for_each([&](int e) {
+      auto& o = owner[size_t(e)];
+      for (int& x : o)
+        if (x == a || x == b) x = id;
+      for (int x : o)
+        if (x != id && x != tn::kNone && alive[size_t(x)]) nbrs.push_back(x);
+    });
+    // Also clear owners of edges contracted away (inside a ∩ b).
+    (ixs[size_t(a)] & ixs[size_t(b)]).for_each([&](int e) {
+      owner[size_t(e)] = {tn::kNone, tn::kNone};
+    });
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (int nb : nbrs) push_pair(id, nb);
+  }
+  assert(int(path.steps.size()) == L - 1);
+  return path;
+}
+
+}  // namespace ltns::path

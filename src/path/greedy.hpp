@@ -1,0 +1,24 @@
+// Randomized greedy contraction-path finder (the cotengra 'random-greedy'
+// substitute, §2.1.2).
+//
+// Repeatedly contracts the adjacent pair with the best score
+//     score(a, b) = log2size(a XOR b) − log2(2^{size a} + 2^{size b})
+// (grow as little as possible relative to what is consumed), perturbed by
+// Gumbel noise scaled by `temperature` so repeated trials explore the
+// neighborhood of the greedy path. temperature == 0 is deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::path {
+
+struct GreedyOptions {
+  double temperature = 0.0;
+  uint64_t seed = 1;
+};
+
+tn::SsaPath greedy_path(const tn::TensorNetwork& net, const GreedyOptions& opt = {});
+
+}  // namespace ltns::path

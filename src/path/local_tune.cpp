@@ -1,0 +1,213 @@
+#include "path/local_tune.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ltns::path {
+
+std::vector<std::pair<int, int>> optimal_order(const tn::TensorNetwork& net,
+                                               const std::vector<IndexSet>& leaf_sets,
+                                               double* log2cost_out) {
+  const int k = int(leaf_sets.size());
+  assert(k >= 1 && k <= 20);
+  const uint32_t full = (k == 32 ? ~0u : (1u << k) - 1);
+
+  // Index set and cost of every subset; split[m] remembers the best
+  // partition of m into two contraction operands.
+  std::vector<IndexSet> sets(size_t(full) + 1, IndexSet(net.num_edges()));
+  std::vector<double> cost(size_t(full) + 1, 1e300);
+  std::vector<uint32_t> split(size_t(full) + 1, 0);
+  for (int i = 0; i < k; ++i) {
+    sets[size_t(1u << i)] = leaf_sets[size_t(i)];
+    cost[size_t(1u << i)] = kLog2Zero;
+  }
+  for (uint32_t m = 1; m <= full; ++m) {
+    if (__builtin_popcount(m) < 2) continue;
+    // XOR over members gives the output set (edges interior to m cancel).
+    IndexSet sm(net.num_edges());
+    for (int i = 0; i < k; ++i)
+      if (m & (1u << i)) sm ^= leaf_sets[size_t(i)];
+    sets[size_t(m)] = sm;
+    // Enumerate bipartitions: the operand holding the lowest bit takes any
+    // proper subset of the remaining bits (sub0 == rest would leave the
+    // other operand empty; sub0 == 0 is the valid "lowest bit alone" split).
+    uint32_t lowbit = m & (~m + 1);
+    uint32_t rest = m ^ lowbit;
+    for (uint32_t sub0 = (rest - 1) & rest;; sub0 = (sub0 - 1) & rest) {
+      uint32_t a = sub0 | lowbit, b = m ^ a;
+      double step = tn::log2w_of(net, sets[size_t(a)] | sets[size_t(b)]);
+      double c = log2_add(step, log2_add(cost[size_t(a)], cost[size_t(b)]));
+      if (c < cost[size_t(m)]) {
+        cost[size_t(m)] = c;
+        split[size_t(m)] = a;
+      }
+      if (sub0 == 0) break;
+    }
+  }
+  if (log2cost_out) *log2cost_out = (k == 1 ? kLog2Zero : cost[size_t(full)]);
+
+  // Emit steps bottom-up in local SSA ids.
+  std::vector<std::pair<int, int>> steps;
+  if (k == 1) return steps;
+  std::vector<int> ssa_of_mask;  // parallel arrays: mask -> assigned ssa id
+  std::vector<uint32_t> masks;
+  int next_id = k;
+  // Recursive lambda via explicit stack (postorder over the split tree).
+  struct Frame {
+    uint32_t mask;
+    int phase;
+    int a_id = -1, b_id = -1;
+  };
+  std::vector<Frame> st{{full, 0}};
+  std::vector<int> result_id(size_t(full) + 1, -1);
+  for (int i = 0; i < k; ++i) result_id[size_t(1u << i)] = i;
+  while (!st.empty()) {
+    Frame& f = st.back();
+    if (__builtin_popcount(f.mask) == 1) {
+      st.pop_back();
+      continue;
+    }
+    uint32_t a = split[size_t(f.mask)], b = f.mask ^ a;
+    if (f.phase == 0) {
+      f.phase = 1;
+      if (result_id[size_t(a)] < 0) st.push_back({a, 0});
+    } else if (f.phase == 1) {
+      f.phase = 2;
+      if (result_id[size_t(b)] < 0) st.push_back({b, 0});
+    } else {
+      steps.emplace_back(result_id[size_t(a)], result_id[size_t(b)]);
+      result_id[size_t(f.mask)] = next_id++;
+      st.pop_back();
+    }
+  }
+  return steps;
+}
+
+namespace {
+
+// Emits an SSA path equivalent to `cur` except that the subtree rooted at
+// `spliced` is contracted in the order given by `steps` over `leaves`
+// (tree leaf node ids, matching the local SSA ids used by `steps`).
+tn::SsaPath rebuild_with_subtree(const tn::ContractionTree& cur, int spliced,
+                                 const std::vector<int>& leaves,
+                                 const std::vector<std::pair<int, int>>& steps) {
+  tn::SsaPath p;
+  const int L = cur.num_leaves();
+  std::vector<int> ssa(size_t(cur.num_nodes()), -1);
+  int next_internal = L;
+
+  // Iterative postorder with the splice special-case.
+  std::vector<std::pair<int, int>> stack{{cur.root(), 0}};
+  while (!stack.empty()) {
+    auto& [id, phase] = stack.back();
+    if (id == spliced) {
+      std::vector<int> local(leaves.size() + steps.size(), -1);
+      for (size_t j = 0; j < leaves.size(); ++j) {
+        local[j] = int(p.leaf_vertices.size());
+        p.leaf_vertices.push_back(cur.node(leaves[j]).leaf_vertex);
+      }
+      int next_local = int(leaves.size());
+      for (auto [a, b] : steps) {
+        p.steps.emplace_back(local[size_t(a)], local[size_t(b)]);
+        local[size_t(next_local++)] = next_internal++;
+      }
+      ssa[size_t(id)] = next_internal - 1;
+      stack.pop_back();
+      continue;
+    }
+    const auto& nd = cur.node(id);
+    if (nd.is_leaf()) {
+      ssa[size_t(id)] = int(p.leaf_vertices.size());
+      p.leaf_vertices.push_back(nd.leaf_vertex);
+      stack.pop_back();
+    } else if (phase == 0) {
+      phase = 1;
+      stack.push_back({nd.left, 0});
+    } else if (phase == 1) {
+      phase = 2;
+      stack.push_back({nd.right, 0});
+    } else {
+      p.steps.emplace_back(ssa[size_t(nd.left)], ssa[size_t(nd.right)]);
+      ssa[size_t(id)] = next_internal++;
+      stack.pop_back();
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+LocalTuneResult local_tune(const tn::ContractionTree& tree, const LocalTuneOptions& opt) {
+  const tn::TensorNetwork& net = *tree.network();
+  LocalTuneResult out;
+  out.log2cost_before = tree.total_log2cost();
+
+  // Work on a mutable copy of the path; rebuild the tree between sweeps.
+  tn::SsaPath path = to_ssa_path(tree);
+  tn::ContractionTree cur = tn::ContractionTree::build(net, path);
+
+  for (int sweep = 0; sweep < opt.sweeps; ++sweep) {
+    bool changed = false;
+    // Leaf counts per node.
+    std::vector<int> leaf_count(size_t(cur.num_nodes()), 0);
+    for (int i : cur.postorder()) {
+      const auto& n = cur.node(i);
+      leaf_count[size_t(i)] =
+          n.is_leaf() ? 1 : leaf_count[size_t(n.left)] + leaf_count[size_t(n.right)];
+    }
+    // Maximal qualifying subtrees: parent exceeds the limit, node does not.
+    for (int i = 0; i < cur.num_nodes(); ++i) {
+      const auto& n = cur.node(i);
+      if (n.is_leaf() || leaf_count[size_t(i)] > opt.max_leaves) continue;
+      if (n.parent >= 0 && leaf_count[size_t(n.parent)] <= opt.max_leaves) continue;
+
+      // Collect the subtree's leaves (tree node ids).
+      std::vector<int> leaves;
+      std::vector<int> stck{i};
+      while (!stck.empty()) {
+        int id = stck.back();
+        stck.pop_back();
+        const auto& nd = cur.node(id);
+        if (nd.is_leaf()) {
+          leaves.push_back(id);
+        } else {
+          stck.push_back(nd.left);
+          stck.push_back(nd.right);
+        }
+      }
+      // Current subtree cost.
+      double cur_cost = kLog2Zero;
+      stck.assign(1, i);
+      while (!stck.empty()) {
+        int id = stck.back();
+        stck.pop_back();
+        const auto& nd = cur.node(id);
+        if (nd.is_leaf()) continue;
+        cur_cost = log2_add(cur_cost, nd.log2cost);
+        stck.push_back(nd.left);
+        stck.push_back(nd.right);
+      }
+      std::vector<IndexSet> leaf_sets;
+      for (int id : leaves) leaf_sets.push_back(cur.node(id).ixs);
+      double best_cost;
+      auto steps = optimal_order(net, leaf_sets, &best_cost);
+      if (best_cost < cur_cost - 1e-9) {
+        // Rebuild the whole path with the subtree replaced: emit postorder
+        // of `cur`, but when visiting node i, splice the DP order instead.
+        ++out.improved_subtrees;
+        changed = true;
+        tn::SsaPath np = rebuild_with_subtree(cur, i, leaves, steps);
+        cur = tn::ContractionTree::build(net, np);
+        path = std::move(np);
+        break;  // leaf_count is stale; restart the sweep
+      }
+    }
+    if (!changed) break;
+  }
+  out.log2cost_after = cur.total_log2cost();
+  out.path = std::move(path);
+  return out;
+}
+
+}  // namespace ltns::path

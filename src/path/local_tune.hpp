@@ -1,0 +1,37 @@
+// Subtree local tuning — the "dynamic design" ingredient (§2.1.2, Alibaba
+// ref [16]) that cotengra adopted and that this paper's planner combines
+// with the lifetime slicers.
+//
+// Picks internal nodes whose subtree has at most `max_leaves` leaves and
+// replaces the subtree with the *optimal* contraction order of those leaf
+// tensors, found by Steiner-style subset DP (exact, O(3^k)). Costs never
+// increase; repeated sweeps converge to a locally optimal tree.
+#pragma once
+
+#include <cstdint>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::path {
+
+struct LocalTuneOptions {
+  int max_leaves = 8;
+  int sweeps = 2;  // passes over all qualifying subtrees
+};
+
+struct LocalTuneResult {
+  tn::SsaPath path;
+  int improved_subtrees = 0;
+  double log2cost_before = 0;
+  double log2cost_after = 0;
+};
+
+LocalTuneResult local_tune(const tn::ContractionTree& tree, const LocalTuneOptions& opt = {});
+
+// Exact optimal contraction order of ≤ ~12 tensors by subset DP; returns
+// steps in local SSA ids (leaves 0..k-1). Exposed for tests.
+std::vector<std::pair<int, int>> optimal_order(const tn::TensorNetwork& net,
+                                               const std::vector<IndexSet>& leaf_sets,
+                                               double* log2cost_out = nullptr);
+
+}  // namespace ltns::path

@@ -1,0 +1,60 @@
+#include "path/optimizer.hpp"
+
+#include "path/community.hpp"
+#include "path/greedy.hpp"
+#include "path/local_tune.hpp"
+#include "path/partition.hpp"
+
+namespace ltns::path {
+
+PathResult find_path(const tn::TensorNetwork& net, const OptimizerOptions& opt) {
+  PathResult best;
+  bool have = false;
+  auto consider = [&](tn::SsaPath p, const char* method) {
+    auto tree = tn::ContractionTree::build(net, p);
+    // Rank paths by cost; tie-break toward the smaller biggest tensor.
+    bool better = !have || tree.total_log2cost() < best.log2cost - 1e-12 ||
+                  (std::abs(tree.total_log2cost() - best.log2cost) <= 1e-12 &&
+                   tree.max_log2size() < best.log2size);
+    if (better) {
+      best.path = std::move(p);
+      best.log2cost = tree.total_log2cost();
+      best.log2size = tree.max_log2size();
+      best.method = method;
+      have = true;
+    }
+    ++best.trials_run;
+  };
+
+  for (int i = 0; i < opt.greedy_trials; ++i) {
+    GreedyOptions g;
+    g.temperature = (i == 0 ? 0.0 : opt.temperature);
+    g.seed = opt.seed + uint64_t(i) * 0x9e37;
+    consider(greedy_path(net, g), "greedy");
+  }
+  for (int i = 0; i < opt.partition_trials; ++i) {
+    PartitionOptions p;
+    p.seed = opt.seed + 0x1234 + uint64_t(i) * 0x51ed;
+    consider(partition_path(net, p), "partition");
+  }
+  for (int i = 0; i < opt.community_trials; ++i) {
+    CommunityOptions c;
+    c.seed = opt.seed + 0x777 + uint64_t(i) * 0xabcd;
+    consider(community_path(net, c), "community");
+  }
+
+  if (opt.tune && have) {
+    auto tree = tn::ContractionTree::build(net, best.path);
+    LocalTuneOptions lt{opt.tune_max_leaves, opt.tune_sweeps};
+    auto tuned = local_tune(tree, lt);
+    if (tuned.log2cost_after < best.log2cost) {
+      best.path = std::move(tuned.path);
+      best.log2cost = tuned.log2cost_after;
+      best.log2size = tn::ContractionTree::build(net, best.path).max_log2size();
+      best.method += "+tune";
+    }
+  }
+  return best;
+}
+
+}  // namespace ltns::path

@@ -1,0 +1,37 @@
+// Multi-trial path optimization driver (the cotengra "anytime" loop).
+//
+// Runs a budget of randomized greedy / partition / community trials, keeps
+// the best tree by Eq. 1 cost, then applies subtree local tuning. This is
+// the front half of the planning pipeline; the back half (slicing) lives in
+// core/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::path {
+
+struct OptimizerOptions {
+  int greedy_trials = 24;
+  int partition_trials = 8;
+  int community_trials = 0;   // O(V^3); enable only for small networks
+  double temperature = 0.6;   // greedy-noise scale after the first trial
+  bool tune = true;
+  int tune_max_leaves = 8;
+  int tune_sweeps = 2;
+  uint64_t seed = 7;
+};
+
+struct PathResult {
+  tn::SsaPath path;
+  double log2cost = 0;     // Eq. 1 total, log2 flops
+  double log2size = 0;     // biggest intermediate, log2 elements
+  std::string method;      // which trial family won
+  int trials_run = 0;
+};
+
+PathResult find_path(const tn::TensorNetwork& net, const OptimizerOptions& opt = {});
+
+}  // namespace ltns::path

@@ -1,0 +1,206 @@
+#include "path/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+#include "path/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace ltns::path {
+namespace {
+
+using tn::EdgeId;
+using tn::TensorNetwork;
+using tn::VertId;
+
+// Bisects `verts` into side 0 / side 1 (returned as flags parallel to
+// `verts`), minimizing the total log2 weight of cut edges.
+std::vector<char> bisect(const TensorNetwork& net, const std::vector<VertId>& verts,
+                         const PartitionOptions& opt, Rng& rng) {
+  const int n = int(verts.size());
+  std::vector<int> local(size_t(net.num_vertices()), -1);
+  for (int i = 0; i < n; ++i) local[size_t(verts[size_t(i)])] = i;
+
+  // Pseudo-peripheral seed (double BFS): on planar-ish circuit graphs this
+  // makes the BFS half-claim behave like a geometric sweep, which is what
+  // gives recursive bisection its small cuts.
+  auto bfs_farthest = [&](int start) {
+    std::vector<char> vis(size_t(n), 0);
+    std::deque<int> bq{start};
+    vis[size_t(start)] = 1;
+    int last = start;
+    while (!bq.empty()) {
+      int i = bq.front();
+      bq.pop_front();
+      last = i;
+      for (VertId u : net.neighbors(verts[size_t(i)])) {
+        int j = u == tn::kNone ? -1 : local[size_t(u)];
+        if (j >= 0 && !vis[size_t(j)]) {
+          vis[size_t(j)] = 1;
+          bq.push_back(j);
+        }
+      }
+    }
+    return last;
+  };
+  int seed0 = int(rng.next_below(uint64_t(n)));
+  int seed = bfs_farthest(bfs_farthest(seed0));
+
+  // BFS from the peripheral seed claims half the vertices for side 0.
+  std::vector<char> side(size_t(n), 1);
+  std::deque<int> q{seed};
+  std::vector<char> seen(size_t(n), 0);
+  seen[size_t(q.front())] = 1;
+  int claimed = 0, want = n / 2;
+  while (!q.empty() && claimed < want) {
+    int i = q.front();
+    q.pop_front();
+    side[size_t(i)] = 0;
+    ++claimed;
+    for (VertId u : net.neighbors(verts[size_t(i)])) {
+      int j = u == tn::kNone ? -1 : local[size_t(u)];
+      if (j >= 0 && !seen[size_t(j)]) {
+        seen[size_t(j)] = 1;
+        q.push_back(j);
+      }
+    }
+  }
+
+  // FM-style sweeps: greedily move the best-gain vertex subject to balance.
+  const int lo = std::max(1, int(n / 2.0 * (1.0 - opt.imbalance)));
+  const int hi = std::min(n - 1, int(n / 2.0 * (1.0 + opt.imbalance)) + 1);
+  auto gain = [&](int i) {
+    // Reduction in cut weight if vertex i switches sides.
+    double g = 0;
+    for (EdgeId e : net.vertex(verts[size_t(i)]).edges) {
+      if (!net.edge(e).alive) continue;
+      VertId u = net.neighbor_via(verts[size_t(i)], e);
+      int j = u == tn::kNone ? -1 : local[size_t(u)];
+      if (j < 0) continue;  // neighbor outside this subproblem (or open edge)
+      g += (side[size_t(j)] != side[size_t(i)] ? 1.0 : -1.0) * net.edge(e).log2w;
+    }
+    return g;
+  };
+  int count0 = 0;
+  for (char s : side) count0 += (s == 0);
+  for (int pass = 0; pass < opt.fm_passes; ++pass) {
+    bool moved = false;
+    for (int i = 0; i < n; ++i) {
+      int new_count0 = count0 + (side[size_t(i)] ? 1 : -1);
+      if (new_count0 < lo || new_count0 > hi) continue;
+      if (gain(i) > 0) {
+        side[size_t(i)] ^= 1;
+        count0 = new_count0;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  // Guarantee both sides non-empty.
+  if (count0 == 0) side[0] = 0;
+  if (count0 == n) side[0] = 1;
+  return side;
+}
+
+// Total log2 weight of edges crossing the bisection.
+double cut_weight(const TensorNetwork& net, const std::vector<VertId>& verts,
+                  const std::vector<char>& side) {
+  std::vector<int> local(size_t(net.num_vertices()), -1);
+  for (size_t i = 0; i < verts.size(); ++i) local[size_t(verts[i])] = int(i);
+  double w = 0;
+  for (size_t i = 0; i < verts.size(); ++i) {
+    for (EdgeId e : net.vertex(verts[i]).edges) {
+      const auto& ed = net.edge(e);
+      if (!ed.alive) continue;
+      VertId u = ed.a == verts[i] ? ed.b : ed.a;
+      int j = u == tn::kNone ? -1 : local[size_t(u)];
+      if (j >= 0 && size_t(j) > i && side[size_t(j)] != side[i]) w += ed.log2w;
+    }
+  }
+  return w;
+}
+
+struct Builder {
+  const TensorNetwork& net;
+  const PartitionOptions& opt;
+  Rng rng;
+  tn::SsaPath path;
+  std::vector<int> leaf_ssa;  // vertex id -> ssa leaf id
+  int next_id;
+
+  // Contracts `verts` into one tensor; returns its ssa id.
+  int build(std::vector<VertId> verts) {
+    if (verts.size() == 1) return leaf_ssa[size_t(verts[0])];
+    if (int(verts.size()) <= opt.greedy_below) return greedy_tail(verts);
+    // Best cut over independent restarts (KaHyPar-style V-cycling lite).
+    auto side = bisect(net, verts, opt, rng);
+    double best_cut = cut_weight(net, verts, side);
+    for (int r = 1; r < opt.restarts; ++r) {
+      auto cand = bisect(net, verts, opt, rng);
+      double c = cut_weight(net, verts, cand);
+      if (c < best_cut) {
+        best_cut = c;
+        side = std::move(cand);
+      }
+    }
+    std::vector<VertId> v0, v1;
+    for (size_t i = 0; i < verts.size(); ++i) (side[i] ? v1 : v0).push_back(verts[i]);
+    if (v0.empty() || v1.empty()) return greedy_tail(verts);
+    int a = build(std::move(v0));
+    int b = build(std::move(v1));
+    path.steps.emplace_back(a, b);
+    return next_id++;
+  }
+
+  // Greedy contraction of a small group, emitted into the global path.
+  int greedy_tail(const std::vector<VertId>& verts) {
+    // Pairwise min-output greedy over the group.
+    std::vector<int> ids;
+    std::vector<IndexSet> sets;
+    for (VertId v : verts) {
+      ids.push_back(leaf_ssa[size_t(v)]);
+      sets.push_back(net.vertex_index_set(v));
+    }
+    while (ids.size() > 1) {
+      size_t bi = 0, bj = 1;
+      double best = 1e300;
+      bool found_adj = false;
+      for (size_t i = 0; i < ids.size(); ++i)
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          bool adj = sets[i].intersects(sets[j]);
+          double so = tn::log2w_of(net, sets[i] ^ sets[j]);
+          // Strongly prefer adjacent pairs; among them, smallest output.
+          double score = so + (adj ? 0.0 : 1e6);
+          if ((adj && !found_adj) || score < best) {
+            best = score;
+            bi = i;
+            bj = j;
+            found_adj = found_adj || adj;
+          }
+        }
+      path.steps.emplace_back(ids[bi], ids[bj]);
+      sets[bi] = sets[bi] ^ sets[bj];
+      ids[bi] = next_id++;
+      sets.erase(sets.begin() + long(bj));
+      ids.erase(ids.begin() + long(bj));
+    }
+    return ids[0];
+  }
+};
+
+}  // namespace
+
+tn::SsaPath partition_path(const tn::TensorNetwork& net, const PartitionOptions& opt) {
+  auto verts = net.alive_vertices();
+  Builder b{net, opt, Rng(opt.seed), {}, std::vector<int>(size_t(net.num_vertices()), -1),
+            int(verts.size())};
+  b.path.leaf_vertices = verts;
+  for (int i = 0; i < int(verts.size()); ++i) b.leaf_ssa[size_t(verts[size_t(i)])] = i;
+  b.build(verts);
+  assert(b.path.steps.size() + 1 == verts.size());
+  return std::move(b.path);
+}
+
+}  // namespace ltns::path

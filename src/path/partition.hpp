@@ -1,0 +1,26 @@
+// Recursive-bisection path finder — the KaHyPar-style "graph partition"
+// driver cotengra uses (§2.1.2, ref [14]).
+//
+// The contraction tree is built top-down: split the vertex set into two
+// balanced halves with a small cut (BFS seeding + Fiduccia–Mattheyses-style
+// refinement sweeps), recurse into each half, and contract the two halves
+// last. Small subproblems fall back to the greedy finder.
+#pragma once
+
+#include <cstdint>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::path {
+
+struct PartitionOptions {
+  double imbalance = 0.12;  // allowed deviation from a perfect split
+  int fm_passes = 6;        // refinement sweeps per bisection
+  int restarts = 4;         // independent bisection seeds, best cut wins
+  int greedy_below = 12;    // subproblem size handed to greedy
+  uint64_t seed = 1;
+};
+
+tn::SsaPath partition_path(const tn::TensorNetwork& net, const PartitionOptions& opt = {});
+
+}  // namespace ltns::path

@@ -1,0 +1,62 @@
+// Architecture model of the SW26010pro processor and the new Sunway system
+// (§2.2), used wherever the paper quotes machine numbers.
+//
+// This is the substitution layer for the unavailable hardware: every
+// throughput-flavored result in the benchmarks is computed from counted
+// work (flops, bytes at each storage level) pushed through this spec —
+// mirroring how the paper itself projects the 96.1 s / 308.6 Pflops
+// headline from 1024-node measurements.
+#pragma once
+
+#include <cstdint>
+
+namespace ltns::sunway {
+
+struct ArchSpec {
+  // Topology (SW26010pro: 6 core groups of 8x8 CPEs + 1 MPE each).
+  int cgs_per_node = 6;
+  int cpes_per_cg = 64;
+  int mpes_per_cg = 1;
+
+  // Memory hierarchy.
+  double ldm_bytes = 256.0 * 1024;         // per CPE local data memory
+  double main_mem_bytes = 16e9;            // per CG; paper unites 6 CGs = 96 GB
+  double dma_bandwidth = 51.2e9;           // LDM <-> main memory, per CG
+  double rma_bandwidth = 800e9;            // CPE <-> CPE within a CG
+  double io_bandwidth = 4e9;               // hard disk <-> main memory, per node
+  double ldm_access_bandwidth = 4.6e12;    // register <-> LDM aggregate, per CG
+
+  // Compute. Chosen so the roofline ridge sits at the paper's 42.3 flop/B:
+  // peak_sp / dma_bandwidth = 42.3.
+  double peak_sp_flops_per_cg = 42.3 * 51.2e9;  // ≈ 2.166 Tflops
+  double dma_min_efficient_granularity = 512.0; // bytes for >50% DMA efficiency
+
+  // System scale used for the headline projection.
+  int nodes_full_machine = 107520;
+
+  int cores_per_node() const { return cgs_per_node * (cpes_per_cg + mpes_per_cg); }
+  int64_t cores_full_machine() const {
+    return int64_t(nodes_full_machine) * cores_per_node();
+  }
+  double peak_sp_flops_per_node() const { return peak_sp_flops_per_cg * cgs_per_node; }
+  double peak_sp_flops_full_machine() const {
+    return peak_sp_flops_per_node() * nodes_full_machine;
+  }
+  // Roofline ridge point (flop/byte) between DMA and compute.
+  double ridge_flop_per_byte() const { return peak_sp_flops_per_cg / dma_bandwidth; }
+
+  // Attainable flops at arithmetic intensity `ai` (flop/byte of DMA traffic)
+  // — the roofline model of Fig. 13.
+  double roofline_flops(double ai) const {
+    double bw_bound = ai * dma_bandwidth;
+    return bw_bound < peak_sp_flops_per_cg ? bw_bound : peak_sp_flops_per_cg;
+  }
+
+  // DMA bandwidth efficiency as a function of transfer granularity (§5.3.2):
+  // tiny strided transfers collapse to <0.1% of peak; ≥512 B sustains >50%.
+  double dma_efficiency(double granularity_bytes) const;
+
+  static ArchSpec sw26010pro() { return ArchSpec{}; }
+};
+
+}  // namespace ltns::sunway

@@ -1,0 +1,76 @@
+#include "sunway/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltns::sunway {
+
+double subtask_seconds_on_cg(const ArchSpec& arch, const SubtaskProfile& p) {
+  double t_compute = p.flops / arch.peak_sp_flops_per_cg;
+  double eff = arch.dma_efficiency(p.dma_granularity);
+  double t_dma = eff > 0 ? p.dma_bytes / (arch.dma_bandwidth * eff) : 0;
+  double t_rma = p.rma_bytes / arch.rma_bandwidth;
+  // Permutations stream through the LDM ports and do not overlap the GEMM
+  // issue slots, so their time adds to compute rather than hiding under it.
+  double t_ldm = p.ldm_bytes / arch.ldm_access_bandwidth;
+  return std::max({t_compute + t_ldm, t_dma, t_rma});
+}
+
+double allreduce_seconds(const ArchSpec& arch, int nodes, double bytes) {
+  (void)arch;
+  if (nodes <= 1) return 0;
+  // Latency-bandwidth tree model with typical HPC interconnect constants.
+  const double alpha = 5e-6;   // per-hop latency
+  const double beta = 1e-10;   // s/byte
+  double hops = std::ceil(std::log2(double(nodes)));
+  return hops * (alpha + beta * bytes);
+}
+
+namespace {
+
+ScalingPoint point(const ArchSpec& arch, const SubtaskProfile& per_task, double subtasks,
+                   int nodes, double allreduce_bytes) {
+  ScalingPoint sp;
+  sp.nodes = nodes;
+  sp.subtasks = subtasks;
+  const double cgs = double(nodes) * arch.cgs_per_node;
+  const double rounds = std::ceil(subtasks / cgs);
+  const double t_task = subtask_seconds_on_cg(arch, per_task);
+  sp.seconds = rounds * t_task + allreduce_seconds(arch, nodes, allreduce_bytes);
+  sp.sustained_flops = subtasks * per_task.flops / sp.seconds;
+  const double ideal = subtasks * t_task / cgs;
+  sp.parallel_efficiency = ideal / sp.seconds;
+  return sp;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> strong_scaling(const ArchSpec& arch, const SubtaskProfile& per_task,
+                                         double total_subtasks, const std::vector<int>& nodes,
+                                         double allreduce_bytes) {
+  std::vector<ScalingPoint> out;
+  for (int n : nodes) out.push_back(point(arch, per_task, total_subtasks, n, allreduce_bytes));
+  return out;
+}
+
+std::vector<ScalingPoint> weak_scaling(const ArchSpec& arch, const SubtaskProfile& per_task,
+                                       double subtasks_per_node, const std::vector<int>& nodes,
+                                       double allreduce_bytes) {
+  std::vector<ScalingPoint> out;
+  for (int n : nodes) {
+    auto sp = point(arch, per_task, subtasks_per_node * n, n, allreduce_bytes);
+    // Weak-scaling efficiency compares against the single-node time.
+    auto base = point(arch, per_task, subtasks_per_node, 1, allreduce_bytes);
+    sp.parallel_efficiency = base.seconds / sp.seconds;
+    out.push_back(sp);
+  }
+  return out;
+}
+
+ScalingPoint project(const ArchSpec& arch, const SubtaskProfile& per_task, double total_subtasks,
+                     int nodes) {
+  if (nodes <= 0) nodes = arch.nodes_full_machine;
+  return point(arch, per_task, total_subtasks, nodes, 16.0);
+}
+
+}  // namespace ltns::sunway

@@ -1,0 +1,58 @@
+// Cost model: turns counted work (flops, DMA bytes, granularity) into
+// modeled Sunway time, and reproduces the paper's scaling/projection
+// methodology (§6: measure 1024 nodes, project 107,520 nodes; Fig. 11
+// strong/weak scaling; abstract: 96.1 s, 308.6 Pflops).
+#pragma once
+
+#include <vector>
+
+#include "sunway/arch.hpp"
+
+namespace ltns::sunway {
+
+// Counted work of one slicing subtask executing on one core group.
+struct SubtaskProfile {
+  double flops = 0;
+  double dma_bytes = 0;
+  double dma_granularity = 512;  // bytes; drives DMA efficiency
+  double rma_bytes = 0;
+  // Register<->LDM traffic of the in-LDM permutations (§5.3.1); the paper
+  // names this as the remaining gap between its kernels and peak.
+  double ldm_bytes = 0;
+
+  double arithmetic_intensity() const { return dma_bytes > 0 ? flops / dma_bytes : 0; }
+};
+
+// Modeled execution time of one subtask on one CG: overlap model
+// max(compute, DMA, RMA) — the roofline assumption.
+double subtask_seconds_on_cg(const ArchSpec& arch, const SubtaskProfile& p);
+
+// One allReduce over `nodes` processes of `bytes` payload (latency-
+// bandwidth log-tree model).
+double allreduce_seconds(const ArchSpec& arch, int nodes, double bytes);
+
+struct ScalingPoint {
+  int nodes = 0;
+  double subtasks = 0;
+  double seconds = 0;
+  double sustained_flops = 0;
+  double parallel_efficiency = 0;  // vs. ideal linear scaling
+};
+
+// Strong scaling: fixed total subtask count (the paper's 65,536) spread
+// over growing node counts; one subtask occupies one CG.
+std::vector<ScalingPoint> strong_scaling(const ArchSpec& arch, const SubtaskProfile& per_task,
+                                         double total_subtasks, const std::vector<int>& nodes,
+                                         double allreduce_bytes = 16.0);
+
+// Weak scaling: fixed subtasks per node (the paper's 16).
+std::vector<ScalingPoint> weak_scaling(const ArchSpec& arch, const SubtaskProfile& per_task,
+                                       double subtasks_per_node, const std::vector<int>& nodes,
+                                       double allreduce_bytes = 16.0);
+
+// Headline projection: all subtasks on `nodes` nodes (defaults to the full
+// machine), returning time and sustained flops.
+ScalingPoint project(const ArchSpec& arch, const SubtaskProfile& per_task, double total_subtasks,
+                     int nodes = 0);
+
+}  // namespace ltns::sunway

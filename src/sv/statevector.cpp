@@ -1,0 +1,79 @@
+#include "sv/statevector.hpp"
+
+#include <cassert>
+
+namespace ltns::sv {
+
+Statevector::Statevector(int num_qubits) : n_(num_qubits) {
+  assert(num_qubits >= 1 && num_qubits <= 28);
+  amps_.assign(size_t(1) << num_qubits, cd{0, 0});
+  amps_[0] = cd{1, 0};
+}
+
+void Statevector::apply(const circuit::GateDef& g, const std::vector<int>& qubits) {
+  assert(int(qubits.size()) == g.arity);
+  if (g.arity == 1) {
+    apply1(g, qubits[0]);
+  } else {
+    assert(g.arity == 2);
+    apply2(g, qubits[0], qubits[1]);
+  }
+}
+
+void Statevector::apply1(const circuit::GateDef& g, int q) {
+  const int pos = n_ - 1 - q;
+  const size_t mask = size_t(1) << pos;
+  const cd m00 = g.matrix[0], m01 = g.matrix[1], m10 = g.matrix[2], m11 = g.matrix[3];
+  const size_t dim = amps_.size();
+  for (size_t i = 0; i < dim; ++i) {
+    if (i & mask) continue;
+    cd a0 = amps_[i], a1 = amps_[i | mask];
+    amps_[i] = m00 * a0 + m01 * a1;
+    amps_[i | mask] = m10 * a0 + m11 * a1;
+  }
+}
+
+void Statevector::apply2(const circuit::GateDef& g, int qa, int qb) {
+  const size_t ma = size_t(1) << (n_ - 1 - qa);
+  const size_t mb = size_t(1) << (n_ - 1 - qb);
+  const size_t dim = amps_.size();
+  for (size_t i = 0; i < dim; ++i) {
+    if (i & (ma | mb)) continue;
+    // Basis order within the block: |qa qb> = 00, 01, 10, 11.
+    cd a[4] = {amps_[i], amps_[i | mb], amps_[i | ma], amps_[i | ma | mb]};
+    cd r[4];
+    for (int o = 0; o < 4; ++o)
+      r[o] = g.matrix[size_t(o) * 4 + 0] * a[0] + g.matrix[size_t(o) * 4 + 1] * a[1] +
+             g.matrix[size_t(o) * 4 + 2] * a[2] + g.matrix[size_t(o) * 4 + 3] * a[3];
+    amps_[i] = r[0];
+    amps_[i | mb] = r[1];
+    amps_[i | ma] = r[2];
+    amps_[i | ma | mb] = r[3];
+  }
+}
+
+void Statevector::run(const circuit::Circuit& c) {
+  assert(c.num_qubits == n_);
+  for (const auto& op : c.ops) apply(op.gate, op.qubits);
+}
+
+cd Statevector::amplitude_bits(const std::vector<int>& bits) const {
+  assert(int(bits.size()) == n_);
+  uint64_t idx = 0;
+  for (int q = 0; q < n_; ++q) idx |= uint64_t(bits[size_t(q)]) << (n_ - 1 - q);
+  return amps_[idx];
+}
+
+double Statevector::norm() const {
+  double s = 0;
+  for (const cd& a : amps_) s += std::norm(a);
+  return s;
+}
+
+cd simulate_amplitude(const circuit::Circuit& c, const std::vector<int>& bits) {
+  Statevector sv(c.num_qubits);
+  sv.run(c);
+  return sv.amplitude_bits(bits);
+}
+
+}  // namespace ltns::sv

@@ -1,0 +1,47 @@
+// Statevector simulator — the exact baseline (§1: the "traditional state
+// vector method", feasible below ~50 qubits; here used up to ~24 for
+// verification of the TNC pipeline).
+//
+// Amplitude convention matches the lowering: qubit q occupies bit
+// (n-1-q) of the basis-state index, i.e. bitstring b_0 b_1 ... b_{n-1}
+// (qubit 0 first) maps to index Σ b_q << (n-1-q).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace ltns::sv {
+
+using cd = std::complex<double>;
+
+class Statevector {
+ public:
+  explicit Statevector(int num_qubits);
+
+  int num_qubits() const { return n_; }
+  size_t dim() const { return amps_.size(); }
+  const std::vector<cd>& amplitudes() const { return amps_; }
+
+  void apply(const circuit::GateDef& g, const std::vector<int>& qubits);
+  void run(const circuit::Circuit& c);
+
+  cd amplitude(uint64_t basis_state) const { return amps_[basis_state]; }
+  // Amplitude of a bitstring given per-qubit bits (qubit 0 first).
+  cd amplitude_bits(const std::vector<int>& bits) const;
+  double norm() const;
+
+ private:
+  void apply1(const circuit::GateDef& g, int q);
+  void apply2(const circuit::GateDef& g, int qa, int qb);
+
+  int n_;
+  std::vector<cd> amps_;
+};
+
+// Convenience: run circuit from |0...0> and return one amplitude.
+cd simulate_amplitude(const circuit::Circuit& c, const std::vector<int>& bits);
+
+}  // namespace ltns::sv

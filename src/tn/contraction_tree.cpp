@@ -1,0 +1,127 @@
+#include "tn/contraction_tree.hpp"
+
+#include <cassert>
+
+namespace ltns::tn {
+
+double log2w_of(const TensorNetwork& net, const IndexSet& set) {
+  double w = 0;
+  set.for_each([&](int e) { w += net.edge(e).log2w; });
+  return w;
+}
+
+ContractionTree ContractionTree::build(const TensorNetwork& net, const SsaPath& path) {
+  ContractionTree t;
+  t.net_ = &net;
+  const int L = int(path.leaf_vertices.size());
+  assert(L >= 1);
+  assert(int(path.steps.size()) == L - 1 && "path must contract to a single tensor");
+  t.num_leaves_ = L;
+  t.nodes_.reserve(size_t(2 * L - 1));
+
+  for (VertId v : path.leaf_vertices) {
+    Node n;
+    n.leaf_vertex = v;
+    n.ixs = net.vertex_index_set(v);
+    n.log2size = net.vertex_log2size(v);
+    t.max_log2size_ = std::max(t.max_log2size_, n.log2size);
+    t.nodes_.push_back(std::move(n));
+  }
+
+  Log2Accumulator cost;
+  for (auto [a, b] : path.steps) {
+    assert(a >= 0 && b >= 0 && a != b && a < int(t.nodes_.size()) && b < int(t.nodes_.size()));
+    assert(t.nodes_[size_t(a)].parent == -1 && t.nodes_[size_t(b)].parent == -1 &&
+           "path reuses an already-contracted id");
+    Node n;
+    n.left = a;
+    n.right = b;
+    n.union_ixs = t.nodes_[size_t(a)].ixs | t.nodes_[size_t(b)].ixs;
+    n.ixs = t.nodes_[size_t(a)].ixs ^ t.nodes_[size_t(b)].ixs;
+    n.log2size = log2w_of(net, n.ixs);
+    n.log2cost = log2w_of(net, n.union_ixs);
+    cost.add(n.log2cost);
+    t.max_log2size_ = std::max(t.max_log2size_, n.log2size);
+    t.max_union_log2size_ = std::max(t.max_union_log2size_, n.log2cost);
+    int id = int(t.nodes_.size());
+    t.nodes_[size_t(a)].parent = id;
+    t.nodes_[size_t(b)].parent = id;
+    t.nodes_.push_back(std::move(n));
+  }
+  t.root_ = int(t.nodes_.size()) - 1;
+  t.total_log2cost_ = cost.value();
+  return t;
+}
+
+std::vector<int> ContractionTree::postorder() const {
+  // Nodes are created children-first by build(), so identity order is a
+  // valid postorder.
+  std::vector<int> order(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) order[i] = int(i);
+  return order;
+}
+
+SsaPath to_ssa_path(const ContractionTree& tree) {
+  SsaPath p;
+  const int n = tree.num_nodes();
+  std::vector<int> ssa(size_t(n), -1);
+  // Iterative postorder from the root.
+  std::vector<std::pair<int, int>> stack{{tree.root(), 0}};
+  int next_internal = tree.num_leaves();
+  while (!stack.empty()) {
+    auto& [id, phase] = stack.back();
+    const auto& nd = tree.node(id);
+    if (nd.is_leaf()) {
+      ssa[size_t(id)] = int(p.leaf_vertices.size());
+      p.leaf_vertices.push_back(nd.leaf_vertex);
+      stack.pop_back();
+    } else if (phase == 0) {
+      phase = 1;
+      stack.push_back({nd.left, 0});
+    } else if (phase == 1) {
+      phase = 2;
+      stack.push_back({nd.right, 0});
+    } else {
+      p.steps.emplace_back(ssa[size_t(nd.left)], ssa[size_t(nd.right)]);
+      ssa[size_t(id)] = next_internal++;
+      stack.pop_back();
+    }
+  }
+  return p;
+}
+
+bool ContractionTree::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (root_ < 0) return fail("no root");
+  std::vector<int> leaf_seen(size_t(net_->num_vertices()), 0);
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Node& n = nodes_[size_t(i)];
+    if (n.is_leaf()) {
+      if (n.leaf_vertex == kNone) return fail("leaf without vertex");
+      leaf_seen[size_t(n.leaf_vertex)]++;
+      if (n.ixs != net_->vertex_index_set(n.leaf_vertex))
+        return fail("leaf index set does not match vertex");
+    } else {
+      if (n.right < 0) return fail("internal node with one child");
+      const Node& l = nodes_[size_t(n.left)];
+      const Node& r = nodes_[size_t(n.right)];
+      if (l.parent != i || r.parent != i) return fail("parent pointers disagree");
+      if (n.ixs != (l.ixs ^ r.ixs)) return fail("XOR rule violated");
+      if (n.union_ixs != (l.ixs | r.ixs)) return fail("union set stale");
+    }
+    if (i != root_ && n.parent < 0) return fail("disconnected node");
+    if (i == root_ && n.parent != -1) return fail("root has parent");
+  }
+  for (VertId v : net_->alive_vertices())
+    if (leaf_seen[size_t(v)] != 1) return fail("alive vertex not covered exactly once");
+  // Root must carry exactly the open edges.
+  IndexSet open(net_->num_edges());
+  for (EdgeId e : net_->open_edges()) open.insert(e);
+  if (nodes_[size_t(root_)].ixs != open) return fail("root does not carry exactly the open edges");
+  return true;
+}
+
+}  // namespace ltns::tn

@@ -1,0 +1,96 @@
+// ContractionTree: the rooted binary tree describing an equivalence class of
+// contraction paths (§2.1.1, Fig. 1).
+//
+// Leaves correspond to network vertices; every internal node is a pairwise
+// contraction. Output index sets follow the XOR rule: an edge appears in the
+// output of a contraction iff it appears in exactly one child (every edge has
+// at most two endpoints; open edges have one and thus survive to the root).
+//
+// Eq. 1 cost: each internal node contributes 2^{Σ log2w over (s_l ∪ s_r)};
+// totals are accumulated in the log2 domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tn/tensor_network.hpp"
+#include "util/index_set.hpp"
+#include "util/log2math.hpp"
+
+namespace ltns::tn {
+
+// A pairwise contraction path in SSA form: leaves get ids 0..L-1 (in the
+// order of `leaf_vertices`), each step contracts two prior ids and the
+// result gets the next id.
+struct SsaPath {
+  std::vector<VertId> leaf_vertices;
+  std::vector<std::pair<int, int>> steps;
+};
+
+class ContractionTree {
+ public:
+  struct Node {
+    int left = -1, right = -1, parent = -1;
+    VertId leaf_vertex = kNone;  // valid iff leaf
+    IndexSet ixs;                // output index set of this (intermediate) tensor
+    IndexSet union_ixs;          // s_l ∪ s_r (internal nodes only); drives Eq. 1
+    double log2size = 0;         // Σ log2w over ixs
+    double log2cost = kLog2Zero; // log2 flop count of this contraction (leaves: -inf)
+    bool is_leaf() const { return left < 0; }
+  };
+
+  // Builds the tree for `path` over `net` and computes all index sets,
+  // per-node sizes and costs. Aborts (assert) on malformed paths.
+  static ContractionTree build(const TensorNetwork& net, const SsaPath& path);
+
+  const TensorNetwork* network() const { return net_; }
+  int num_nodes() const { return int(nodes_.size()); }
+  int num_leaves() const { return num_leaves_; }
+  int root() const { return root_; }
+  const Node& node(int i) const { return nodes_[size_t(i)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Total contraction cost, log2 flops (Eq. 1).
+  double total_log2cost() const { return total_log2cost_; }
+  // Space cost: max over nodes of log2 tensor size (§2.1.1).
+  double max_log2size() const { return max_log2size_; }
+  // Largest contraction rank: max over internal nodes of |s_l ∪ s_r| weights.
+  double max_union_log2size() const { return max_union_log2size_; }
+
+  // Node ids in postorder (children before parents) — execution order.
+  std::vector<int> postorder() const;
+
+  // Internal consistency: XOR rule holds, parents/children agree, every
+  // alive vertex appears exactly once as a leaf, the root carries exactly
+  // the open edges.
+  bool validate(std::string* why = nullptr) const;
+
+ private:
+  const TensorNetwork* net_ = nullptr;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int num_leaves_ = 0;
+  double total_log2cost_ = kLog2Zero;
+  double max_log2size_ = 0;
+  double max_union_log2size_ = 0;
+};
+
+// Converts a tree back to an SSA path (postorder). build(net, to_ssa_path(t))
+// reproduces an equivalent tree; used by the local-tuning pass.
+SsaPath to_ssa_path(const ContractionTree& tree);
+
+// Weighted size of (set ∩ ixs): Σ log2w(e) for e in both.
+double log2w_of(const TensorNetwork& net, const IndexSet& set);
+
+// Σ log2w over (a ∩ b), allocation-free; this is the hot operation of the
+// slicing optimizers.
+inline double log2w_intersection(const TensorNetwork& net, const IndexSet& a,
+                                 const IndexSet& b) {
+  double w = 0;
+  a.for_each_intersection(b, [&](int e) { w += net.edge(e).log2w; });
+  return w;
+}
+
+}  // namespace ltns::tn

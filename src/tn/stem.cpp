@@ -1,0 +1,61 @@
+#include "tn/stem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltns::tn {
+
+double Stem::total_log2cost() const {
+  Log2Accumulator acc;
+  for (int i = 0; i + 1 < length(); ++i) acc.add(step_log2cost(i));
+  return acc.value();
+}
+
+double Stem::cost_fraction() const {
+  double whole = tree->total_log2cost();
+  if (whole == kLog2Zero) return 1.0;
+  return std::exp2(total_log2cost() - whole);
+}
+
+std::vector<double> subtree_log2costs(const ContractionTree& tree) {
+  std::vector<double> acc(size_t(tree.num_nodes()), kLog2Zero);
+  for (int i : tree.postorder()) {
+    const auto& n = tree.node(i);
+    if (n.is_leaf()) continue;
+    double c = log2_add(acc[size_t(n.left)], acc[size_t(n.right)]);
+    acc[size_t(i)] = log2_add(c, n.log2cost);
+  }
+  return acc;
+}
+
+Stem extract_stem(const ContractionTree& tree) {
+  auto sub = subtree_log2costs(tree);
+  Stem s;
+  s.tree = &tree;
+  int cur = tree.root();
+  std::vector<int> down, branch_down;
+  for (;;) {
+    down.push_back(cur);
+    const auto& n = tree.node(cur);
+    if (n.is_leaf()) break;
+    // Prefer the heavier child; break ties toward the bigger tensor so the
+    // stem follows the high-rank region.
+    double cl = sub[size_t(n.left)], cr = sub[size_t(n.right)];
+    int next, branch;
+    if (cl > cr || (cl == cr && tree.node(n.left).log2size >= tree.node(n.right).log2size)) {
+      next = n.left;
+      branch = n.right;
+    } else {
+      next = n.right;
+      branch = n.left;
+    }
+    branch_down.push_back(branch);
+    cur = next;
+  }
+  s.nodes.assign(down.rbegin(), down.rend());
+  s.branches.assign(branch_down.rbegin(), branch_down.rend());
+  assert(s.nodes.size() == s.branches.size() + 1);
+  return s;
+}
+
+}  // namespace ltns::tn

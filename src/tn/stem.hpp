@@ -1,0 +1,46 @@
+// Stem extraction (§4.2).
+//
+// The *stem* is the most computationally intensive root-to-leaf path of the
+// contraction tree: a chain of nested subtrees in which a big tensor
+// sequentially absorbs the (pre-contracted) *branches*. About 99% of the
+// flops of Sycamore-class contractions happen on the stem, so the slicing
+// optimizers (core/) operate on it.
+//
+// Because the stem subtrees are nested, every edge's lifetime restricted to
+// the stem is a contiguous interval of stem positions — the interval
+// arithmetic the paper's Algorithm 1/2 rely on.
+#pragma once
+
+#include <vector>
+
+#include "tn/contraction_tree.hpp"
+
+namespace ltns::tn {
+
+struct Stem {
+  const ContractionTree* tree = nullptr;
+  // Tree node ids from the bottom of the stem to the root, inclusive.
+  // nodes[i+1] is the contraction of nodes[i] with branches[i].
+  std::vector<int> nodes;
+  std::vector<int> branches;  // size nodes.size() - 1
+
+  int length() const { return int(nodes.size()); }
+  // log2 size of the i-th stem tensor.
+  double log2size(int i) const { return tree->node(nodes[size_t(i)]).log2size; }
+  // log2 flops of step i (producing nodes[i+1]).
+  double step_log2cost(int i) const { return tree->node(nodes[size_t(i) + 1]).log2cost; }
+  // Total log2 flops spent on stem steps.
+  double total_log2cost() const;
+  // Fraction of the whole tree's flops spent on the stem (linear domain).
+  double cost_fraction() const;
+};
+
+// Walks from the root into the child with the larger total subtree cost
+// until reaching a leaf.
+Stem extract_stem(const ContractionTree& tree);
+
+// Subtree total log2 cost for every node (used by stem extraction and the
+// path local-tuning pass).
+std::vector<double> subtree_log2costs(const ContractionTree& tree);
+
+}  // namespace ltns::tn

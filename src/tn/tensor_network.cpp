@@ -1,0 +1,191 @@
+#include "tn/tensor_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace ltns::tn {
+
+VertId TensorNetwork::add_vertex(std::string tag) {
+  verts_.push_back(Vertex{{}, true, std::move(tag)});
+  return VertId(verts_.size() - 1);
+}
+
+EdgeId TensorNetwork::add_edge(VertId a, VertId b, double log2w) {
+  assert(a >= 0 && a < num_vertices());
+  assert(b == kNone || (b >= 0 && b < num_vertices()));
+  EdgeId e = EdgeId(edges_.size());
+  edges_.push_back(Edge{a, b, log2w, true});
+  verts_[size_t(a)].edges.push_back(e);
+  if (b != kNone) verts_[size_t(b)].edges.push_back(e);
+  return e;
+}
+
+int TensorNetwork::num_alive_vertices() const {
+  int c = 0;
+  for (const auto& v : verts_) c += v.alive;
+  return c;
+}
+
+int TensorNetwork::num_alive_edges() const {
+  int c = 0;
+  for (const auto& e : edges_) c += e.alive;
+  return c;
+}
+
+IndexSet TensorNetwork::vertex_index_set(VertId v) const {
+  IndexSet s(num_edges());
+  for (EdgeId e : verts_[size_t(v)].edges) s.insert(e);
+  return s;
+}
+
+double TensorNetwork::vertex_log2size(VertId v) const {
+  double sz = 0;
+  for (EdgeId e : verts_[size_t(v)].edges) sz += edges_[size_t(e)].log2w;
+  return sz;
+}
+
+VertId TensorNetwork::neighbor_via(VertId v, EdgeId e) const {
+  const Edge& ed = edges_[size_t(e)];
+  assert(ed.a == v || ed.b == v);
+  return ed.a == v ? ed.b : ed.a;
+}
+
+std::vector<VertId> TensorNetwork::neighbors(VertId v) const {
+  std::vector<VertId> out;
+  for (EdgeId e : verts_[size_t(v)].edges) {
+    if (!edges_[size_t(e)].alive) continue;
+    VertId u = neighbor_via(v, e);
+    if (u != kNone && std::find(out.begin(), out.end(), u) == out.end()) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<VertId> TensorNetwork::alive_vertices() const {
+  std::vector<VertId> out;
+  for (VertId v = 0; v < num_vertices(); ++v)
+    if (verts_[size_t(v)].alive) out.push_back(v);
+  return out;
+}
+
+std::vector<EdgeId> TensorNetwork::alive_edges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < num_edges(); ++e)
+    if (edges_[size_t(e)].alive) out.push_back(e);
+  return out;
+}
+
+std::vector<EdgeId> TensorNetwork::open_edges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < num_edges(); ++e)
+    if (edges_[size_t(e)].alive && edges_[size_t(e)].b == kNone) out.push_back(e);
+  return out;
+}
+
+VertId TensorNetwork::contract(VertId a, VertId b) {
+  assert(a != b);
+  Vertex& va = verts_[size_t(a)];
+  Vertex& vb = verts_[size_t(b)];
+  assert(va.alive && vb.alive);
+
+  // Kill edges shared by a and b; re-point b's survivors at a.
+  std::vector<EdgeId> merged;
+  merged.reserve(va.edges.size() + vb.edges.size());
+  for (EdgeId e : va.edges) {
+    Edge& ed = edges_[size_t(e)];
+    if (!ed.alive) continue;
+    VertId other = ed.a == a ? ed.b : ed.a;
+    if (other == b) {
+      ed.alive = false;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  for (EdgeId e : vb.edges) {
+    Edge& ed = edges_[size_t(e)];
+    if (!ed.alive) continue;
+    if (ed.a == b) ed.a = a;
+    if (ed.b == b) ed.b = a;
+    merged.push_back(e);
+  }
+  va.edges = std::move(merged);
+  vb.alive = false;
+  vb.edges.clear();
+  return a;
+}
+
+void TensorNetwork::connect_open_edge(EdgeId e, VertId v) {
+  Edge& ed = edges_[size_t(e)];
+  assert(ed.alive && ed.b == kNone && v != kNone);
+  ed.b = v;
+  verts_[size_t(v)].edges.push_back(e);
+}
+
+void TensorNetwork::close_open_edge(EdgeId e) {
+  Edge& ed = edges_[size_t(e)];
+  assert(ed.alive && ed.b == kNone);
+  ed.alive = false;
+  auto& inc = verts_[size_t(ed.a)].edges;
+  inc.erase(std::remove(inc.begin(), inc.end(), e), inc.end());
+}
+
+bool TensorNetwork::validate(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const Edge& ed = edges_[size_t(e)];
+    if (!ed.alive) continue;
+    if (ed.a == kNone) return fail("edge with no primary endpoint");
+    for (VertId v : {ed.a, ed.b}) {
+      if (v == kNone) continue;
+      if (!verts_[size_t(v)].alive) return fail("edge points at dead vertex");
+      const auto& inc = verts_[size_t(v)].edges;
+      if (std::count(inc.begin(), inc.end(), e) != 1)
+        return fail("endpoint incidence list does not contain edge exactly once");
+    }
+  }
+  for (VertId v = 0; v < num_vertices(); ++v) {
+    const Vertex& vx = verts_[size_t(v)];
+    if (!vx.alive) continue;
+    for (EdgeId e : vx.edges) {
+      const Edge& ed = edges_[size_t(e)];
+      if (!ed.alive) return fail("vertex lists dead edge");
+      if (ed.a != v && ed.b != v) return fail("vertex lists edge it is not an endpoint of");
+    }
+  }
+  return true;
+}
+
+double TensorNetwork::pair_contraction_log2cost(VertId a, VertId b) const {
+  double cost = 0;
+  IndexSet seen(num_edges());
+  for (VertId v : {a, b}) {
+    for (EdgeId e : verts_[size_t(v)].edges) {
+      if (!edges_[size_t(e)].alive || seen.contains(e)) continue;
+      seen.insert(e);
+      cost += edges_[size_t(e)].log2w;
+    }
+  }
+  return cost;
+}
+
+TensorNetwork random_network(int nv, double deg, uint64_t seed) {
+  Rng rng(seed);
+  TensorNetwork net;
+  for (int i = 0; i < nv; ++i) net.add_vertex("v" + std::to_string(i));
+  // Spanning tree first so the network is connected.
+  for (int i = 1; i < nv; ++i) net.add_edge(VertId(rng.next_below(uint64_t(i))), i);
+  int extra = std::max(0, int(deg * nv / 2.0) - (nv - 1));
+  for (int k = 0; k < extra; ++k) {
+    VertId a = VertId(rng.next_below(uint64_t(nv)));
+    VertId b = VertId(rng.next_below(uint64_t(nv)));
+    if (a == b) continue;
+    net.add_edge(a, b);
+  }
+  return net;
+}
+
+}  // namespace ltns::tn

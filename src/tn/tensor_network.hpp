@@ -1,0 +1,93 @@
+// TensorNetwork: the undirected-graph view of a tensor network (§2.1.1).
+//
+// Vertices are tensors, edges are shared indices (dimensions). Every edge
+// carries a log2 weight: w(e) = 2^log2w is the extent of that dimension; in
+// quantum-circuit networks log2w == 1 for every edge. Edges may be *open*
+// (one endpoint, endpoint b == kNone): these are uncontracted output indices
+// used for correlated-sample batches.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/index_set.hpp"
+
+namespace ltns::tn {
+
+using VertId = int;
+using EdgeId = int;
+inline constexpr int kNone = -1;
+
+class TensorNetwork {
+ public:
+  struct Vertex {
+    std::vector<EdgeId> edges;  // incidence list, in tensor index order
+    bool alive = true;
+    std::string tag;  // provenance (gate name, grid position, ...)
+  };
+  struct Edge {
+    VertId a = kNone;
+    VertId b = kNone;  // kNone for open edges
+    double log2w = 1.0;
+    bool alive = true;
+  };
+
+  VertId add_vertex(std::string tag = {});
+  // Adds an edge between a and b (b == kNone makes an open edge) and appends
+  // it to the incidence lists.
+  EdgeId add_edge(VertId a, VertId b, double log2w = 1.0);
+
+  int num_vertices() const { return int(verts_.size()); }
+  int num_edges() const { return int(edges_.size()); }
+  int num_alive_vertices() const;
+  int num_alive_edges() const;
+
+  const Vertex& vertex(VertId v) const { return verts_[size_t(v)]; }
+  const Edge& edge(EdgeId e) const { return edges_[size_t(e)]; }
+  Vertex& vertex(VertId v) { return verts_[size_t(v)]; }
+  Edge& edge(EdgeId e) { return edges_[size_t(e)]; }
+
+  // The incidence set s_v as a bitset over edge ids.
+  IndexSet vertex_index_set(VertId v) const;
+  // log2 of the number of elements of tensor v.
+  double vertex_log2size(VertId v) const;
+  // Rank counted as number of incident alive edges.
+  int vertex_rank(VertId v) const { return int(verts_[size_t(v)].edges.size()); }
+
+  // The other endpoint of e seen from v (kNone if open).
+  VertId neighbor_via(VertId v, EdgeId e) const;
+  std::vector<VertId> neighbors(VertId v) const;
+  std::vector<VertId> alive_vertices() const;
+  std::vector<EdgeId> alive_edges() const;
+  std::vector<EdgeId> open_edges() const;
+
+  // Graph-level vertex contraction (§2.1.1): merges b into a. Shared edges
+  // are killed; surviving edges of b are re-pointed at a. Returns a. Used by
+  // the circuit simplifier; path finders work on snapshots instead.
+  VertId contract(VertId a, VertId b);
+
+  // Attaches the dangling end of an open edge to vertex v (circuit
+  // lowering builds qubit worldlines this way).
+  void connect_open_edge(EdgeId e, VertId v);
+
+  // Drops an open edge (used when fixing an output index).
+  void close_open_edge(EdgeId e);
+
+  // Structural sanity: incidence lists and endpoints agree, no dead refs.
+  bool validate(std::string* why = nullptr) const;
+
+  // Total log2 cost of contracting a-b pairwise: product of weights over
+  // s_a ∪ s_b (matches a single term of Eq. 1).
+  double pair_contraction_log2cost(VertId a, VertId b) const;
+
+ private:
+  std::vector<Vertex> verts_;
+  std::vector<Edge> edges_;
+};
+
+// Builds a random connected network with `nv` vertices and average degree
+// `deg` (unit edge weights). Used by property tests and optimizer fuzzing.
+TensorNetwork random_network(int nv, double deg, uint64_t seed);
+
+}  // namespace ltns::tn

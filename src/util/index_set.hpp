@@ -1,0 +1,155 @@
+// IndexSet: a small dynamic bitset over edge ids.
+//
+// Tensor networks in this project have at most a few thousand edges, and the
+// hot loops of the slicing optimizers (Algorithm 1 / Algorithm 2 of the
+// paper) evaluate unions, intersections and popcounts of per-tensor index
+// sets millions of times. A word-parallel bitset keeps those loops cheap and
+// allocation-free once sized.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace ltns {
+
+class IndexSet {
+ public:
+  IndexSet() = default;
+
+  // Constructs an empty set able to hold ids in [0, universe).
+  explicit IndexSet(int universe) : nbits_(universe), words_((universe + 63) / 64, 0) {}
+
+  static IndexSet of(int universe, std::initializer_list<int> ids) {
+    IndexSet s(universe);
+    for (int id : ids) s.insert(id);
+    return s;
+  }
+
+  int universe() const { return nbits_; }
+  bool empty() const {
+    for (uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  bool contains(int id) const {
+    assert(id >= 0 && id < nbits_);
+    return (words_[id >> 6] >> (id & 63)) & 1u;
+  }
+
+  void insert(int id) {
+    assert(id >= 0 && id < nbits_);
+    words_[id >> 6] |= uint64_t(1) << (id & 63);
+  }
+
+  void erase(int id) {
+    assert(id >= 0 && id < nbits_);
+    words_[id >> 6] &= ~(uint64_t(1) << (id & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  int count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  IndexSet& operator|=(const IndexSet& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  IndexSet& operator&=(const IndexSet& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  IndexSet& operator^=(const IndexSet& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+  // Set difference: removes every element of `o` from this set.
+  IndexSet& operator-=(const IndexSet& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend IndexSet operator|(IndexSet a, const IndexSet& b) { return a |= b; }
+  friend IndexSet operator&(IndexSet a, const IndexSet& b) { return a &= b; }
+  friend IndexSet operator^(IndexSet a, const IndexSet& b) { return a ^= b; }
+  friend IndexSet operator-(IndexSet a, const IndexSet& b) { return a -= b; }
+
+  bool operator==(const IndexSet& o) const { return nbits_ == o.nbits_ && words_ == o.words_; }
+  bool operator!=(const IndexSet& o) const { return !(*this == o); }
+
+  // True iff this set is a subset of `o`.
+  bool subset_of(const IndexSet& o) const {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~o.words_[i]) return false;
+    return true;
+  }
+
+  bool intersects(const IndexSet& o) const {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  int intersection_count(const IndexSet& o) const {
+    assert(nbits_ == o.nbits_);
+    int c = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+      c += __builtin_popcountll(words_[i] & o.words_[i]);
+    return c;
+  }
+
+  // Calls f(id) for every member of (this ∩ o), allocation-free.
+  template <typename F>
+  void for_each_intersection(const IndexSet& o, F&& f) const {
+    assert(nbits_ == o.nbits_);
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi] & o.words_[wi];
+      while (w) {
+        int bit = __builtin_ctzll(w);
+        f(int(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  // Calls f(id) for every member, in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        int bit = __builtin_ctzll(w);
+        f(int(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(size_t(count()));
+    for_each([&](int id) { out.push_back(id); });
+    return out;
+  }
+
+ private:
+  int nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ltns

@@ -1,0 +1,52 @@
+// Log2-domain arithmetic for contraction-cost accounting.
+//
+// Contraction costs in Sycamore-class tensor networks reach 2^60 and bad
+// candidate paths explored by the optimizers reach far beyond 2^300, so all
+// cost bookkeeping (Eq. 1, Eq. 2 and Eq. 4 of the paper) is carried as
+// log2(flops) in doubles, with stable log-sum-exp accumulation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ltns {
+
+// Identity element for log2-domain addition: log2(0).
+inline constexpr double kLog2Zero = -std::numeric_limits<double>::infinity();
+
+// Returns log2(2^a + 2^b) without overflow.
+inline double log2_add(double a, double b) {
+  if (a == kLog2Zero) return b;
+  if (b == kLog2Zero) return a;
+  double hi = std::max(a, b), lo = std::min(a, b);
+  return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+// Returns log2(2^a - 2^b); clamps to log2(0) when a <= b (fp-safe).
+inline double log2_sub(double a, double b) {
+  if (b == kLog2Zero) return a;
+  if (a <= b) return kLog2Zero;
+  return a + std::log2(1.0 - std::exp2(b - a));
+}
+
+// Stable log2(sum_i 2^{v_i}).
+inline double log2_sum_exp(const std::vector<double>& vals) {
+  double acc = kLog2Zero;
+  for (double v : vals) acc = log2_add(acc, v);
+  return acc;
+}
+
+// Streaming accumulator for log2-domain sums.
+class Log2Accumulator {
+ public:
+  void add(double log2v) { acc_ = log2_add(acc_, log2v); }
+  double value() const { return acc_; }
+  void reset() { acc_ = kLog2Zero; }
+
+ private:
+  double acc_ = kLog2Zero;
+};
+
+}  // namespace ltns

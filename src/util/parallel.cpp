@@ -1,0 +1,98 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace ltns {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers <= 0) workers = int(std::max(1u, std::thread::hardware_concurrency()));
+  // The caller thread acts as worker 0; spawn the rest.
+  threads_.reserve(size_t(workers - 1));
+  for (int i = 1; i < workers; ++i) threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      task = task_;
+    }
+    task(id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  const int nw = size();
+  if (nw == 1 || n == 1) {
+    body(0, 0, n);
+    return;
+  }
+  // Static partition into nw contiguous chunks; chunk w may be empty.
+  auto chunk = [n, nw](int w, size_t& b, size_t& e) {
+    size_t per = n / size_t(nw), rem = n % size_t(nw);
+    b = size_t(w) * per + std::min(size_t(w), rem);
+    e = b + per + (size_t(w) < rem ? 1 : 0);
+  };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = [&body, chunk](int w) {
+      size_t b, e;
+      chunk(w, b, e);
+      if (b < e) body(w, b, e);
+    };
+    pending_ = int(threads_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  // Caller participates as worker 0.
+  {
+    size_t b, e;
+    chunk(0, b, e);
+    if (b < e) body(0, b, e);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::parallel_for_each(size_t n, const std::function<void(size_t)>& body) {
+  parallel_for(n, [&body](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) body(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+void parallel_for_each(size_t n, const std::function<void(size_t)>& body) {
+  ThreadPool::global().parallel_for_each(n, body);
+}
+
+}  // namespace ltns

@@ -1,0 +1,58 @@
+// A persistent thread pool with a static-partition parallel_for.
+//
+// This pool doubles as the "CPE grid" of the Sunway model (src/sunway/):
+// each worker has a stable worker id so it can own a capacity-enforced LDM
+// scratch buffer. All parallelism in the library is explicit and goes
+// through this pool — no OpenMP dependency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ltns {
+
+class ThreadPool {
+ public:
+  // `workers` = 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return int(threads_.size()) + 1; }  // +1: caller participates
+
+  // Runs body(worker_id, begin, end) on contiguous chunks of [0, n).
+  // worker_id is in [0, size()). Blocks until every chunk completes.
+  void parallel_for(size_t n, const std::function<void(int, size_t, size_t)>& body);
+
+  // Convenience: body(index) over [0, n).
+  void parallel_for_each(size_t n, const std::function<void(size_t)>& body);
+
+  // Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Epoch-based dispatch: the caller publishes one task per epoch; workers
+  // run it once and report completion.
+  std::function<void(int)> task_;
+  uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+// Shorthand over the global pool.
+void parallel_for(size_t n, const std::function<void(int, size_t, size_t)>& body);
+void parallel_for_each(size_t n, const std::function<void(size_t)>& body);
+
+}  // namespace ltns

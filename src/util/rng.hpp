@@ -1,0 +1,64 @@
+// Deterministic, fast PRNG (xoshiro256**) used across generators and the
+// simulated-annealing refiner. std::mt19937 distributions differ across
+// standard libraries; this keeps benchmark corpora reproducible everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ltns {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t next_below(uint64_t n) {
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for the n (< 2^20) used here.
+    return (__uint128_t(next_u64()) * n) >> 64;
+  }
+
+  int next_int(int lo, int hi_inclusive) {
+    return lo + int(next_below(uint64_t(hi_inclusive - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return double(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Standard normal via Box-Muller (one value per call; fine for our use).
+  double next_normal() {
+    double u1 = next_double(), u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ltns

@@ -1,0 +1,41 @@
+// Wall-clock timing helpers used by benchmarks and instrumented executors.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ltns {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates time across scopes; used for the Fig. 12 time breakdown
+// (memory access / permutation / GEMM).
+class Stopwatch {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ltns

@@ -1,0 +1,139 @@
+#include "tn/contraction_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "path/greedy.hpp"
+#include "test_helpers.hpp"
+#include "tn/tensor_network.hpp"
+#include "util/rng.hpp"
+
+namespace ltns::tn {
+namespace {
+
+// Triangle network: 3 vertices pairwise connected.
+TensorNetwork triangle() {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(b, c);
+  net.add_edge(a, c);
+  return net;
+}
+
+SsaPath triangle_path() {
+  SsaPath p;
+  p.leaf_vertices = {0, 1, 2};
+  p.steps = {{0, 1}, {3, 2}};
+  return p;
+}
+
+TEST(ContractionTree, TriangleCosts) {
+  auto net = triangle();
+  auto tree = ContractionTree::build(net, triangle_path());
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.num_leaves(), 3);
+  EXPECT_EQ(tree.num_nodes(), 5);
+  // Step 1: union of s_0, s_1 = 3 edges -> 2^3.
+  // Step 2: (0,1) has edges {bc, ac}; union with s_2 = {bc, ac} -> 2^2.
+  EXPECT_NEAR(std::exp2(tree.total_log2cost()), 8 + 4, 1e-9);
+  // Biggest intermediate: the rank-2 tensor (0,1).
+  EXPECT_DOUBLE_EQ(tree.max_log2size(), 2.0);
+  // Root is a scalar.
+  EXPECT_DOUBLE_EQ(tree.node(tree.root()).log2size, 0.0);
+}
+
+TEST(ContractionTree, XorRuleOnTriangle) {
+  auto net = triangle();
+  auto tree = ContractionTree::build(net, triangle_path());
+  const auto& mid = tree.node(3);
+  EXPECT_EQ(mid.ixs.count(), 2);     // edges to c
+  EXPECT_EQ(mid.union_ixs.count(), 3);
+}
+
+TEST(ContractionTree, OpenEdgesSurviveToRoot) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex();
+  net.add_edge(a, b);
+  EdgeId open = net.add_edge(a, kNone);
+  SsaPath p;
+  p.leaf_vertices = {a, b};
+  p.steps = {{0, 1}};
+  auto tree = ContractionTree::build(net, p);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_TRUE(tree.node(tree.root()).ixs.contains(open));
+  EXPECT_DOUBLE_EQ(tree.node(tree.root()).log2size, 1.0);
+}
+
+TEST(ContractionTree, WeightedEdgesCountWeight) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex();
+  net.add_edge(a, b, 3.0);  // extent 8
+  SsaPath p;
+  p.leaf_vertices = {a, b};
+  p.steps = {{0, 1}};
+  auto tree = ContractionTree::build(net, p);
+  EXPECT_DOUBLE_EQ(tree.total_log2cost(), 3.0);
+  EXPECT_DOUBLE_EQ(tree.max_log2size(), 3.0);
+}
+
+TEST(ContractionTree, PostorderChildrenFirst) {
+  auto net = test::small_network(3, 3, 4);
+  auto tree = test::greedy_tree(net.net);
+  auto order = tree.postorder();
+  std::vector<char> seen(size_t(tree.num_nodes()), 0);
+  for (int id : order) {
+    const auto& n = tree.node(id);
+    if (!n.is_leaf()) {
+      EXPECT_TRUE(seen[size_t(n.left)]);
+      EXPECT_TRUE(seen[size_t(n.right)]);
+    }
+    seen[size_t(id)] = 1;
+  }
+}
+
+TEST(ContractionTree, RoundTripThroughSsaPath) {
+  auto net = test::small_network(3, 3, 4);
+  auto tree = test::greedy_tree(net.net);
+  auto path2 = to_ssa_path(tree);
+  auto tree2 = ContractionTree::build(net.net, path2);
+  EXPECT_TRUE(tree2.validate());
+  EXPECT_NEAR(tree2.total_log2cost(), tree.total_log2cost(), 1e-9);
+  EXPECT_NEAR(tree2.max_log2size(), tree.max_log2size(), 1e-9);
+}
+
+// Equivalent paths (reordered independent steps) have identical cost.
+TEST(ContractionTree, EquivalenceClassInvariance) {
+  TensorNetwork net;
+  // Two disjoint pairs joined at the end: (a-b) (c-d), then join.
+  VertId a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex(), d = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(c, d);
+  net.add_edge(b, c);
+  SsaPath p1;
+  p1.leaf_vertices = {a, b, c, d};
+  p1.steps = {{0, 1}, {2, 3}, {4, 5}};
+  SsaPath p2;
+  p2.leaf_vertices = {a, b, c, d};
+  p2.steps = {{2, 3}, {0, 1}, {5, 4}};
+  auto t1 = ContractionTree::build(net, p1);
+  auto t2 = ContractionTree::build(net, p2);
+  EXPECT_NEAR(t1.total_log2cost(), t2.total_log2cost(), 1e-12);
+}
+
+class TreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeProperty, RandomNetworksBuildValidTrees) {
+  auto net = random_network(5 + int(GetParam() % 40), 2.8, GetParam());
+  auto tree = test::greedy_tree(net, GetParam());
+  std::string why;
+  EXPECT_TRUE(tree.validate(&why)) << why;
+  EXPECT_EQ(tree.num_leaves(), net.num_alive_vertices());
+  EXPECT_EQ(tree.num_nodes(), 2 * tree.num_leaves() - 1);
+  // Cost at least the size of every contraction output.
+  EXPECT_GE(tree.total_log2cost() + 1e-9, tree.max_log2size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TreeProperty, ::testing::Range(uint64_t(1), uint64_t(13)));
+
+}  // namespace
+}  // namespace ltns::tn

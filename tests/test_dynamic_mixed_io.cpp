@@ -1,0 +1,164 @@
+// Tests for the extension modules: dynamic slicer (Alibaba baseline),
+// mixed-precision GEMM, and circuit text IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/io.hpp"
+#include "core/dynamic_slicer.hpp"
+#include "core/greedy_slicer.hpp"
+#include "exec/gemm.hpp"
+#include "exec/mixed_gemm.hpp"
+#include "sv/statevector.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace ltns {
+namespace {
+
+TEST(DynamicSlicer, MeetsBoundOnRetunedTree) {
+  auto ln = test::small_network(4, 4, 8);
+  auto tree = test::greedy_tree(ln.net, 1, 2.0);  // deliberately noisy tree
+  core::DynamicSlicerOptions opt;
+  opt.target_log2size = std::max(2.0, tree.max_log2size() - 3);
+  auto r = core::dynamic_slice(tree, opt);
+  auto tuned = tn::ContractionTree::build(ln.net, r.path);
+  EXPECT_TRUE(core::satisfies_memory_bound(tuned, r.slices, opt.target_log2size));
+  EXPECT_GT(r.slices.size(), 0);
+  EXPECT_LE(r.metrics.max_log2size, opt.target_log2size + 1e-9);
+}
+
+TEST(DynamicSlicer, NeverWorseThanStaticGreedyOnNoisyTrees) {
+  double sum_log = 0;
+  int n = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto ln = test::small_network(4, 4, 8, seed);
+    auto tree = test::greedy_tree(ln.net, seed, 3.0);
+    double target = std::max(2.0, tree.max_log2size() - 3);
+    core::GreedySlicerOptions go;
+    go.target_log2size = target;
+    core::SlicedMetrics mg;
+    core::greedy_slice(tree, go, &mg);
+    core::DynamicSlicerOptions dopt;
+    dopt.target_log2size = target;
+    auto r = core::dynamic_slice(tree, dopt);
+    // Dynamic may slice a different tree; compare end-to-end sliced cost.
+    sum_log += r.metrics.log2_total_cost - mg.log2_total_cost;
+    ++n;
+  }
+  EXPECT_LE(sum_log / n, 0.25) << "dynamic should be competitive on average";
+}
+
+TEST(DynamicSlicer, NoWorkWhenUnderBound) {
+  auto ln = test::small_network(3, 3, 4);
+  auto tree = test::greedy_tree(ln.net);
+  core::DynamicSlicerOptions opt;
+  opt.target_log2size = tree.max_log2size() + 1;
+  auto r = core::dynamic_slice(tree, opt);
+  EXPECT_EQ(r.slices.size(), 0);
+  EXPECT_NEAR(r.metrics.log2_overhead, 0.0, 1e-12);
+}
+
+TEST(MixedGemm, MatchesNaiveAtHigherPrecision) {
+  Rng rng(3);
+  const int m = 37, n = 21, k = 53;
+  std::vector<exec::cfloat> a(size_t(m) * k), b(size_t(k) * n), c(size_t(m) * n);
+  for (auto& v : a) v = exec::cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  for (auto& v : b) v = exec::cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  exec::cgemm_mixed(m, n, k, a.data(), b.data(), c.data());
+  for (int i = 0; i < m; i += 7)
+    for (int j = 0; j < n; j += 5) {
+      std::complex<double> want{0, 0};
+      for (int p = 0; p < k; ++p)
+        want += std::complex<double>(a[size_t(i) * k + p]) *
+                std::complex<double>(b[size_t(p) * n + j]);
+      EXPECT_NEAR(std::abs(std::complex<double>(c[size_t(i) * n + j]) - want), 0.0, 1e-4);
+    }
+}
+
+TEST(MixedGemm, MoreAccurateThanSingleOnIllConditionedSum) {
+  // Alternating large +/- contributions: single-precision accumulation
+  // loses digits, double accumulation keeps them.
+  const int k = 20000, m = 1, n = 1;
+  std::vector<exec::cfloat> a(size_t(k), {0, 0}), b(size_t(k), {1, 0});
+  for (int p = 0; p < k; ++p) a[size_t(p)] = {p % 2 ? 1e4f : -1e4f, 0};
+  a[0] = {1.0f, 0};  // the signal: everything else cancels
+  std::vector<exec::cfloat> cs(1), cm(1);
+  exec::cgemm(m, n, k, a.data(), b.data(), cs.data());
+  exec::cgemm_mixed(m, n, k, a.data(), b.data(), cm.data());
+  // Exact answer: 1 - 1e4 (a[0] replaced the first -1e4 term).
+  double want = 1.0 - 1e4 + 0;  // k even: pairs cancel except a[0] vs its partner
+  (void)want;
+  // Don't rely on the exact value; require mixed to be at least as close.
+  double exact = 0;
+  for (int p = 0; p < k; ++p) exact += double(a[size_t(p)].real());
+  EXPECT_LE(std::abs(double(cm[0].real()) - exact), std::abs(double(cs[0].real()) - exact) + 1e-9);
+  EXPECT_NEAR(double(cm[0].real()), exact, 1e-2);
+}
+
+TEST(MixedGemm, ParallelMatchesSerial) {
+  ThreadPool pool(3);
+  Rng rng(5);
+  const int m = 64, n = 32, k = 48;
+  std::vector<exec::cfloat> a(size_t(m) * k), b(size_t(k) * n), c1(size_t(m) * n),
+      c2(size_t(m) * n);
+  for (auto& v : a) v = exec::cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  for (auto& v : b) v = exec::cfloat(float(rng.next_normal()), float(rng.next_normal()));
+  exec::cgemm_mixed(m, n, k, a.data(), b.data(), c1.data());
+  exec::cgemm_mixed(m, n, k, a.data(), b.data(), c2.data(), &pool);
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
+TEST(CircuitIo, RoundTripRqc) {
+  auto c = test::small_rqc(3, 3, 6, 11);
+  auto text = circuit::circuit_to_string(c);
+  auto c2 = circuit::circuit_from_string(text);
+  ASSERT_EQ(c2.num_qubits, c.num_qubits);
+  ASSERT_EQ(c2.ops.size(), c.ops.size());
+  // Semantics must match exactly: same statevector.
+  sv::Statevector a(c.num_qubits), b(c.num_qubits);
+  a.run(c);
+  b.run(c2);
+  for (size_t i = 0; i < a.dim(); i += 17)
+    EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0, 1e-12);
+}
+
+TEST(CircuitIo, RoundTripEveryGate) {
+  circuit::Circuit c;
+  c.num_qubits = 3;
+  c.apply(circuit::gate_x(), {0});
+  c.apply(circuit::gate_y(), {1});
+  c.apply(circuit::gate_z(), {2});
+  c.apply(circuit::gate_h(), {0});
+  c.apply(circuit::gate_sqrt_x(), {1});
+  c.apply(circuit::gate_sqrt_y(), {2});
+  c.apply(circuit::gate_sqrt_w(), {0});
+  c.apply(circuit::gate_cz(), {0, 1});
+  c.apply(circuit::gate_fsim(0.3, 0.9), {1, 2});
+  c.apply(circuit::gate_sycamore(), {0, 2});
+  auto c2 = circuit::circuit_from_string(circuit_to_string(c));
+  sv::Statevector a(3), b(3);
+  a.run(c);
+  b.run(c2);
+  for (size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0, 1e-12) << i;
+}
+
+TEST(CircuitIo, RejectsGarbage) {
+  EXPECT_THROW(circuit::circuit_from_string("not a circuit"), std::runtime_error);
+  EXPECT_THROW(circuit::circuit_from_string("ltnsqc v1\nqubits 2\nwarp 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit::circuit_from_string("ltnsqc v1\nqubits 2\ncz 0 5\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit::circuit_from_string("ltnsqc v1\nqubits 2\nfsim 0 1\n"),
+               std::runtime_error);
+}
+
+TEST(CircuitIo, CommentsAndBlankLinesIgnored) {
+  auto c = circuit::circuit_from_string(
+      "ltnsqc v1\nqubits 2\n# a comment\n\nh 0\ncz 0 1\n");
+  EXPECT_EQ(c.ops.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ltns

@@ -1,0 +1,113 @@
+// Instrumentation plumbing: ExecStats/DmaStats merging, arithmetic
+// intensity accounting, and the counters the Fig. 12/13 benches rely on.
+#include <gtest/gtest.h>
+
+#include "exec/fused_executor.hpp"
+#include "exec/slice_runner.hpp"
+#include "exec/tree_executor.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns::exec {
+namespace {
+
+TEST(ExecStats, MergeAccumulates) {
+  ExecStats a, b;
+  a.flops = 10;
+  a.bytes_main = 100;
+  a.peak_live_elems = 5;
+  b.flops = 3;
+  b.bytes_main = 7;
+  b.peak_live_elems = 9;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.flops, 13);
+  EXPECT_DOUBLE_EQ(a.bytes_main, 107);
+  EXPECT_EQ(a.peak_live_elems, 9u);  // high-water mark, not a sum
+}
+
+TEST(ExecStats, ArithmeticIntensity) {
+  ExecStats s;
+  s.flops = 100;
+  s.bytes_main = 25;
+  EXPECT_DOUBLE_EQ(s.arithmetic_intensity(), 4.0);
+  ExecStats zero;
+  EXPECT_DOUBLE_EQ(zero.arithmetic_intensity(), 0.0);
+}
+
+TEST(DmaStats, RecordAndMerge) {
+  DmaStats a;
+  a.record_get(1024, 512);
+  a.record_put(2048, 1024);
+  EXPECT_DOUBLE_EQ(a.total_bytes(), 3072);
+  EXPECT_DOUBLE_EQ(a.transfers_get, 2);
+  EXPECT_DOUBLE_EQ(a.transfers_put, 2);
+  EXPECT_DOUBLE_EQ(a.min_granularity, 512);
+  // Bandwidth-weighted effective granularity: (1024*512 + 2048*1024)/3072.
+  EXPECT_NEAR(a.effective_granularity(), (1024.0 * 512 + 2048.0 * 1024) / 3072.0, 1e-9);
+
+  DmaStats b;
+  b.record_get(512, 64);
+  b.rma_bytes = 100;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_bytes(), 3584);
+  EXPECT_DOUBLE_EQ(a.min_granularity, 64);
+  EXPECT_DOUBLE_EQ(a.rma_bytes, 100);
+}
+
+TEST(Instrumentation, FlopsMatchTreeCostModel) {
+  // Counted GEMM flops of an unsliced execution must equal 8 * 2^Eq.1-cost
+  // (each contraction is one M x K x N GEMM with 8 flops per MAC).
+  auto ln = test::small_network(3, 3, 5);
+  auto tree = test::greedy_tree(ln.net);
+  auto leaves = [&](tn::VertId v) -> const Tensor& { return ln.tensors[size_t(v)]; };
+  ExecStats st;
+  execute_tree(tree, leaves, {}, 0, nullptr, &st);
+  EXPECT_NEAR(st.flops, 8.0 * std::exp2(tree.total_log2cost()), 1e-3 * st.flops);
+}
+
+TEST(Instrumentation, SlicedFlopsMatchEq4) {
+  // Summed over all subtasks, counted flops must equal 8 * 2^Eq.4-total.
+  auto ln = test::small_network(3, 3, 6);
+  auto tree = test::greedy_tree(ln.net);
+  core::SliceSet S(ln.net);
+  auto stem = tn::extract_stem(tree);
+  auto lt = core::StemLifetimes::build(stem);
+  for (int e : ln.net.alive_edges()) {
+    if (lt.of(e).alive() && lt.of(e).length() >= 2) {
+      S.add(e);
+      if (S.size() == 2) break;
+    }
+  }
+  ASSERT_EQ(S.size(), 2);
+  auto leaves = [&](tn::VertId v) -> const Tensor& { return ln.tensors[size_t(v)]; };
+  auto rr = run_sliced(tree, leaves, S);
+  auto m = core::evaluate_slicing(tree, S);
+  EXPECT_NEAR(rr.stats.flops, 8.0 * std::exp2(m.log2_total_cost), 1e-3 * rr.stats.flops);
+}
+
+TEST(Instrumentation, PeakLiveElemsBoundsBiggestIntermediate) {
+  auto ln = test::small_network(3, 4, 6);
+  auto tree = test::greedy_tree(ln.net);
+  auto leaves = [&](tn::VertId v) -> const Tensor& { return ln.tensors[size_t(v)]; };
+  ExecStats st;
+  execute_tree(tree, leaves, {}, 0, nullptr, &st);
+  EXPECT_GE(double(st.peak_live_elems), std::exp2(tree.max_log2size()));
+}
+
+TEST(Instrumentation, FusedCountsAllWindows) {
+  auto ln = test::small_network(3, 4, 8);
+  auto tree = test::greedy_tree(ln.net);
+  auto stem = tn::extract_stem(tree);
+  auto plan = exec::plan_fused(stem, {}, 32768);
+  auto leaves = [&](tn::VertId v) -> const Tensor& { return ln.tensors[size_t(v)]; };
+  FusedStats st;
+  execute_fused(plan, leaves, 0, nullptr, &st);
+  uint64_t expected = 0;
+  for (const auto& w : plan.windows)
+    if (w.in_ldm) expected += uint64_t(1) << w.secondary_count;
+  EXPECT_EQ(st.ldm_subtasks, expected);
+  EXPECT_GT(st.dma.bytes_get, 0.0);
+  EXPECT_GT(st.dma.bytes_put, 0.0);
+}
+
+}  // namespace
+}  // namespace ltns::exec

@@ -1,0 +1,173 @@
+// Randomized end-to-end property sweeps ("fuzz") across the pipeline —
+// these are the widest-net invariant checks in the suite:
+//
+//  * on random tensor networks with random leaf tensors, sliced execution
+//    over any random slicing set sums to the unsliced result;
+//  * the fused executor equals the step-by-step executor on every stem the
+//    path finders produce, under random process slicing and LDM sizes;
+//  * every slicer satisfies the memory bound on every (network, target)
+//    drawn from the sweep;
+//  * Eq. 4 incremental bookkeeping matches a from-scratch evaluation after
+//    arbitrary add/remove sequences.
+#include <gtest/gtest.h>
+
+#include "core/greedy_slicer.hpp"
+#include "core/slice_finder.hpp"
+#include "core/slice_refiner.hpp"
+#include "exec/fused_executor.hpp"
+#include "exec/slice_runner.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace ltns {
+namespace {
+
+// A random network with random unit-normal leaf tensors attached.
+struct RandomInstance {
+  tn::TensorNetwork net;
+  std::vector<exec::Tensor> tensors;
+
+  exec::LeafProvider leaves() const {
+    return [this](tn::VertId v) -> const exec::Tensor& { return tensors[size_t(v)]; };
+  }
+};
+
+RandomInstance random_instance(int nv, double deg, uint64_t seed) {
+  RandomInstance inst{tn::random_network(nv, deg, seed), {}};
+  inst.tensors.resize(size_t(inst.net.num_vertices()));
+  for (tn::VertId v : inst.net.alive_vertices()) {
+    std::vector<int> ixs = inst.net.vertex(v).edges;
+    inst.tensors[size_t(v)] = exec::random_tensor(ixs, seed * 131 + uint64_t(v));
+  }
+  return inst;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineFuzz, SlicedSumEqualsUnslicedOnRandomNetworks) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  auto inst = random_instance(8 + int(rng.next_below(8)), 2.4, seed);
+  auto tree = test::greedy_tree(inst.net, seed);
+  auto full = exec::execute_tree(tree, inst.leaves(), {}, 0);
+
+  // Random slicing set of 1..4 edges.
+  core::SliceSet S(inst.net);
+  auto edges = inst.net.alive_edges();
+  int want = 1 + int(rng.next_below(4));
+  while (S.size() < want && S.size() < int(edges.size())) {
+    int e = edges[rng.next_below(edges.size())];
+    if (!S.contains(e)) S.add(e);
+  }
+  auto rr = exec::run_sliced(tree, inst.leaves(), S);
+  ASSERT_EQ(rr.accumulated.ixs(), full.ixs());
+  double scale = std::sqrt(full.norm2()) + 1.0;
+  for (size_t i = 0; i < full.size(); ++i)
+    EXPECT_NEAR(std::abs(rr.accumulated.data()[i] - full.data()[i]) / scale, 0.0, 1e-4)
+        << "seed " << seed << " elem " << i;
+}
+
+TEST_P(PipelineFuzz, FusedEqualsStepwiseOnRandomNetworks) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  auto inst = random_instance(10 + int(rng.next_below(8)), 2.6, seed ^ 0xABCD);
+  auto tree = test::greedy_tree(inst.net, seed);
+  auto stem = tn::extract_stem(tree);
+  if (stem.length() < 3) GTEST_SKIP() << "degenerate stem";
+
+  size_t ldm = size_t(1) << (7 + rng.next_below(8));
+  auto plan = exec::plan_fused(stem, {}, ldm);
+  auto fused = exec::execute_fused(plan, inst.leaves(), 0);
+  auto step = exec::execute_stem_stepwise(stem, inst.leaves(), {}, 0);
+  ASSERT_EQ(fused.size(), step.size());
+  double scale = std::sqrt(step.norm2()) + 1.0;
+  // Axis orders can differ; compare via labeled access on the fused layout.
+  for (size_t i = 0; i < fused.size(); ++i) {
+    std::vector<int> bits(size_t(fused.rank()), 0);
+    for (int d = 0; d < fused.rank(); ++d)
+      bits[size_t(d)] = int((i >> (fused.rank() - 1 - d)) & 1);
+    std::vector<int> sbits(size_t(step.rank()), 0);
+    for (int d = 0; d < step.rank(); ++d) {
+      int ax = fused.axis_of(step.ixs()[size_t(d)]);
+      ASSERT_GE(ax, 0);
+      sbits[size_t(d)] = bits[size_t(ax)];
+    }
+    EXPECT_NEAR(std::abs(fused.data()[i] - step.at(sbits)) / scale, 0.0, 1e-4)
+        << "seed " << seed;
+  }
+}
+
+TEST_P(PipelineFuzz, SlicersMeetRandomTargets) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x5151);
+  auto net = tn::random_network(20 + int(rng.next_below(20)), 2.8, seed);
+  auto tree = test::greedy_tree(net, seed, 0.5);
+  auto stem = tn::extract_stem(tree);
+  double target = std::max(2.0, tree.max_log2size() - 1 - double(rng.next_below(4)));
+
+  core::GreedySlicerOptions go;
+  go.target_log2size = target;
+  auto Sg = core::greedy_slice(tree, go);
+  EXPECT_TRUE(core::satisfies_memory_bound(tree, Sg, target));
+
+  core::SliceFinderOptions fo;
+  fo.target_log2size = target;
+  auto Sf = core::lifetime_slice_finder(stem, fo);
+  EXPECT_TRUE(core::satisfies_memory_bound(tree, Sf, target));
+
+  core::SliceRefinerOptions ro;
+  ro.target_log2size = target;
+  ro.seed = seed;
+  ro.moves_per_temperature = 6;
+  ro.alpha = 0.7;
+  auto Sr = core::refine_slices(stem, Sf, ro);
+  EXPECT_TRUE(core::satisfies_memory_bound(tree, Sr, target));
+  EXPECT_LE(core::evaluate_slicing(tree, Sr).log2_total_cost,
+            core::evaluate_slicing(tree, Sf).log2_total_cost + 1e-9);
+}
+
+TEST_P(PipelineFuzz, SliceSetBookkeepingMatchesScratch) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x77);
+  auto net = tn::random_network(15, 2.5, seed);
+  auto tree = test::greedy_tree(net, seed);
+  auto edges = net.alive_edges();
+  core::SliceSet S(net);
+  // Random add/remove walk.
+  for (int step = 0; step < 40; ++step) {
+    int e = edges[rng.next_below(edges.size())];
+    if (S.contains(e)) S.remove(e);
+    else S.add(e);
+    // Rebuild from scratch and compare the evaluation.
+    core::SliceSet fresh(net);
+    for (int x : S.to_vector()) fresh.add(x);
+    EXPECT_EQ(fresh.size(), S.size());
+    EXPECT_NEAR(fresh.log2_num_subtasks(), S.log2_num_subtasks(), 1e-12);
+    auto a = core::evaluate_slicing(tree, S);
+    auto b = core::evaluate_slicing(tree, fresh);
+    EXPECT_NEAR(a.log2_total_cost, b.log2_total_cost, 1e-12);
+  }
+}
+
+TEST_P(PipelineFuzz, StemInvariantUnderEquivalentPaths) {
+  // Rebuilding a tree through to_ssa_path must preserve total cost, stem
+  // cost and the slicing evaluation of any set.
+  const uint64_t seed = GetParam();
+  auto net = tn::random_network(18, 2.7, seed);
+  auto t1 = test::greedy_tree(net, seed);
+  auto t2 = tn::ContractionTree::build(net, tn::to_ssa_path(t1));
+  EXPECT_NEAR(t1.total_log2cost(), t2.total_log2cost(), 1e-9);
+  core::SliceSet S1(net), S2(net);
+  auto edges = net.alive_edges();
+  for (size_t i = 0; i < edges.size(); i += 3) {
+    S1.add(edges[i]);
+    S2.add(edges[i]);
+  }
+  EXPECT_NEAR(core::evaluate_slicing(t1, S1).log2_total_cost,
+              core::evaluate_slicing(t2, S2).log2_total_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(uint64_t(1), uint64_t(17)));
+
+}  // namespace
+}  // namespace ltns

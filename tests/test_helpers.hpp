@@ -1,0 +1,43 @@
+// Shared fixtures: small circuits, networks and trees used across the suite.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/lowering.hpp"
+#include "core/planner.hpp"
+#include "path/greedy.hpp"
+#include "tn/contraction_tree.hpp"
+#include "tn/stem.hpp"
+
+namespace ltns::test {
+
+// A small RQC on a rows x cols grid.
+inline circuit::Circuit small_rqc(int rows, int cols, int cycles, uint64_t seed = 42) {
+  auto dev = circuit::Device::grid(rows, cols);
+  circuit::RqcOptions opt;
+  opt.cycles = cycles;
+  opt.seed = seed;
+  return circuit::random_quantum_circuit(dev, opt);
+}
+
+// Lowered + simplified network of a small RQC.
+inline circuit::LoweredNetwork small_network(int rows, int cols, int cycles,
+                                             uint64_t seed = 42) {
+  auto ln = circuit::lower(small_rqc(rows, cols, cycles, seed));
+  circuit::simplify(ln);
+  return ln;
+}
+
+// Deterministic greedy tree over a network.
+inline tn::ContractionTree greedy_tree(const tn::TensorNetwork& net, uint64_t seed = 1,
+                                       double temperature = 0.0) {
+  path::GreedyOptions g;
+  g.seed = seed;
+  g.temperature = temperature;
+  return tn::ContractionTree::build(net, path::greedy_path(net, g));
+}
+
+inline std::vector<int> zero_bits(int n) { return std::vector<int>(size_t(n), 0); }
+
+}  // namespace ltns::test

@@ -1,0 +1,121 @@
+#include "util/index_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ltns {
+namespace {
+
+TEST(IndexSet, EmptyOnConstruction) {
+  IndexSet s(200);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(s.contains(i));
+}
+
+TEST(IndexSet, InsertEraseContains) {
+  IndexSet s(130);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(129);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.count(), 3);
+}
+
+TEST(IndexSet, OfInitializerList) {
+  auto s = IndexSet::of(100, {3, 1, 4, 15, 92});
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_TRUE(s.contains(92));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(IndexSet, SetAlgebra) {
+  auto a = IndexSet::of(128, {1, 2, 3, 64, 65});
+  auto b = IndexSet::of(128, {3, 4, 65, 66});
+  EXPECT_EQ((a | b).count(), 7);
+  EXPECT_EQ((a & b).count(), 2);
+  EXPECT_EQ((a ^ b).count(), 5);
+  EXPECT_EQ((a - b).count(), 3);
+  EXPECT_TRUE((a & b).subset_of(a));
+  EXPECT_TRUE((a & b).subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 2);
+}
+
+TEST(IndexSet, XorIsSymmetricDifference) {
+  auto a = IndexSet::of(64, {0, 1, 2});
+  auto b = IndexSet::of(64, {2, 3});
+  auto x = a ^ b;
+  EXPECT_TRUE(x.contains(0));
+  EXPECT_TRUE(x.contains(1));
+  EXPECT_FALSE(x.contains(2));
+  EXPECT_TRUE(x.contains(3));
+}
+
+TEST(IndexSet, DisjointDoesNotIntersect) {
+  auto a = IndexSet::of(256, {10, 70, 200});
+  auto b = IndexSet::of(256, {11, 71, 201});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 0);
+}
+
+TEST(IndexSet, ForEachVisitsInOrder) {
+  auto s = IndexSet::of(200, {5, 64, 63, 199, 0});
+  std::vector<int> seen;
+  s.for_each([&](int id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 5, 63, 64, 199}));
+  EXPECT_EQ(s.to_vector(), seen);
+}
+
+TEST(IndexSet, ForEachIntersection) {
+  auto a = IndexSet::of(128, {1, 5, 64, 100});
+  auto b = IndexSet::of(128, {5, 100, 101});
+  std::vector<int> seen;
+  a.for_each_intersection(b, [&](int id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<int>{5, 100}));
+}
+
+TEST(IndexSet, EqualityAndClear) {
+  auto a = IndexSet::of(64, {1, 2});
+  auto b = IndexSet::of(64, {1, 2});
+  EXPECT_EQ(a, b);
+  b.insert(3);
+  EXPECT_NE(a, b);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+// Property sweep: algebra identities on random sets.
+class IndexSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexSetProperty, AlgebraIdentities) {
+  Rng rng(GetParam());
+  const int universe = 1 + int(rng.next_below(300));
+  IndexSet a(universe), b(universe);
+  for (int i = 0; i < universe; ++i) {
+    if (rng.next_double() < 0.3) a.insert(i);
+    if (rng.next_double() < 0.3) b.insert(i);
+  }
+  // |A∪B| + |A∩B| == |A| + |B|
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+  // A^B == (A∪B) − (A∩B)
+  EXPECT_EQ(a ^ b, (a | b) - (a & b));
+  // De Morgan-ish difference identity: A − B == A − (A∩B)
+  EXPECT_EQ(a - b, a - (a & b));
+  // Subset relations
+  EXPECT_TRUE((a - b).subset_of(a));
+  EXPECT_TRUE((a & b).subset_of(a | b));
+  EXPECT_EQ(a.intersection_count(b), (a & b).count());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, IndexSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ltns

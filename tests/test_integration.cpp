@@ -1,0 +1,140 @@
+// End-to-end pipeline tests: Simulator (plan + slice + execute, fused and
+// step-by-step) against the statevector simulator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/simulator.hpp"
+#include "sv/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns::api {
+namespace {
+
+SimulatorOptions fast_options(double target_log2size = 8, bool fused = true) {
+  SimulatorOptions opt;
+  opt.plan.path.greedy_trials = 6;
+  opt.plan.path.partition_trials = 2;
+  opt.plan.target_log2size = target_log2size;
+  opt.plan.refiner.moves_per_temperature = 8;
+  opt.plan.refiner.alpha = 0.8;
+  opt.fused = fused;
+  return opt;
+}
+
+class AmplitudeVsStatevector
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool /*fused*/>> {};
+
+TEST_P(AmplitudeVsStatevector, Matches) {
+  auto [seed, fused] = GetParam();
+  auto c = test::small_rqc(3, 3, 6, seed);
+  Simulator sim(c, fast_options(8, fused));
+  std::vector<int> bits(size_t(c.num_qubits), 0);
+  // A nontrivial bitstring derived from the seed.
+  for (int q = 0; q < c.num_qubits; ++q) bits[size_t(q)] = int((seed >> (q % 8)) & 1);
+  auto res = sim.amplitude(bits);
+  auto want = sv::simulate_amplitude(c, bits);
+  EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4)
+      << "seed " << seed << " fused " << fused;
+  EXPECT_GE(res.num_slices, 0);
+  EXPECT_GT(res.stats.flops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndModes, AmplitudeVsStatevector,
+                         ::testing::Combine(::testing::Values(uint64_t(1), uint64_t(2),
+                                                              uint64_t(3), uint64_t(4)),
+                                            ::testing::Bool()));
+
+TEST(Simulator, SlicingActuallyHappensAtTightTargets) {
+  auto c = test::small_rqc(3, 4, 8);
+  Simulator sim(c, fast_options(6));
+  auto res = sim.amplitude(test::zero_bits(c.num_qubits));
+  EXPECT_GT(res.num_slices, 0) << "target 2^6 must force slicing on a 12q m=8 RQC";
+  auto want = sv::simulate_amplitude(c, test::zero_bits(c.num_qubits));
+  EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4);
+}
+
+TEST(Simulator, BatchAmplitudesMatchStatevector) {
+  auto c = test::small_rqc(2, 4, 6);
+  Simulator sim(c, fast_options(8));
+  std::vector<int> bits = test::zero_bits(c.num_qubits);
+  std::vector<int> open{1, 5, 6};
+  auto batch = sim.batch_amplitudes(bits, open);
+  ASSERT_EQ(batch.amplitudes.size(), 8u);
+
+  sv::Statevector sv(c.num_qubits);
+  sv.run(c);
+  for (uint64_t k = 0; k < 8; ++k) {
+    auto full_bits = bits;
+    for (size_t i = 0; i < open.size(); ++i)
+      full_bits[size_t(open[i])] = int((k >> (open.size() - 1 - i)) & 1);
+    EXPECT_NEAR(std::abs(batch.amplitudes[k] - sv.amplitude_bits(full_bits)), 0.0, 1e-4)
+        << "k=" << k;
+  }
+}
+
+TEST(Simulator, BatchNormalizationIsSane) {
+  // Sum of |amp|^2 over a batch is a partial probability: within (0, 1].
+  auto c = test::small_rqc(3, 3, 6);
+  Simulator sim(c, fast_options(8));
+  auto batch = sim.batch_amplitudes(test::zero_bits(c.num_qubits), {0, 4, 8});
+  double p = 0;
+  for (auto a : batch.amplitudes) p += std::norm(a);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0 + 1e-6);
+}
+
+TEST(Simulator, SampleFromBatchFollowsWeights) {
+  BatchResult batch;
+  batch.amplitudes = {std::complex<double>(std::sqrt(0.9), 0),
+                      std::complex<double>(std::sqrt(0.1), 0)};
+  auto samples = Simulator::sample_from_batch(batch, 5000, 7);
+  std::map<uint64_t, int> hist;
+  for (auto s : samples) hist[s]++;
+  EXPECT_NEAR(hist[0] / 5000.0, 0.9, 0.03);
+  EXPECT_NEAR(hist[1] / 5000.0, 0.1, 0.03);
+}
+
+TEST(Simulator, FusedAndStepwiseAgree) {
+  auto c = test::small_rqc(3, 3, 8, 11);
+  Simulator fused(c, fast_options(7, true));
+  Simulator step(c, fast_options(7, false));
+  auto bits = test::zero_bits(c.num_qubits);
+  auto a = fused.amplitude(bits);
+  auto b = step.amplitude(bits);
+  EXPECT_NEAR(std::abs(a.amplitude - b.amplitude), 0.0, 1e-5);
+}
+
+TEST(Simulator, WorksOnNonGridDevice) {
+  auto dev = circuit::Device::sycamore53();
+  // Truncate: take the first 12 qubits' induced subdevice for an exact check.
+  circuit::Device sub;
+  for (int q = 0; q < 12; ++q) sub.coords.push_back(dev.coords[size_t(q)]);
+  for (auto [a, b] : dev.couplers)
+    if (a < 12 && b < 12) sub.couplers.emplace_back(a, b);
+  circuit::RqcOptions ro;
+  ro.cycles = 6;
+  auto c = circuit::random_quantum_circuit(sub, ro);
+  Simulator sim(c, fast_options(8));
+  auto res = sim.amplitude(test::zero_bits(c.num_qubits));
+  auto want = sv::simulate_amplitude(c, test::zero_bits(c.num_qubits));
+  EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4);
+}
+
+TEST(Simulator, PorterThomasOverManyBitstrings) {
+  // Cross-check several amplitudes at once — catches index-convention bugs
+  // that a single amplitude can miss.
+  auto c = test::small_rqc(3, 3, 6, 21);
+  Simulator sim(c, fast_options(8));
+  sv::Statevector sv(c.num_qubits);
+  sv.run(c);
+  for (uint64_t k : {uint64_t(0), uint64_t(5), uint64_t(129), uint64_t(511)}) {
+    std::vector<int> bits(size_t(c.num_qubits));
+    for (int q = 0; q < c.num_qubits; ++q) bits[size_t(q)] = int((k >> (c.num_qubits - 1 - q)) & 1);
+    auto res = sim.amplitude(bits);
+    EXPECT_NEAR(std::abs(res.amplitude - sv.amplitude(k)), 0.0, 1e-4) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace ltns::api

@@ -1,0 +1,82 @@
+#include "util/log2math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ltns {
+namespace {
+
+TEST(Log2Math, AddSmallValues) {
+  // 2^3 + 2^3 = 2^4
+  EXPECT_NEAR(log2_add(3, 3), 4.0, 1e-12);
+  // 2^10 + 2^0 = 1025
+  EXPECT_NEAR(log2_add(10, 0), std::log2(1025.0), 1e-12);
+}
+
+TEST(Log2Math, AddZeroIdentity) {
+  EXPECT_EQ(log2_add(kLog2Zero, 5.0), 5.0);
+  EXPECT_EQ(log2_add(5.0, kLog2Zero), 5.0);
+  EXPECT_EQ(log2_add(kLog2Zero, kLog2Zero), kLog2Zero);
+}
+
+TEST(Log2Math, AddHugeValuesNoOverflow) {
+  double r = log2_add(1000.0, 1000.0);
+  EXPECT_NEAR(r, 1001.0, 1e-9);
+  // Tiny addend disappears gracefully.
+  EXPECT_NEAR(log2_add(1000.0, 0.0), 1000.0, 1e-9);
+}
+
+TEST(Log2Math, Sub) {
+  // 2^4 - 2^3 = 2^3
+  EXPECT_NEAR(log2_sub(4, 3), 3.0, 1e-12);
+  EXPECT_EQ(log2_sub(3, 3), kLog2Zero);
+  EXPECT_EQ(log2_sub(3, 4), kLog2Zero);  // clamped
+  EXPECT_EQ(log2_sub(7, kLog2Zero), 7.0);
+}
+
+TEST(Log2Math, SumExpMatchesDirect) {
+  std::vector<double> vals{1, 2, 3, 4, 5};
+  double direct = 2 + 4 + 8 + 16 + 32;
+  EXPECT_NEAR(std::exp2(log2_sum_exp(vals)), direct, 1e-9);
+}
+
+TEST(Log2Math, AccumulatorMatchesSumExp) {
+  Rng rng(7);
+  std::vector<double> vals;
+  Log2Accumulator acc;
+  for (int i = 0; i < 50; ++i) {
+    double v = rng.next_double() * 40;
+    vals.push_back(v);
+    acc.add(v);
+  }
+  EXPECT_NEAR(acc.value(), log2_sum_exp(vals), 1e-9);
+  acc.reset();
+  EXPECT_EQ(acc.value(), kLog2Zero);
+}
+
+TEST(Log2Math, AdditionIsCommutativeAndAssociative) {
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) {
+    double a = rng.next_double() * 100, b = rng.next_double() * 100,
+           c = rng.next_double() * 100;
+    EXPECT_NEAR(log2_add(a, b), log2_add(b, a), 1e-12);
+    EXPECT_NEAR(log2_add(log2_add(a, b), c), log2_add(a, log2_add(b, c)), 1e-9);
+  }
+}
+
+TEST(Log2Math, SubInvertsAdd) {
+  // Subtraction in the log domain loses precision when the operands are
+  // close (catastrophic cancellation), so only well-separated pairs invert
+  // exactly; that is also the only regime the slicing code subtracts in.
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    double a = rng.next_double() * 60, b = rng.next_double() * 60;
+    if (std::abs(a - b) < 4.0) continue;
+    double s = log2_add(std::max(a, b), std::min(a, b));
+    EXPECT_NEAR(log2_sub(s, std::min(a, b)), std::max(a, b), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ltns

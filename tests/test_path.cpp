@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "path/community.hpp"
+#include "path/greedy.hpp"
+#include "path/local_tune.hpp"
+#include "path/optimizer.hpp"
+#include "path/partition.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns::path {
+namespace {
+
+void expect_valid_path(const tn::TensorNetwork& net, const tn::SsaPath& p) {
+  auto tree = tn::ContractionTree::build(net, p);
+  std::string why;
+  EXPECT_TRUE(tree.validate(&why)) << why;
+}
+
+TEST(GreedyPath, ValidOnRqcNetwork) {
+  auto ln = test::small_network(4, 4, 8);
+  expect_valid_path(ln.net, greedy_path(ln.net));
+}
+
+TEST(GreedyPath, ValidOnRandomNetworks) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto net = tn::random_network(8 + int(seed) * 5, 2.7, seed);
+    GreedyOptions g;
+    g.seed = seed;
+    expect_valid_path(net, greedy_path(net, g));
+  }
+}
+
+TEST(GreedyPath, DeterministicAtZeroTemperature) {
+  auto ln = test::small_network(4, 4, 6);
+  auto p1 = greedy_path(ln.net);
+  auto p2 = greedy_path(ln.net);
+  EXPECT_EQ(p1.steps, p2.steps);
+}
+
+TEST(GreedyPath, TemperatureExploresDifferentPaths) {
+  auto ln = test::small_network(4, 4, 8);
+  GreedyOptions a;
+  a.temperature = 1.0;
+  a.seed = 1;
+  GreedyOptions b;
+  b.temperature = 1.0;
+  b.seed = 2;
+  EXPECT_NE(greedy_path(ln.net, a).steps, greedy_path(ln.net, b).steps);
+}
+
+TEST(GreedyPath, HandlesDisconnectedNetworks) {
+  tn::TensorNetwork net;
+  auto a = net.add_vertex(), b = net.add_vertex();
+  auto c = net.add_vertex(), d = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(c, d);
+  expect_valid_path(net, greedy_path(net));
+}
+
+TEST(GreedyPath, SingleVertexNetwork) {
+  tn::TensorNetwork net;
+  net.add_vertex();
+  auto p = greedy_path(net);
+  EXPECT_EQ(p.leaf_vertices.size(), 1u);
+  EXPECT_TRUE(p.steps.empty());
+}
+
+TEST(PartitionPath, ValidAndReasonable) {
+  auto ln = test::small_network(4, 5, 10);
+  PartitionOptions opt;
+  auto p = partition_path(ln.net, opt);
+  expect_valid_path(ln.net, p);
+  // Should not be catastrophically worse than greedy on a planar RQC.
+  auto tg = tn::ContractionTree::build(ln.net, greedy_path(ln.net));
+  auto tp = tn::ContractionTree::build(ln.net, p);
+  EXPECT_LT(tp.total_log2cost(), tg.total_log2cost() + 20.0);
+}
+
+TEST(PartitionPath, ValidOnRandomNetworks) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto net = tn::random_network(40, 3.0, seed);
+    PartitionOptions opt;
+    opt.seed = seed;
+    expect_valid_path(net, partition_path(net, opt));
+  }
+}
+
+TEST(CommunityPath, ValidOnSmallNetworks) {
+  auto ln = test::small_network(3, 4, 6);
+  expect_valid_path(ln.net, community_path(ln.net));
+}
+
+TEST(CommunityLabels, CoverAliveVertices) {
+  auto ln = test::small_network(3, 4, 6);
+  auto labels = label_propagation_communities(ln.net);
+  for (auto v : ln.net.alive_vertices()) EXPECT_NE(labels[size_t(v)], tn::kNone);
+}
+
+TEST(OptimalOrder, MatchesExhaustiveOnTriangle) {
+  tn::TensorNetwork net;
+  auto a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(b, c);
+  net.add_edge(a, c);
+  std::vector<IndexSet> leaves{net.vertex_index_set(a), net.vertex_index_set(b),
+                               net.vertex_index_set(c)};
+  double cost;
+  auto steps = optimal_order(net, leaves, &cost);
+  EXPECT_EQ(steps.size(), 2u);
+  // All contraction orders of a triangle cost the same: 2^3 + 2^2.
+  EXPECT_NEAR(std::exp2(cost), 12.0, 1e-9);
+}
+
+TEST(OptimalOrder, BeatsWorstOrderOnAChain) {
+  // Chain a-b-c-d with a fat middle edge: contracting ends first is bad.
+  tn::TensorNetwork net;
+  auto a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex(), d = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(b, c, 6.0);
+  net.add_edge(c, d);
+  std::vector<IndexSet> leaves;
+  for (auto v : {a, b, c, d}) leaves.push_back(net.vertex_index_set(v));
+  double best;
+  optimal_order(net, leaves, &best);
+  // Worst order contracts a with d first (outer product with the fat edge
+  // alive on both sides).
+  tn::SsaPath bad;
+  bad.leaf_vertices = {a, b, c, d};
+  bad.steps = {{0, 3}, {4, 1}, {5, 2}};
+  auto bad_tree = tn::ContractionTree::build(net, bad);
+  EXPECT_LT(best, bad_tree.total_log2cost());
+}
+
+TEST(LocalTune, NeverIncreasesCost) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto net = tn::random_network(30, 2.8, seed);
+    auto tree = test::greedy_tree(net, seed, 1.0);
+    auto r = local_tune(tree);
+    EXPECT_LE(r.log2cost_after, r.log2cost_before + 1e-9);
+    expect_valid_path(net, r.path);
+  }
+}
+
+TEST(LocalTune, ImprovesABadTree) {
+  // A deliberately shuffled (high temperature) greedy tree should leave
+  // room for subtree improvement on at least one seed.
+  int improved = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto ln = test::small_network(4, 4, 8, seed);
+    auto tree = test::greedy_tree(ln.net, seed, 4.0);
+    auto r = local_tune(tree);
+    improved += r.improved_subtrees;
+  }
+  EXPECT_GT(improved, 0);
+}
+
+TEST(Optimizer, PicksBestAcrossFamilies) {
+  auto ln = test::small_network(4, 4, 8);
+  OptimizerOptions opt;
+  opt.greedy_trials = 8;
+  opt.partition_trials = 4;
+  auto r = find_path(ln.net, opt);
+  expect_valid_path(ln.net, r.path);
+  EXPECT_GT(r.trials_run, 0);
+  EXPECT_FALSE(r.method.empty());
+  // Best-of-N is at least as good as the deterministic greedy alone.
+  auto tg = tn::ContractionTree::build(ln.net, greedy_path(ln.net));
+  EXPECT_LE(r.log2cost, tg.total_log2cost() + 1e-9);
+}
+
+class OptimizerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerSweep, ValidPlansOnVaryingCircuits) {
+  auto ln = test::small_network(3 + int(GetParam() % 2), 4, 6 + int(GetParam() % 5), GetParam());
+  OptimizerOptions opt;
+  opt.greedy_trials = 4;
+  opt.partition_trials = 2;
+  opt.seed = GetParam();
+  auto r = find_path(ln.net, opt);
+  expect_valid_path(ln.net, r.path);
+  EXPECT_GE(r.log2size, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSweep, ::testing::Range(uint64_t(1), uint64_t(9)));
+
+}  // namespace
+}  // namespace ltns::path

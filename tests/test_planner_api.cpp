@@ -1,0 +1,141 @@
+// Planner (all slicer kinds) and Simulator facade option-matrix tests.
+#include <gtest/gtest.h>
+
+#include "api/simulator.hpp"
+#include "core/planner.hpp"
+#include "sv/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns {
+namespace {
+
+core::PlanOptions fast_plan(double target) {
+  core::PlanOptions po;
+  po.path.greedy_trials = 4;
+  po.path.partition_trials = 2;
+  po.target_log2size = target;
+  po.refiner.moves_per_temperature = 6;
+  po.refiner.alpha = 0.75;
+  return po;
+}
+
+class PlannerKinds : public ::testing::TestWithParam<core::SlicerKind> {};
+
+TEST_P(PlannerKinds, ProducesValidBoundedPlans) {
+  auto ln = test::small_network(4, 4, 8);
+  auto po = fast_plan(8);
+  po.slicer = GetParam();
+  auto plan = core::make_plan(ln.net, po);
+  std::string why;
+  EXPECT_TRUE(plan.tree->validate(&why)) << why;
+  EXPECT_TRUE(core::satisfies_memory_bound(*plan.tree, plan.slices, po.target_log2size));
+  EXPECT_EQ(plan.stem.nodes.back(), plan.tree->root());
+  EXPECT_GE(plan.num_subtasks(), 1.0);
+  EXPECT_FALSE(plan.path_method.empty());
+  // Metrics agree with a fresh evaluation.
+  auto m = core::evaluate_slicing(*plan.tree, plan.slices);
+  EXPECT_NEAR(m.log2_total_cost, plan.metrics.log2_total_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PlannerKinds,
+                         ::testing::Values(core::SlicerKind::kGreedyBaseline,
+                                           core::SlicerKind::kLifetime,
+                                           core::SlicerKind::kLifetimeRefined));
+
+TEST(Planner, RefinedNeverWorseThanUnrefined) {
+  auto ln = test::small_network(4, 4, 8);
+  auto po = fast_plan(7);
+  po.slicer = core::SlicerKind::kLifetime;
+  auto p1 = core::make_plan(ln.net, po);
+  po.slicer = core::SlicerKind::kLifetimeRefined;
+  auto p2 = core::make_plan(ln.net, po);
+  EXPECT_LE(p2.metrics.log2_total_cost, p1.metrics.log2_total_cost + 1e-9);
+}
+
+TEST(Planner, PlanIsCopyableAndStable) {
+  // The stem points into the tree; copying/moving the Plan must not break it.
+  auto ln = test::small_network(3, 3, 6);
+  auto plan = core::make_plan(ln.net, fast_plan(8));
+  core::Plan copy = plan;
+  core::Plan moved = std::move(plan);
+  EXPECT_EQ(copy.stem.tree, copy.tree.get() == nullptr ? nullptr : copy.stem.tree);
+  EXPECT_EQ(moved.stem.nodes.back(), moved.tree->root());
+  EXPECT_NEAR(moved.stem.total_log2cost(), copy.stem.total_log2cost(), 1e-12);
+}
+
+TEST(Simulator, AmplitudeMatchesAcrossSlicerKinds) {
+  auto c = test::small_rqc(3, 3, 6, 5);
+  auto bits = test::zero_bits(c.num_qubits);
+  auto want = sv::simulate_amplitude(c, bits);
+  for (auto kind : {core::SlicerKind::kGreedyBaseline, core::SlicerKind::kLifetime,
+                    core::SlicerKind::kLifetimeRefined}) {
+    api::SimulatorOptions opt;
+    opt.plan = fast_plan(8);
+    opt.plan.slicer = kind;
+    api::Simulator sim(c, opt);
+    auto res = sim.amplitude(bits);
+    EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4) << int(kind);
+  }
+}
+
+TEST(Simulator, TinyLdmStillCorrect) {
+  auto c = test::small_rqc(3, 3, 6, 9);
+  api::SimulatorOptions opt;
+  opt.plan = fast_plan(8);
+  opt.ldm_elems = 128;  // absurdly small: every window falls back or slices hard
+  api::Simulator sim(c, opt);
+  auto res = sim.amplitude(test::zero_bits(c.num_qubits));
+  auto want = sv::simulate_amplitude(c, test::zero_bits(c.num_qubits));
+  EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4);
+}
+
+TEST(Simulator, ExplicitPoolIsUsed) {
+  ThreadPool pool(3);
+  auto c = test::small_rqc(3, 3, 6, 13);
+  api::SimulatorOptions opt;
+  opt.plan = fast_plan(8);
+  opt.pool = &pool;
+  api::Simulator sim(c, opt);
+  auto res = sim.amplitude(test::zero_bits(c.num_qubits));
+  auto want = sv::simulate_amplitude(c, test::zero_bits(c.num_qubits));
+  EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4);
+}
+
+TEST(Simulator, LooseTargetMeansNoSlices) {
+  auto c = test::small_rqc(3, 3, 4);
+  api::SimulatorOptions opt;
+  opt.plan = fast_plan(30);
+  api::Simulator sim(c, opt);
+  auto res = sim.amplitude(test::zero_bits(c.num_qubits));
+  EXPECT_EQ(res.num_slices, 0);
+  EXPECT_NEAR(res.slicing.overhead(), 1.0, 1e-9);
+}
+
+TEST(Simulator, BatchSingleOpenQubit) {
+  auto c = test::small_rqc(2, 3, 5, 3);
+  api::SimulatorOptions opt;
+  opt.plan = fast_plan(8);
+  api::Simulator sim(c, opt);
+  auto batch = sim.batch_amplitudes(test::zero_bits(c.num_qubits), {2});
+  ASSERT_EQ(batch.amplitudes.size(), 2u);
+  sv::Statevector sv(c.num_qubits);
+  sv.run(c);
+  for (int b = 0; b < 2; ++b) {
+    auto bits = test::zero_bits(c.num_qubits);
+    bits[2] = b;
+    EXPECT_NEAR(std::abs(batch.amplitudes[size_t(b)] - sv.amplitude_bits(bits)), 0.0, 1e-4);
+  }
+}
+
+TEST(Simulator, SamplingDeterministicPerSeed) {
+  api::BatchResult batch;
+  batch.amplitudes = {{0.5, 0}, {0.5, 0}, {0.5, 0}, {0.5, 0}};
+  auto a = api::Simulator::sample_from_batch(batch, 100, 42);
+  auto b = api::Simulator::sample_from_batch(batch, 100, 42);
+  EXPECT_EQ(a, b);
+  auto c = api::Simulator::sample_from_batch(batch, 100, 43);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ltns

@@ -1,0 +1,132 @@
+#include "sv/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace ltns::sv {
+namespace {
+
+using circuit::Circuit;
+
+TEST(Statevector, InitialState) {
+  Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), cd(1, 0));
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, XFlipsQubit) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.apply(circuit::gate_x(), {0});
+  Statevector sv(2);
+  sv.run(c);
+  // Qubit 0 occupies the high bit: |10>.
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10) - cd(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Statevector, HadamardMakesUniform) {
+  Circuit c;
+  c.num_qubits = 1;
+  c.apply(circuit::gate_h(), {0});
+  Statevector sv(1);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.apply(circuit::gate_h(), {0});
+  // CNOT(0 -> 1) decomposed as H_t CZ H_t.
+  c.apply(circuit::gate_h(), {1});
+  c.apply(circuit::gate_cz(), {0, 1});
+  c.apply(circuit::gate_h(), {1});
+  Statevector sv(2);
+  sv.run(c);
+  // (|00> + |11>)/sqrt(2).
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 0.0, 1e-12);
+}
+
+TEST(Statevector, CzPhasesOnlyOnes) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.apply(circuit::gate_x(), {0});
+  c.apply(circuit::gate_x(), {1});
+  c.apply(circuit::gate_cz(), {0, 1});
+  Statevector sv(2);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11) - cd(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(Statevector, FsimSwapsWithPhase) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.apply(circuit::gate_x(), {1});  // |01>
+  c.apply(circuit::gate_fsim(M_PI / 2, 0), {0, 1});
+  Statevector sv(2);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10) - cd(0, -1)), 0.0, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByRqc) {
+  auto c = test::small_rqc(3, 3, 8);
+  Statevector sv(c.num_qubits);
+  sv.run(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(Statevector, AmplitudeBitsMatchesIndex) {
+  auto c = test::small_rqc(2, 3, 4);
+  Statevector sv(c.num_qubits);
+  sv.run(c);
+  std::vector<int> bits{1, 0, 1, 1, 0, 0};
+  uint64_t idx = 0;
+  for (int q = 0; q < 6; ++q) idx |= uint64_t(bits[size_t(q)]) << (5 - q);
+  EXPECT_EQ(sv.amplitude_bits(bits), sv.amplitude(idx));
+}
+
+TEST(Statevector, GateOrderMattersOnOverlap) {
+  // X then CZ != CZ then X on qubit 0 with qubit 1 in |1>.
+  Circuit c1, c2;
+  c1.num_qubits = c2.num_qubits = 2;
+  c1.apply(circuit::gate_x(), {1});
+  c1.apply(circuit::gate_x(), {0});
+  c1.apply(circuit::gate_cz(), {0, 1});
+  c2.num_qubits = 2;
+  c2.apply(circuit::gate_x(), {1});
+  c2.apply(circuit::gate_cz(), {0, 1});
+  c2.apply(circuit::gate_x(), {0});
+  Statevector a(2), b(2);
+  a.run(c1);
+  b.run(c2);
+  EXPECT_GT(std::abs(a.amplitude(3) - b.amplitude(3)), 0.1);
+}
+
+TEST(Statevector, PorterThomasShape) {
+  // RQC amplitudes should be exponentially distributed (Porter–Thomas):
+  // mean of 2^n |a|^2 is 1, and a noticeable fraction lies above/below.
+  auto c = test::small_rqc(3, 4, 10);
+  Statevector sv(c.num_qubits);
+  sv.run(c);
+  const double dim = double(sv.dim());
+  double mean = 0;
+  int above = 0;
+  for (const auto& a : sv.amplitudes()) {
+    double p = std::norm(a) * dim;
+    mean += p;
+    above += (p > 1.0);
+  }
+  mean /= dim;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  // Exponential distribution: P(p > 1) = 1/e ~ 0.37.
+  EXPECT_NEAR(above / dim, 0.37, 0.08);
+}
+
+}  // namespace
+}  // namespace ltns::sv

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/lifetime.hpp"
+#include "test_helpers.hpp"
+#include "tn/stem.hpp"
+
+namespace ltns {
+namespace {
+
+using core::StemLifetimes;
+using tn::ContractionTree;
+
+TEST(Stem, StructureIsAChainToRoot) {
+  auto ln = test::small_network(4, 4, 8);
+  auto tree = test::greedy_tree(ln.net);
+  auto stem = tn::extract_stem(tree);
+  ASSERT_GE(stem.length(), 2);
+  EXPECT_EQ(stem.nodes.back(), tree.root());
+  EXPECT_EQ(stem.branches.size() + 1, stem.nodes.size());
+  for (int i = 0; i + 1 < stem.length(); ++i) {
+    const auto& parent = tree.node(stem.nodes[size_t(i) + 1]);
+    // nodes[i] and branches[i] are exactly the children of nodes[i+1].
+    EXPECT_TRUE((parent.left == stem.nodes[size_t(i)] && parent.right == stem.branches[size_t(i)]) ||
+                (parent.right == stem.nodes[size_t(i)] && parent.left == stem.branches[size_t(i)]));
+  }
+}
+
+TEST(Stem, BottomIsALeaf) {
+  auto ln = test::small_network(4, 4, 8);
+  auto tree = test::greedy_tree(ln.net);
+  auto stem = tn::extract_stem(tree);
+  EXPECT_TRUE(tree.node(stem.nodes[0]).is_leaf());
+}
+
+TEST(Stem, CapturesDominantCost) {
+  // On RQC networks the stem holds the overwhelming majority of the flops
+  // (the paper quotes ~99%).
+  auto ln = test::small_network(4, 5, 10);
+  auto tree = test::greedy_tree(ln.net);
+  auto stem = tn::extract_stem(tree);
+  EXPECT_GT(stem.cost_fraction(), 0.5);
+}
+
+TEST(Stem, SubtreeCostsAccumulate) {
+  auto ln = test::small_network(3, 3, 6);
+  auto tree = test::greedy_tree(ln.net);
+  auto sub = tn::subtree_log2costs(tree);
+  EXPECT_NEAR(sub[size_t(tree.root())], tree.total_log2cost(), 1e-9);
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_leaf()) {
+      EXPECT_EQ(sub[size_t(i)], kLog2Zero);
+    } else {
+      EXPECT_GE(sub[size_t(i)] + 1e-12, n.log2cost);
+    }
+  }
+}
+
+TEST(StemLifetimes, IntervalsMatchMembership) {
+  auto ln = test::small_network(4, 4, 8);
+  auto tree = test::greedy_tree(ln.net);
+  auto stem = tn::extract_stem(tree);
+  auto lt = StemLifetimes::build(stem);
+  for (int e = 0; e < ln.net.num_edges(); ++e) {
+    const auto& iv = lt.of(e);
+    for (int p = 0; p < stem.length(); ++p) {
+      bool member = tree.node(stem.nodes[size_t(p)]).ixs.contains(e);
+      EXPECT_EQ(member, iv.contains(p)) << "edge " << e << " pos " << p;
+    }
+  }
+}
+
+TEST(StemLifetimes, LifetimesAreContiguous) {
+  // Contiguity is asserted inside build(); run it over several seeds.
+  for (uint64_t seed : {1u, 3u, 9u, 27u}) {
+    auto net = tn::random_network(40, 3.0, seed);
+    auto tree = test::greedy_tree(net, seed);
+    auto stem = tn::extract_stem(tree);
+    auto lt = StemLifetimes::build(stem);
+    // Edge at position p of the stem must be alive there.
+    for (int p = 0; p < stem.length(); ++p)
+      for (int e : lt.edges_at(p))
+        EXPECT_TRUE(tree.node(stem.nodes[size_t(p)]).ixs.contains(e));
+  }
+}
+
+TEST(TreeLifetimes, MatchesDefinitionOne) {
+  // Definition 1: lifetime(k) = { T in tree : k in s_T }.
+  auto ln = test::small_network(3, 3, 4);
+  auto tree = test::greedy_tree(ln.net);
+  auto lt = core::tree_lifetimes(tree);
+  for (int e = 0; e < ln.net.num_edges(); ++e) {
+    std::vector<int> expect;
+    for (int i = 0; i < tree.num_nodes(); ++i)
+      if (tree.node(i).ixs.contains(e)) expect.push_back(i);
+    EXPECT_EQ(lt[size_t(e)], expect);
+  }
+}
+
+TEST(TreeLifetimes, SlicedEdgeHalvesExactlyItsLifetime) {
+  // "After slicing an edge e, the size of tensors on the lifetime of e will
+  // be halved while the size of the others will not change."
+  auto ln = test::small_network(3, 3, 6);
+  auto tree = test::greedy_tree(ln.net);
+  auto lt = core::tree_lifetimes(tree);
+  // Pick a stem edge with a non-trivial lifetime.
+  int edge = -1;
+  for (int e = 0; e < ln.net.num_edges(); ++e)
+    if (lt[size_t(e)].size() >= 3) {
+      edge = e;
+      break;
+    }
+  ASSERT_GE(edge, 0);
+  core::SliceSet S(ln.net);
+  S.add(edge);
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    double before = tree.node(i).log2size;
+    double after = core::sliced_node_log2size(tree, i, S.edges());
+    bool in_lifetime =
+        std::find(lt[size_t(edge)].begin(), lt[size_t(edge)].end(), i) != lt[size_t(edge)].end();
+    EXPECT_NEAR(after, in_lifetime ? before - 1.0 : before, 1e-12);
+  }
+}
+
+TEST(LifetimeInterval, BasicOps) {
+  core::LifetimeInterval iv{2, 5};
+  EXPECT_TRUE(iv.alive());
+  EXPECT_EQ(iv.length(), 4);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_TRUE(iv.contains(core::LifetimeInterval{3, 4}));
+  EXPECT_FALSE(iv.contains(core::LifetimeInterval{1, 4}));
+  core::LifetimeInterval dead;
+  EXPECT_FALSE(dead.alive());
+  EXPECT_EQ(dead.length(), 0);
+}
+
+}  // namespace
+}  // namespace ltns

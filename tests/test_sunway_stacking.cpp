@@ -1,0 +1,150 @@
+// Architecture model, roofline, DMA efficiency, cost projection and the
+// slice-vs-stack discriminant (§3.3).
+#include <gtest/gtest.h>
+
+#include "core/greedy_slicer.hpp"
+#include "core/stacking.hpp"
+#include "sunway/arch.hpp"
+#include "sunway/cost_model.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns {
+namespace {
+
+using sunway::ArchSpec;
+
+TEST(ArchSpec, PaperTopology) {
+  auto a = ArchSpec::sw26010pro();
+  EXPECT_EQ(a.cores_per_node(), 390);  // 6 CGs x (64 CPEs + 1 MPE)
+  EXPECT_EQ(a.cores_full_machine(), int64_t(41932800));  // the paper's 41M cores
+  EXPECT_EQ(a.nodes_full_machine, 107520);
+}
+
+TEST(ArchSpec, RooflineRidgeAt42Point3) {
+  auto a = ArchSpec::sw26010pro();
+  EXPECT_NEAR(a.ridge_flop_per_byte(), 42.3, 1e-9);
+  // Below the ridge: bandwidth-bound; above: compute-bound.
+  EXPECT_LT(a.roofline_flops(1.22), a.peak_sp_flops_per_cg);  // SP step-by-step AI
+  EXPECT_NEAR(a.roofline_flops(100.0), a.peak_sp_flops_per_cg, 1e-3);
+  EXPECT_NEAR(a.roofline_flops(42.3), a.peak_sp_flops_per_cg, 1.0);
+}
+
+TEST(ArchSpec, DmaEfficiencyAnchors) {
+  auto a = ArchSpec::sw26010pro();
+  // Element-wise strided access (<8 B): below 0.1% of peak (§5.3.2).
+  EXPECT_LT(a.dma_efficiency(8.0), 1e-3);
+  // 512 B granularity: more than 50%.
+  EXPECT_GT(a.dma_efficiency(512.0), 0.5);
+  // Monotone and bounded.
+  double prev = 0;
+  for (double g : {1.0, 8.0, 64.0, 128.0, 512.0, 4096.0, 1048576.0}) {
+    double e = a.dma_efficiency(g);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(CostModel, SubtaskTimeRooflineConsistent) {
+  auto a = ArchSpec::sw26010pro();
+  sunway::SubtaskProfile p;
+  p.flops = a.peak_sp_flops_per_cg;  // one second of peak compute
+  p.dma_bytes = 0;
+  EXPECT_NEAR(sunway::subtask_seconds_on_cg(a, p), 1.0, 1e-9);
+  p.flops = 0;
+  p.dma_bytes = a.dma_bandwidth;  // one second of perfect DMA
+  p.dma_granularity = 1 << 20;
+  EXPECT_NEAR(sunway::subtask_seconds_on_cg(a, p), 1.0, 0.05);
+}
+
+TEST(CostModel, StrongScalingApproachesLinearThenSaturates) {
+  auto a = ArchSpec::sw26010pro();
+  sunway::SubtaskProfile p;
+  p.flops = 1e12;
+  p.dma_bytes = 1e9;
+  p.dma_granularity = 512;
+  auto pts = sunway::strong_scaling(a, p, 65536, {16, 64, 256, 1024, 4096});
+  for (size_t i = 1; i < pts.size(); ++i) EXPECT_LE(pts[i].seconds, pts[i - 1].seconds + 1e-9);
+  // Efficiency degrades monotonically-ish but stays meaningful at 1024.
+  EXPECT_GT(pts[3].parallel_efficiency, 0.5);
+}
+
+TEST(CostModel, WeakScalingNearFlat) {
+  auto a = ArchSpec::sw26010pro();
+  sunway::SubtaskProfile p;
+  p.flops = 1e12;
+  p.dma_bytes = 1e9;
+  p.dma_granularity = 512;
+  auto pts = sunway::weak_scaling(a, p, 16, {1, 4, 16, 64, 256});
+  for (const auto& sp : pts) EXPECT_GT(sp.parallel_efficiency, 0.8);
+}
+
+TEST(CostModel, ProjectionScalesWithNodes) {
+  auto a = ArchSpec::sw26010pro();
+  sunway::SubtaskProfile p;
+  p.flops = 1e13;
+  p.dma_bytes = 1e10;
+  auto at1024 = sunway::project(a, p, 65536, 1024);
+  auto full = sunway::project(a, p, 65536);
+  EXPECT_LT(full.seconds, at1024.seconds);
+  EXPECT_GT(full.sustained_flops, at1024.sustained_flops);
+}
+
+TEST(Stacking, CostScalesWithBandwidth) {
+  auto ln = test::small_network(4, 4, 8);
+  auto tree = std::make_shared<tn::ContractionTree>(test::greedy_tree(ln.net));
+  auto stem = tn::extract_stem(*tree);
+  core::SliceSet S(ln.net);
+
+  core::StorageLevel slow{"io", 96e9, 4e9, 2.17e12};
+  core::StorageLevel fast{"dma", 256e3, 51.2e9, 2.17e12};
+  auto cs = core::stacking_cost(stem, S, slow);
+  auto cf = core::stacking_cost(stem, S, fast);
+  EXPECT_NEAR(cs.log2_bytes_moved, cf.log2_bytes_moved, 1e-9) << "traffic is level-independent";
+  EXPECT_GT(cs.log2_equivalent_flops, cf.log2_equivalent_flops)
+      << "slow links make stacking more expensive";
+}
+
+TEST(Discriminant, SliceOnSlowLinksStackOnFastOnes) {
+  // The §3.3 conclusion, on a real sliced RQC plan: across the IO boundary
+  // slicing wins; across the DMA boundary stacking wins.
+  auto ln = test::small_network(4, 5, 10);
+  auto tree = std::make_shared<tn::ContractionTree>(test::greedy_tree(ln.net));
+  auto stem = tn::extract_stem(*tree);
+  core::GreedySlicerOptions go;
+  go.target_log2size = std::max(2.0, tree->max_log2size() - 4);
+  auto S = core::greedy_slice(*tree, go);
+  ASSERT_GT(S.size(), 0);
+
+  const double peak = 2.166e12;
+  core::StorageLevel io{"disk->dram", 96e9, 1e8, peak};        // very slow IO
+  core::StorageLevel dma{"dram->ldm", 256e3, 51.2e9, peak};
+
+  auto d_io = core::choose_strategy(stem, S, io);
+  auto d_dma = core::choose_strategy(stem, S, dma);
+  EXPECT_EQ(d_io.choice, core::Strategy::kSlice);
+  // Slicing overhead is identical in both cases; the stacking side shrinks
+  // by the bandwidth ratio.
+  EXPECT_NEAR(d_io.log2_slice_overhead_flops, d_dma.log2_slice_overhead_flops, 1e-9);
+  EXPECT_GT(d_io.log2_stack_overhead_flops, d_dma.log2_stack_overhead_flops);
+}
+
+TEST(Discriminant, ZeroOverheadSetAlwaysSlices) {
+  // With an empty slicing set the slice overhead is zero (log2 -> -inf):
+  // slicing (i.e. doing nothing) always wins.
+  auto ln = test::small_network(3, 3, 6);
+  auto tree = std::make_shared<tn::ContractionTree>(test::greedy_tree(ln.net));
+  auto stem = tn::extract_stem(*tree);
+  core::SliceSet S(ln.net);
+  core::StorageLevel dma{"dram->ldm", 256e3, 51.2e9, 2.166e12};
+  auto d = core::choose_strategy(stem, S, dma);
+  EXPECT_EQ(d.choice, core::Strategy::kSlice);
+}
+
+TEST(StorageLevel, MachineBalance) {
+  core::StorageLevel lvl{"x", 1, 10.0, 420.0};
+  EXPECT_DOUBLE_EQ(lvl.flops_per_byte(), 42.0);
+}
+
+}  // namespace
+}  // namespace ltns

@@ -1,0 +1,136 @@
+#include "tn/tensor_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ltns::tn {
+namespace {
+
+TEST(TensorNetwork, AddVerticesAndEdges) {
+  TensorNetwork net;
+  VertId a = net.add_vertex("a");
+  VertId b = net.add_vertex("b");
+  EdgeId e = net.add_edge(a, b);
+  EXPECT_EQ(net.num_vertices(), 2);
+  EXPECT_EQ(net.num_edges(), 1);
+  EXPECT_EQ(net.edge(e).a, a);
+  EXPECT_EQ(net.edge(e).b, b);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(TensorNetwork, OpenEdges) {
+  TensorNetwork net;
+  VertId a = net.add_vertex();
+  EdgeId e = net.add_edge(a, kNone);
+  EXPECT_EQ(net.open_edges(), std::vector<EdgeId>{e});
+  VertId b = net.add_vertex();
+  net.connect_open_edge(e, b);
+  EXPECT_TRUE(net.open_edges().empty());
+  EXPECT_EQ(net.edge(e).b, b);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(TensorNetwork, CloseOpenEdgeRemovesIncidence) {
+  TensorNetwork net;
+  VertId a = net.add_vertex();
+  EdgeId e = net.add_edge(a, kNone);
+  net.add_edge(a, kNone);
+  net.close_open_edge(e);
+  EXPECT_EQ(net.vertex_rank(a), 1);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(TensorNetwork, VertexIndexSetAndSize) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex();
+  EdgeId e0 = net.add_edge(a, b);
+  EdgeId e1 = net.add_edge(a, c, 2.0);  // a weight-2 (extent 4) index
+  auto s = net.vertex_index_set(a);
+  EXPECT_TRUE(s.contains(e0));
+  EXPECT_TRUE(s.contains(e1));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_DOUBLE_EQ(net.vertex_log2size(a), 3.0);
+}
+
+TEST(TensorNetwork, ContractRemovesSharedKeepsRest) {
+  //  a --- b --- c  with an extra open edge on b
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex();
+  EdgeId ab = net.add_edge(a, b);
+  EdgeId bc = net.add_edge(b, c);
+  EdgeId open = net.add_edge(b, kNone);
+  net.contract(a, b);
+  EXPECT_FALSE(net.edge(ab).alive);
+  EXPECT_TRUE(net.edge(bc).alive);
+  EXPECT_TRUE(net.edge(open).alive);
+  EXPECT_FALSE(net.vertex(b).alive);
+  EXPECT_EQ(net.num_alive_vertices(), 2);
+  // bc now connects a and c.
+  EXPECT_TRUE((net.edge(bc).a == a && net.edge(bc).b == c) ||
+              (net.edge(bc).a == c && net.edge(bc).b == a));
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(TensorNetwork, ContractParallelEdgesKillsBoth) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex();
+  EdgeId e0 = net.add_edge(a, b);
+  EdgeId e1 = net.add_edge(a, b);
+  net.contract(a, b);
+  EXPECT_FALSE(net.edge(e0).alive);
+  EXPECT_FALSE(net.edge(e1).alive);
+  EXPECT_EQ(net.vertex_rank(a), 0);
+}
+
+TEST(TensorNetwork, NeighborsDeduplicated) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(a, b);
+  EXPECT_EQ(net.neighbors(a).size(), 1u);
+}
+
+TEST(TensorNetwork, PairContractionCostCountsUnionOnce) {
+  TensorNetwork net;
+  VertId a = net.add_vertex(), b = net.add_vertex(), c = net.add_vertex(), d = net.add_vertex();
+  net.add_edge(a, b);
+  net.add_edge(a, c);
+  net.add_edge(b, d);
+  // union of s_a, s_b = 3 unit edges -> cost 2^3
+  EXPECT_DOUBLE_EQ(net.pair_contraction_log2cost(a, b), 3.0);
+}
+
+TEST(RandomNetwork, ConnectedAndValid) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto net = random_network(30, 3.0, seed);
+    EXPECT_TRUE(net.validate());
+    EXPECT_EQ(net.num_alive_vertices(), 30);
+    EXPECT_GE(net.num_alive_edges(), 29);  // at least the spanning tree
+    // BFS connectivity.
+    std::vector<char> seen(30, 0);
+    std::vector<VertId> q{0};
+    seen[0] = 1;
+    while (!q.empty()) {
+      VertId v = q.back();
+      q.pop_back();
+      for (VertId u : net.neighbors(v))
+        if (u != kNone && !seen[size_t(u)]) {
+          seen[size_t(u)] = 1;
+          q.push_back(u);
+        }
+    }
+    for (char s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(RandomNetwork, DeterministicPerSeed) {
+  auto a = random_network(20, 2.5, 7);
+  auto b = random_network(20, 2.5, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).a, b.edge(e).a);
+    EXPECT_EQ(a.edge(e).b, b.edge(e).b);
+  }
+}
+
+}  // namespace
+}  // namespace ltns::tn

@@ -1,0 +1,139 @@
+// RNG, thread pool and timer tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ltns {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_each(1000, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.parallel_for(100, [&](int, size_t b, size_t e) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  size_t expect = 0;
+  for (auto [b, e] : chunks) {
+    EXPECT_EQ(b, expect);
+    EXPECT_GT(e, b);
+    expect = e;
+  }
+  EXPECT_EQ(expect, 100u);
+}
+
+TEST(ThreadPool, WorkerIdsWithinBounds) {
+  ThreadPool pool(5);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(64, [&](int w, size_t, size_t) {
+    if (w < 0 || w >= pool.size()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](int, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for_each(100, [&](size_t i) { sum += long(i); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for_each(10, [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 10000; ++i) x += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+TEST(Stopwatch, AccumulatesAcrossStartStop) {
+  Stopwatch w;
+  w.start();
+  w.stop();
+  double t1 = w.total_seconds();
+  w.start();
+  w.stop();
+  EXPECT_GE(w.total_seconds(), t1);
+  w.clear();
+  EXPECT_EQ(w.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ltns
