@@ -8,14 +8,107 @@
 // DMA bytes counted), then pushed through the Sunway machine model.
 // Shape to reproduce: near-linear strong scaling until subtasks/node ~ 1,
 // flat weak scaling.
+//
+// The trailing section compares the static-partition ThreadPool against the
+// work-stealing SliceScheduler on a skewed per-subtask cost profile (the
+// variance secondary slicing produces) — measured wall times, a
+// machine-independent modeled makespan, and a bit-stability check on the
+// accumulated run_sliced amplitudes. Results are emitted as JSON
+// (fig11_runtime.json) for the bench trajectory.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/greedy_slicer.hpp"
 #include "core/slice_finder.hpp"
 #include "exec/slice_runner.hpp"
+#include "runtime/slice_scheduler.hpp"
 #include "sunway/cost_model.hpp"
+#include "util/timer.hpp"
 
 using namespace ltns;
+
+namespace {
+
+// Skewed per-subtask cost profile: one static shard's worth of subtasks is
+// `skew`x heavier than the rest — the adversarial-but-realistic case where
+// the costly secondary-sliced windows cluster in one contiguous task range.
+std::vector<double> skewed_costs(uint64_t n, int workers, double skew) {
+  std::vector<double> cost(n, 1.0);
+  for (uint64_t t = 0; t < n / uint64_t(workers); ++t) cost[t] = skew;
+  return cost;
+}
+
+// Modeled makespans (units of one light subtask), machine independent.
+// Static: the slowest contiguous chunk. Stealing: greedy rebalancing is
+// within a task of the lower bound max(total/P, heaviest task).
+double modeled_static(const std::vector<double>& cost, int workers) {
+  double worst = 0;
+  const uint64_t n = cost.size();
+  for (int w = 0; w < workers; ++w) {
+    uint64_t b = n * uint64_t(w) / uint64_t(workers);
+    uint64_t e = n * uint64_t(w + 1) / uint64_t(workers);
+    double sum = 0;
+    for (uint64_t t = b; t < e; ++t) sum += cost[t];
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+double modeled_stealing(const std::vector<double>& cost, int workers) {
+  double total = 0, heaviest = 0;
+  for (double c : cost) {
+    total += c;
+    heaviest = std::max(heaviest, c);
+  }
+  return std::max(total / workers, heaviest);
+}
+
+struct RuntimeRow {
+  int workers = 0;
+  double static_seconds = 0;
+  double ws_seconds = 0;
+  uint64_t stolen = 0;
+  double modeled_static_units = 0;
+  double modeled_ws_units = 0;
+};
+
+// Measured comparison: per-task cost emulated by sleeping cost[t] * quantum,
+// so the number isolates *scheduling* quality from host core count.
+RuntimeRow measure_skewed(uint64_t n, int workers, double skew, double quantum_ms) {
+  RuntimeRow row;
+  row.workers = workers;
+  auto cost = skewed_costs(n, workers, skew);
+  auto spin = [&](uint64_t t) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(int64_t(cost[t] * quantum_ms * 1000)));
+  };
+
+  ThreadPool pool(workers);
+  Timer ts;
+  pool.parallel_for(n, [&](int, size_t b, size_t e) {
+    for (size_t t = b; t < e; ++t) spin(t);
+  });
+  row.static_seconds = ts.seconds();
+
+  runtime::SliceScheduler sched(workers);
+  auto begin = sched.stats().snapshot();
+  Timer tw;
+  sched.run(0, n, [&](int, uint64_t t) { spin(t); });
+  row.ws_seconds = tw.seconds();
+  row.stolen = sched.stats().snapshot().since(begin).stolen;
+
+  row.modeled_static_units = modeled_static(cost, workers);
+  row.modeled_ws_units = modeled_stealing(cost, workers);
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int cycles = argc > 1 ? std::atoi(argv[1]) : 10;
@@ -77,5 +170,62 @@ int main(int argc, char** argv) {
   // subtasks (functional, not a throughput claim on 1 core).
   std::printf("\nhost check: %d real subtasks executed, results accumulated once (allReduce)\n",
               probe);
-  return 0;
+
+  // ---- static partition vs work stealing under skewed subtask costs ----
+  std::printf("\nSTATIC vs WORK-STEALING under skewed slice costs (16x skew, one shard)\n");
+  std::printf("%8s %12s %12s %10s %10s %12s %8s\n", "workers", "static (s)", "steal (s)",
+              "speedup", "modeled", "model-strl", "stolen");
+  const uint64_t n_skew = 256;
+  const double skew = 16.0, quantum_ms = 1.0;
+  std::vector<RuntimeRow> rows;
+  for (int workers : {2, 4, 8, 16}) {
+    auto row = measure_skewed(n_skew, workers, skew, quantum_ms);
+    rows.push_back(row);
+    std::printf("%8d %12.3f %12.3f %9.2fx %9.0fu %11.0fu %8llu\n", row.workers,
+                row.static_seconds, row.ws_seconds, row.static_seconds / row.ws_seconds,
+                row.modeled_static_units, row.modeled_ws_units,
+                (unsigned long long)row.stolen);
+  }
+
+  // Real sliced contraction through both executors: the accumulated tensor
+  // must be bitwise identical (tournament reduction), whatever the timing.
+  core::GreedySlicerOptions go;
+  go.target_log2size = std::max(4.0, inst.tree->max_log2size() - 6);
+  auto S2 = core::greedy_slice(*inst.tree, go);
+  exec::SliceRunOptions st;
+  st.executor = exec::SliceExecutor::kStaticPool;
+  ThreadPool pool8(8);
+  st.pool = &pool8;
+  auto rs = exec::run_sliced(*inst.tree, inst.leaves(), S2, st);
+  runtime::SliceScheduler sched8(8);
+  exec::SliceRunOptions ws;
+  ws.executor = exec::SliceExecutor::kWorkStealing;
+  ws.scheduler = &sched8;
+  auto rw = exec::run_sliced(*inst.tree, inst.leaves(), S2, ws);
+  const bool bit_stable =
+      rs.accumulated.size() == rw.accumulated.size() &&
+      std::memcmp(rs.accumulated.raw(), rw.accumulated.raw(),
+                  rs.accumulated.size() * sizeof(exec::cfloat)) == 0;
+  std::printf("\nreal run_sliced (2^%d subtasks, 8 workers): static %.3fs, stealing %.3fs, "
+              "accumulated amplitudes bitwise %s\n",
+              S2.size(), rs.wall_seconds, rw.wall_seconds, bit_stable ? "EQUAL" : "DIFFERENT");
+
+  // JSON for the bench trajectory.
+  std::ofstream json("fig11_runtime.json");
+  json << "{\n  \"skew\": " << skew << ",\n  \"tasks\": " << n_skew << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"workers\": " << r.workers << ", \"static_seconds\": " << r.static_seconds
+         << ", \"ws_seconds\": " << r.ws_seconds
+         << ", \"speedup\": " << r.static_seconds / r.ws_seconds
+         << ", \"modeled_static_units\": " << r.modeled_static_units
+         << ", \"modeled_ws_units\": " << r.modeled_ws_units << ", \"stolen\": " << r.stolen
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"real_run\": {\"subtasks\": " << (uint64_t(1) << S2.size())
+       << ", \"static_seconds\": " << rs.wall_seconds
+       << ", \"ws_seconds\": " << rw.wall_seconds << ", \"bit_stable\": " << std::boolalpha
+       << bit_stable << "}\n}\n";
+  std::printf("wrote fig11_runtime.json\n");
+  return bit_stable ? 0 : 1;
 }

@@ -6,6 +6,11 @@
 //   ltns_cli amp   <circuit-file> <bitstring>             # one amplitude (verified vs sv if <=22q)
 //   ltns_cli sample <circuit-file> <n_open> <n_samples>   # correlated samples
 //
+// Runtime flags (anywhere on the command line):
+//   --runtime=ws|static|serial   subtask executor (default ws = work stealing)
+//   --grain=N                    scheduler chunk size (tasks per deque pop)
+//   --no-telemetry               suppress the executor/memory stats report
+//
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
 // stdin. This is the fourth runnable example and the scripting entry point.
 #include <cstdio>
@@ -13,6 +18,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "api/simulator.hpp"
 #include "circuit/io.hpp"
@@ -22,6 +28,71 @@
 using namespace ltns;
 
 namespace {
+
+struct RuntimeFlags {
+  exec::SliceExecutor executor = exec::SliceExecutor::kWorkStealing;
+  uint64_t grain = 1;
+  bool telemetry = true;
+};
+
+RuntimeFlags g_flags;
+
+const char* executor_name(exec::SliceExecutor e) {
+  switch (e) {
+    case exec::SliceExecutor::kWorkStealing: return "work-stealing";
+    case exec::SliceExecutor::kStaticPool: return "static-pool";
+    case exec::SliceExecutor::kInnerPool: return "serial+inner-pool";
+  }
+  return "?";
+}
+
+// Strips --runtime=/--grain=/--no-telemetry from argv; returns the rest.
+std::vector<char*> parse_runtime_flags(int argc, char** argv) {
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
+      const char* v = argv[i] + 10;
+      if (std::strcmp(v, "ws") == 0) g_flags.executor = exec::SliceExecutor::kWorkStealing;
+      else if (std::strcmp(v, "static") == 0) g_flags.executor = exec::SliceExecutor::kStaticPool;
+      else if (std::strcmp(v, "serial") == 0) g_flags.executor = exec::SliceExecutor::kInnerPool;
+      else {
+        std::fprintf(stderr, "unknown --runtime '%s' (ws|static|serial)\n", v);
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--grain=", 8) == 0) {
+      g_flags.grain = uint64_t(std::atoll(argv[i] + 8));
+    } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+      g_flags.telemetry = false;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  return rest;
+}
+
+api::SimulatorOptions make_sim_options() {
+  api::SimulatorOptions opt;
+  opt.plan.target_log2size = 16;
+  opt.executor = g_flags.executor;
+  opt.grain = g_flags.grain;
+  return opt;
+}
+
+void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem) {
+  if (!g_flags.telemetry) return;
+  std::printf("runtime [%s]: %llu tasks (%llu stolen, %llu cancelled), utilization %.0f%%\n",
+              executor_name(g_flags.executor), (unsigned long long)rt.finished,
+              (unsigned long long)rt.stolen, (unsigned long long)rt.cancelled,
+              100 * rt.ema_utilization);
+  std::printf("  phases: gemm %.3fs (%llu), permute %.3fs (%llu), reduce %.3fs (%llu merges)\n",
+              rt.gemm.seconds, (unsigned long long)rt.gemm.count, rt.permute.seconds,
+              (unsigned long long)rt.permute.count, rt.reduce.seconds,
+              (unsigned long long)rt.reduce.count);
+  std::printf("  memory: main %.3g B, LDM get/put %.3g/%.3g B, RMA %.3g B, "
+              "LDM peak %zu elems, host peak %zu elems\n",
+              mem.main_bytes, mem.scratch_bytes_get, mem.scratch_bytes_put, mem.rma_bytes,
+              mem.ldm_peak_elems, mem.host_peak_elems);
+}
 
 circuit::Circuit load_circuit(const char* path) {
   if (std::strcmp(path, "-") == 0) return circuit::read_circuit(std::cin);
@@ -92,14 +163,13 @@ int cmd_amp(int argc, char** argv) {
   std::vector<int> bits(size_t(circ.num_qubits));
   for (int q = 0; q < circ.num_qubits; ++q) bits[size_t(q)] = bitstr[q] == '1';
 
-  api::SimulatorOptions opt;
-  opt.plan.target_log2size = 16;
-  api::Simulator sim(circ, opt);
+  api::Simulator sim(circ, make_sim_options());
   auto res = sim.amplitude(bits);
   std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", res.amplitude.real(),
               res.amplitude.imag(), std::norm(res.amplitude));
   std::printf("slices %d, overhead %.4f, flops %.3g\n", res.num_slices, res.slicing.overhead(),
               res.stats.flops);
+  print_telemetry(res.runtime_stats, res.memory);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -120,14 +190,13 @@ int cmd_sample(int argc, char** argv) {
   std::vector<int> open;
   for (int i = 0; i < n_open; ++i) open.push_back(i * circ.num_qubits / n_open);
 
-  api::SimulatorOptions opt;
-  opt.plan.target_log2size = 16;
-  api::Simulator sim(circ, opt);
+  api::Simulator sim(circ, make_sim_options());
   auto batch = sim.batch_amplitudes(bits, open);
   auto samples = api::Simulator::sample_from_batch(batch, n_samples, 7);
   std::printf("# open qubits:");
   for (int q : open) std::printf(" %d", q);
   std::printf("\n");
+  print_telemetry(batch.runtime_stats, batch.memory);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
     std::putchar('\n');
@@ -137,14 +206,18 @@ int cmd_sample(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  auto args = parse_runtime_flags(raw_argc, raw_argv);
+  int argc = int(args.size());
+  char** argv = args.data();
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ltns_cli gen <rows> <cols> <cycles> [seed]\n"
                  "       ltns_cli gen-sycamore <cycles> [seed]\n"
                  "       ltns_cli plan <circuit|-> [depth]\n"
                  "       ltns_cli amp <circuit|-> <bitstring>\n"
-                 "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n");
+                 "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n"
+                 "flags: --runtime=ws|static|serial --grain=N --no-telemetry\n");
     return 64;
   }
   std::string cmd = argv[1];

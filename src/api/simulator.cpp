@@ -34,6 +34,9 @@ Prepared prepare(const circuit::Circuit& c, const SimulatorOptions& opt,
 exec::SliceRunResult run(const Prepared& p, const SimulatorOptions& opt,
                          exec::FusedPlan* fused_storage) {
   exec::SliceRunOptions ro;
+  ro.executor = opt.executor;
+  ro.scheduler = opt.scheduler;
+  ro.grain = opt.grain;
   ro.pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
   if (opt.fused) {
     *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
@@ -59,6 +62,12 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
   auto rr = run(p, opt_, &fused);
   res.exec_seconds = t.seconds();
   res.stats = rr.stats;
+  res.runtime_stats = rr.executor_stats;
+  res.memory = rr.memory;
+  res.completed = rr.completed;
+  // A cancelled run yields an empty tensor; report a zero amplitude rather
+  // than reading a scalar that was never accumulated.
+  if (!rr.completed || rr.accumulated.size() == 0) return res;
   assert(rr.accumulated.rank() == 0);
   res.amplitude = std::complex<double>(rr.accumulated.data()[0]) * p.lowered.scalar;
   return res;
@@ -75,10 +84,14 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   exec::FusedPlan fused;
   auto rr = run(p, opt_, &fused);
   res.stats = rr.stats;
+  res.runtime_stats = rr.executor_stats;
+  res.memory = rr.memory;
+  res.completed = rr.completed;
 
   // The result tensor's axes are the open output edges in some order;
   // re-index so open_qubits[0] is the most significant bit.
   const exec::Tensor& t = rr.accumulated;
+  if (!rr.completed || t.size() == 0) return res;  // cancelled: no amplitudes
   assert(t.rank() == int(open_qubits.size()));
   std::vector<int> axis_for_qubit(open_qubits.size());
   for (size_t i = 0; i < open_qubits.size(); ++i) {

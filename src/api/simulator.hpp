@@ -23,14 +23,24 @@ struct SimulatorOptions {
   core::PlanOptions plan;
   bool fused = true;              // secondary-slicing executor on the stem
   size_t ldm_elems = 32768;       // LDM model capacity: 256 KB / 8 B
-  ThreadPool* pool = nullptr;     // defaults to the global pool
+  // Slice-subtask runtime: work stealing by default; the static ThreadPool
+  // partition and the legacy inner-pool mode remain selectable fallbacks.
+  exec::SliceExecutor executor = exec::SliceExecutor::kWorkStealing;
+  ThreadPool* pool = nullptr;     // kInnerPool/kStaticPool; defaults to global
+  runtime::SliceScheduler* scheduler = nullptr;  // kWorkStealing; defaults to global
+  uint64_t grain = 1;             // scheduler chunk size (tasks per pop)
 };
 
 struct AmplitudeResult {
   std::complex<double> amplitude{0, 0};
+  // False when the run was cancelled mid-flight; `amplitude` is then 0 and
+  // must not be read as the answer.
+  bool completed = false;
   core::SlicedMetrics slicing;
   int num_slices = 0;
   exec::ExecStats stats;
+  runtime::ExecutorSnapshot runtime_stats;  // per-run scheduler telemetry
+  runtime::MemoryStats memory;              // main/LDM/RMA traffic recorder
   double plan_seconds = 0;
   double exec_seconds = 0;
 };
@@ -39,9 +49,12 @@ struct BatchResult {
   // amplitudes[k] is the amplitude whose open-qubit bits are the binary
   // digits of k (open_qubits[0] = most significant).
   std::vector<std::complex<double>> amplitudes;
+  bool completed = false;  // false: cancelled mid-flight, amplitudes empty
   std::vector<int> open_qubits;
   core::SlicedMetrics slicing;
   exec::ExecStats stats;
+  runtime::ExecutorSnapshot runtime_stats;
+  runtime::MemoryStats memory;
 };
 
 class Simulator {

@@ -1,44 +1,133 @@
 #include "exec/slice_runner.hpp"
 
 #include <cassert>
+#include <vector>
 
+#include "runtime/reduction.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::exec {
 
+namespace {
+
+// Per-worker accumulation slot; padded so workers never share a cache line.
+struct alignas(64) WorkerPartial {
+  ExecStats exec;
+  runtime::MemoryStats memory;
+};
+
+}  // namespace
+
 SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& leaves,
                           const core::SliceSet& slices, const SliceRunOptions& opt) {
   auto sliced = slices.to_vector();
-  assert(sliced.size() < 63);
+  assert(sliced.size() < 57);
   const uint64_t all = uint64_t(1) << sliced.size();
-  uint64_t first = opt.first_task;
-  uint64_t count = opt.num_tasks == 0 ? all : opt.num_tasks;
+  const uint64_t first = opt.first_task;
+  const uint64_t count = opt.num_tasks == 0 ? all : opt.num_tasks;
   assert(first < all && first + count <= all);
 
-  SliceRunResult res;
-  Timer wall;
-  for (uint64_t t = first; t < first + count; ++t) {
+  ThreadPool* pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
+  runtime::SliceScheduler* sched =
+      opt.scheduler != nullptr ? opt.scheduler : &runtime::SliceScheduler::global();
+
+  // Run-local telemetry sink for every executor; under work stealing the
+  // scheduler routes its counters here, so concurrent runs sharing a
+  // scheduler never mix their numbers.
+  runtime::ExecutorStats xstats;
+
+  const int n_workers = opt.executor == SliceExecutor::kWorkStealing ? sched->size()
+                        : opt.executor == SliceExecutor::kStaticPool ? pool->size()
+                                                                     : 1;
+  std::vector<WorkerPartial> partial;
+  partial.resize(size_t(n_workers));
+  runtime::ReductionTree reduction(first, count, &xstats.reduce);
+
+  // Inner-pool mode keeps the ThreadPool busy *inside* each subtask; the
+  // task-distributing executors run each subtask single-threaded instead.
+  ThreadPool* inner = opt.executor == SliceExecutor::kInnerPool ? pool : nullptr;
+
+  auto run_task = [&](int worker, uint64_t t) {
+    WorkerPartial& mine = partial[size_t(worker)];
     Tensor r;
     if (opt.fused != nullptr) {
       FusedStats fs;
-      r = execute_fused(*opt.fused, leaves, t, opt.pool, &fs);
-      res.stats.merge(fs.exec);
+      r = execute_fused(*opt.fused, leaves, t, inner, &fs);
+      mine.exec.merge(fs.exec);
+      mine.memory.scratch_bytes_get += fs.dma.bytes_get;
+      mine.memory.scratch_bytes_put += fs.dma.bytes_put;
+      mine.memory.rma_bytes += fs.dma.rma_bytes;
+      mine.memory.ldm_subtasks += fs.ldm_subtasks;
+      mine.memory.ldm_peak_elems = std::max(mine.memory.ldm_peak_elems, fs.ldm_peak_elems);
+      mine.memory.main_bytes += fs.exec.bytes_main;
+      mine.memory.host_peak_elems =
+          std::max(mine.memory.host_peak_elems, fs.exec.peak_live_elems);
+      xstats.permute.add(fs.exec.permute_seconds);
+      xstats.gemm.add(fs.exec.gemm_seconds);
+      xstats.memory.add(fs.exec.memory_seconds);
     } else {
       ExecStats es;
-      r = execute_tree(tree, leaves, sliced, t, opt.pool, &es);
-      res.stats.merge(es);
+      r = execute_tree(tree, leaves, sliced, t, inner, &es);
+      mine.exec.merge(es);
+      mine.memory.main_bytes += es.bytes_main;
+      mine.memory.host_peak_elems = std::max(mine.memory.host_peak_elems, es.peak_live_elems);
+      xstats.permute.add(es.permute_seconds);
+      xstats.gemm.add(es.gemm_seconds);
+      xstats.memory.add(es.memory_seconds);
     }
-    if (res.tasks_run == 0) {
-      res.accumulated = std::move(r);
-    } else {
-      // The subtasks' outputs share one layout; accumulate elementwise —
-      // the paper's single allReduce.
-      assert(r.ixs() == res.accumulated.ixs());
-      for (size_t i = 0; i < r.size(); ++i) res.accumulated.data()[i] += r.data()[i];
+    reduction.add(t, std::move(r));
+  };
+
+  SliceRunResult res;
+  Timer wall;
+  switch (opt.executor) {
+    case SliceExecutor::kInnerPool: {
+      xstats.scheduled_delta(count);
+      for (uint64_t t = first; t < first + count; ++t) {
+        run_task(0, t);
+        xstats.finished_delta(1);
+      }
+      res.tasks_run = count;
+      break;
     }
-    ++res.tasks_run;
+    case SliceExecutor::kStaticPool: {
+      xstats.scheduled_delta(count);
+      std::vector<double> busy_s(size_t(n_workers), 0.0);
+      Timer span;
+      pool->parallel_for(count, [&](int w, size_t b, size_t e) {
+        Timer busy;
+        for (size_t i = b; i < e; ++i) {
+          run_task(w, first + i);
+          xstats.finished_delta(1);
+        }
+        busy_s[size_t(w)] = busy.seconds();
+      });
+      // One utilization sample per worker: chunk busy time over the span of
+      // the whole static phase (idle = waiting for the slowest chunk).
+      const double span_s = span.seconds();
+      for (double b : busy_s) xstats.update_ema_utilization(b, span_s);
+      res.tasks_run = count;
+      break;
+    }
+    case SliceExecutor::kWorkStealing: {
+      res.tasks_run = sched->run(first, count, run_task, opt.grain, &xstats);
+      break;
+    }
   }
   res.wall_seconds = wall.seconds();
+  if (opt.executor == SliceExecutor::kInnerPool)
+    xstats.update_ema_utilization(res.wall_seconds, res.wall_seconds);
+
+  for (const auto& p : partial) {
+    res.stats.merge(p.exec);
+    res.memory.merge(p.memory);
+  }
+  res.executor_stats = xstats.snapshot();
+  res.reduce_merges = reduction.merges();
+  // A cancelled run never completes its tournament: `accumulated` then stays
+  // the default empty tensor and `completed` stays false.
+  res.completed = reduction.complete();
+  if (res.completed) res.accumulated = reduction.take_root();
   return res;
 }
 

@@ -1,0 +1,59 @@
+#include "runtime/executor_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltns::runtime {
+
+ExecutorSnapshot ExecutorSnapshot::since(const ExecutorSnapshot& begin) const {
+  ExecutorSnapshot d = *this;
+  d.scheduled -= begin.scheduled;
+  d.stolen -= begin.stolen;
+  d.finished -= begin.finished;
+  d.cancelled -= begin.cancelled;
+  d.permute.count -= begin.permute.count;
+  d.permute.seconds -= begin.permute.seconds;
+  d.gemm.count -= begin.gemm.count;
+  d.gemm.seconds -= begin.gemm.seconds;
+  d.reduce.count -= begin.reduce.count;
+  d.reduce.seconds -= begin.reduce.seconds;
+  d.memory.count -= begin.memory.count;
+  d.memory.seconds -= begin.memory.seconds;
+  return d;  // running/waiting/ema are gauges: keep the end-of-run value
+}
+
+void ExecutorStats::update_ema_utilization(double busy, double interval) {
+  if (interval <= 0) return;
+  const double util = std::clamp(busy / interval, 0.0, 1.0);
+  // Seed with the first observation so short runs read true utilization
+  // instead of an EMA still warming up from zero.
+  bool first = false;
+  if (ema_seeded_.compare_exchange_strong(first, true, std::memory_order_relaxed)) {
+    ema_util_.store(util, std::memory_order_relaxed);
+    return;
+  }
+  const double alpha = 1.0 - std::exp(-interval / tau_seconds);
+  double cur = ema_util_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = alpha * util + (1.0 - alpha) * cur;
+  } while (!ema_util_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+ExecutorSnapshot ExecutorStats::snapshot() const {
+  ExecutorSnapshot s;
+  s.scheduled = scheduled();
+  s.stolen = stolen();
+  s.finished = finished();
+  s.cancelled = cancelled();
+  s.running = running();
+  s.waiting = waiting();
+  s.ema_utilization = ema_utilization();
+  s.permute = {permute.count(), permute.seconds()};
+  s.gemm = {gemm.count(), gemm.seconds()};
+  s.reduce = {reduce.count(), reduce.seconds()};
+  s.memory = {memory.count(), memory.seconds()};
+  return s;
+}
+
+}  // namespace ltns::runtime

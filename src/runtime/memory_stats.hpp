@@ -1,0 +1,39 @@
+// Memory-traffic recorder for the slice runtime.
+//
+// Mirrors the Sunway memory hierarchy the executors model: main-memory
+// tensor traffic (step-by-step TTGT round trips), LDM scratch DMA traffic
+// (secondary-slicing gets/puts) and RMA redistribution bytes, plus the two
+// high-water marks that bound a run's footprint. One MemoryStats is kept
+// per worker during a sliced run and merged once at the end, so recording
+// needs no synchronization.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace ltns::runtime {
+
+struct MemoryStats {
+  double main_bytes = 0;         // tensor reads+writes against main memory
+  double scratch_bytes_get = 0;  // LDM DMA-get traffic
+  double scratch_bytes_put = 0;  // LDM DMA-put traffic
+  double rma_bytes = 0;          // cooperative-DMA redistribution (§5.3.2)
+  uint64_t ldm_subtasks = 0;     // secondary-slicing subtasks executed
+  size_t ldm_peak_elems = 0;     // high-water LDM scratch, elements
+  size_t host_peak_elems = 0;    // high-water live host tensors, elements
+
+  double scratch_bytes() const { return scratch_bytes_get + scratch_bytes_put; }
+
+  void merge(const MemoryStats& o) {
+    main_bytes += o.main_bytes;
+    scratch_bytes_get += o.scratch_bytes_get;
+    scratch_bytes_put += o.scratch_bytes_put;
+    rma_bytes += o.rma_bytes;
+    ldm_subtasks += o.ldm_subtasks;
+    ldm_peak_elems = std::max(ldm_peak_elems, o.ldm_peak_elems);
+    host_peak_elems = std::max(host_peak_elems, o.host_peak_elems);
+  }
+};
+
+}  // namespace ltns::runtime

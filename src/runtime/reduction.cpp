@@ -1,0 +1,98 @@
+#include "runtime/reduction.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace ltns::runtime {
+
+namespace {
+
+// (level, idx) -> map key. Levels cap at 64; positions shrink by half per
+// level, so idx always fits in the low bits.
+uint64_t node_key(int level, uint64_t idx) { return (uint64_t(level) << 57) | idx; }
+
+void merge_into(exec::Tensor& left, const exec::Tensor& right) {
+  assert(left.ixs() == right.ixs() && "slice results must share one layout");
+  exec::cfloat* a = left.raw();
+  const exec::cfloat* b = right.raw();
+  for (size_t i = 0; i < left.size(); ++i) a[i] += b[i];
+}
+
+}  // namespace
+
+ReductionTree::ReductionTree(uint64_t first, uint64_t count, PerfEvent* reduce_timer)
+    : first_(first), count_(count), reduce_timer_(reduce_timer) {
+  assert(count < (uint64_t(1) << 57));
+  root_set_ = count == 0;  // empty reduction: root is the empty tensor
+}
+
+bool ReductionTree::subtree_nonempty(int level, uint64_t idx) const {
+  // Node (level, idx) covers positions [idx·2^level, (idx+1)·2^level) ∩ [0, count).
+  return level < 64 && (idx << level) < count_;
+}
+
+void ReductionTree::add(uint64_t t, exec::Tensor r) {
+  assert(t >= first_ && t - first_ < count_);
+  int level = 0;
+  uint64_t idx = t - first_;
+  for (;;) {
+    if ((idx == 0 && (level >= 64 || (uint64_t(1) << level) >= count_))) {
+      // This node covers the whole range: it is the root.
+      std::lock_guard<std::mutex> lk(mu_);
+      assert(!root_set_);
+      root_ = std::move(r);
+      root_set_ = true;
+      return;
+    }
+    if (!subtree_nonempty(level, idx ^ 1)) {
+      // Sibling range is empty (ragged right edge): promote unchanged.
+      ++level;
+      idx >>= 1;
+      continue;
+    }
+    exec::Tensor sibling;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = pending_.find(node_key(level, idx ^ 1));
+      if (it == pending_.end()) {
+        // First of the pair to finish: park and let the sibling merge.
+        pending_.emplace(node_key(level, idx), std::move(r));
+        return;
+      }
+      sibling = std::move(it->second);
+      pending_.erase(it);
+    }
+    // Merge outside the lock; the even-index node is always the left
+    // operand, which fixes the float-addition order.
+    Timer tm;
+    if (idx & 1) {
+      merge_into(sibling, r);
+      r = std::move(sibling);
+    } else {
+      merge_into(r, sibling);
+    }
+    if (reduce_timer_ != nullptr) reduce_timer_->add(tm.seconds());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++merges_;
+    }
+    ++level;
+    idx >>= 1;
+  }
+}
+
+bool ReductionTree::complete() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return root_set_ && pending_.empty();
+}
+
+exec::Tensor ReductionTree::take_root() {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(root_set_ && pending_.empty() && "reduction incomplete");
+  root_set_ = false;
+  return std::move(root_);
+}
+
+}  // namespace ltns::runtime

@@ -1,0 +1,58 @@
+// Deterministic tournament reduction of slice-task results.
+//
+// The 2^|S| subtasks end in one global sum (the paper's single allReduce).
+// Summing results in completion order would make the accumulated floats
+// depend on scheduling, so the reduction instead follows a fixed binary
+// tournament over task indices: leaf p is task first+p, node (level, idx)
+// covers positions [idx·2^level, (idx+1)·2^level), and a node merges with
+// its sibling as `left += right` (even index on the left) the moment both
+// are available. The merge *structure* depends only on [first, count), so
+// the root tensor is bitwise identical for any completion order, worker
+// count or executor — the property the determinism tests pin down.
+//
+// Each completed task parks its tensor until the sibling arrives, so at
+// most one pending tensor per tournament round per in-flight subtree is
+// alive; merges run outside the map lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "exec/tensor.hpp"
+#include "runtime/executor_stats.hpp"
+
+namespace ltns::runtime {
+
+class ReductionTree {
+ public:
+  // Reduces tasks [first, first + count). `reduce_timer` (optional)
+  // accumulates merge count and seconds.
+  ReductionTree(uint64_t first, uint64_t count, PerfEvent* reduce_timer = nullptr);
+
+  // Contributes the result of task `t`; performs every merge that becomes
+  // ready. Thread-safe; each task must be added exactly once.
+  void add(uint64_t t, exec::Tensor r);
+
+  // True once every task's contribution has been merged into the root.
+  bool complete() const;
+  uint64_t merges() const { return merges_; }
+
+  // The reduced tensor; only valid when complete().
+  exec::Tensor take_root();
+
+ private:
+  bool subtree_nonempty(int level, uint64_t idx) const;
+
+  uint64_t first_ = 0;
+  uint64_t count_ = 0;
+  PerfEvent* reduce_timer_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, exec::Tensor> pending_;  // key: (level, idx)
+  exec::Tensor root_;
+  bool root_set_ = false;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace ltns::runtime

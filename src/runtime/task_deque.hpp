@@ -1,0 +1,74 @@
+// Per-worker work queue of slice-task ranges.
+//
+// The scheduler keeps tasks as [lo, hi) ranges, not individual items: the
+// owner nibbles `grain` tasks at a time off the front, a thief splits the
+// back range in half and walks away with the upper part. Splitting on steal
+// is the "lazy binary splitting" idiom — a loaded worker sheds half its
+// backlog per steal, so a badly skewed static seed rebalances in O(log n)
+// steals. The deque is mutex-guarded; contention is one short lock per
+// chunk or steal (not per task), and a Chase-Lev deque can drop in behind
+// the same interface if it ever shows up in a profile.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace ltns::runtime {
+
+struct TaskRange {
+  uint64_t lo = 0, hi = 0;  // tasks [lo, hi)
+  bool empty() const { return lo >= hi; }
+  uint64_t size() const { return empty() ? 0 : hi - lo; }
+};
+
+class TaskDeque {
+ public:
+  // Owner seeds (or re-queues) a range; empty ranges are dropped.
+  void push(TaskRange r) {
+    if (r.empty()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    q_.push_back(r);
+    remaining_.fetch_add(r.size(), std::memory_order_relaxed);
+  }
+
+  // Owner side: take up to `grain` tasks from the front.
+  bool pop(uint64_t grain, TaskRange* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    TaskRange& front = q_.front();
+    out->lo = front.lo;
+    out->hi = front.lo + std::min(grain < 1 ? uint64_t(1) : grain, front.size());
+    front.lo = out->hi;
+    if (front.empty()) q_.pop_front();
+    remaining_.fetch_sub(out->size(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // Thief side: split the back range, taking its upper half (the whole
+  // range when it is a single task).
+  bool steal(TaskRange* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    TaskRange& back = q_.back();
+    uint64_t mid = back.lo + back.size() / 2;
+    out->lo = mid;
+    out->hi = back.hi;
+    back.hi = mid;
+    if (back.empty()) q_.pop_back();
+    remaining_.fetch_sub(out->size(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // Racy size hint for victim selection; exact under the lock only.
+  uint64_t approx_size() const { return remaining_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<TaskRange> q_;
+  std::atomic<uint64_t> remaining_{0};
+};
+
+}  // namespace ltns::runtime
