@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "core/greedy_slicer.hpp"
 #include "core/slice_finder.hpp"
+#include "exec/shard_runner.hpp"
 #include "exec/slice_runner.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "sunway/cost_model.hpp"
@@ -210,6 +211,26 @@ int main(int argc, char** argv) {
               "accumulated amplitudes bitwise %s\n",
               S2.size(), rs.wall_seconds, rw.wall_seconds, bit_stable ? "EQUAL" : "DIFFERENT");
 
+  // Multi-process shard driver over the same slice range: 1 vs 4 worker
+  // processes, merged in tournament order — the node-level layer on top of
+  // the thread-level comparison above. Must stay bitwise identical too.
+  exec::ShardRunOptions sh1;
+  sh1.processes = 1;
+  auto rp1 = exec::run_sharded(*inst.tree, inst.leaves(), S2, sh1);
+  exec::ShardRunOptions sh4;
+  sh4.processes = 4;
+  auto rp4 = exec::run_sharded(*inst.tree, inst.leaves(), S2, sh4);
+  const bool shard_stable =
+      rp1.completed && rp4.completed && rp1.accumulated.size() == rw.accumulated.size() &&
+      rp4.accumulated.size() == rw.accumulated.size() &&
+      std::memcmp(rp1.accumulated.raw(), rw.accumulated.raw(),
+                  rw.accumulated.size() * sizeof(exec::cfloat)) == 0 &&
+      std::memcmp(rp4.accumulated.raw(), rw.accumulated.raw(),
+                  rw.accumulated.size() * sizeof(exec::cfloat)) == 0;
+  std::printf("multi-process run_sharded: 1 proc %.3fs, 4 procs %.3fs, vs in-process bitwise "
+              "%s\n",
+              rp1.wall_seconds, rp4.wall_seconds, shard_stable ? "EQUAL" : "DIFFERENT");
+
   // JSON for the bench trajectory.
   std::ofstream json("fig11_runtime.json");
   json << "{\n  \"skew\": " << skew << ",\n  \"tasks\": " << n_skew << ",\n  \"rows\": [\n";
@@ -225,7 +246,9 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"real_run\": {\"subtasks\": " << (uint64_t(1) << S2.size())
        << ", \"static_seconds\": " << rs.wall_seconds
        << ", \"ws_seconds\": " << rw.wall_seconds << ", \"bit_stable\": " << std::boolalpha
-       << bit_stable << "}\n}\n";
+       << bit_stable << "},\n  \"sharded\": {\"subtasks\": " << (uint64_t(1) << S2.size())
+       << ", \"p1_seconds\": " << rp1.wall_seconds << ", \"p4_seconds\": " << rp4.wall_seconds
+       << ", \"bit_stable\": " << std::boolalpha << shard_stable << "}\n}\n";
   std::printf("wrote fig11_runtime.json\n");
-  return bit_stable ? 0 : 1;
+  return bit_stable && shard_stable ? 0 : 1;
 }

@@ -6,9 +6,14 @@
 //   ltns_cli amp   <circuit-file> <bitstring>             # one amplitude (verified vs sv if <=22q)
 //   ltns_cli sample <circuit-file> <n_open> <n_samples>   # correlated samples
 //
+//   ltns_cli coordinate <port> <nworkers> <circuit-file> <bitstring>
+//   ltns_cli worker <host> <port>                         # serve one shard job
+//
 // Runtime flags (anywhere on the command line):
 //   --runtime=ws|static|serial   subtask executor (default ws = work stealing)
 //   --grain=N                    scheduler chunk size (tasks per deque pop)
+//   --processes=N                fork N shard processes (amp/sample; default 1)
+//   --workers=N                  scheduler width per process (default: hw/N)
 //   --no-telemetry               suppress the executor/memory stats report
 //
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
@@ -23,6 +28,7 @@
 #include "api/simulator.hpp"
 #include "circuit/io.hpp"
 #include "core/planner.hpp"
+#include "dist/service.hpp"
 #include "sv/statevector.hpp"
 
 using namespace ltns;
@@ -32,6 +38,8 @@ namespace {
 struct RuntimeFlags {
   exec::SliceExecutor executor = exec::SliceExecutor::kWorkStealing;
   uint64_t grain = 1;
+  int processes = 1;
+  int workers = 0;
   bool telemetry = true;
 };
 
@@ -61,6 +69,14 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--grain=", 8) == 0) {
       g_flags.grain = uint64_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--processes=", 12) == 0) {
+      g_flags.processes = std::atoi(argv[i] + 12);
+      if (g_flags.processes < 1) {
+        std::fprintf(stderr, "--processes must be >= 1\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      g_flags.workers = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       g_flags.telemetry = false;
     } else {
@@ -75,7 +91,18 @@ api::SimulatorOptions make_sim_options() {
   opt.plan.target_log2size = 16;
   opt.executor = g_flags.executor;
   opt.grain = g_flags.grain;
+  opt.processes = g_flags.processes;
+  opt.workers_per_process = g_flags.workers;
   return opt;
+}
+
+void print_shards(const std::vector<dist::ShardTelemetry>& shards) {
+  if (!g_flags.telemetry || shards.empty()) return;
+  for (const auto& s : shards)
+    std::printf("  shard %d: tasks %llu of [%llu, %llu), %llu stolen, wall %.3fs\n", int(s.shard),
+                (unsigned long long)s.tasks_run, (unsigned long long)s.first,
+                (unsigned long long)(s.first + s.count), (unsigned long long)s.executor.stolen,
+                s.wall_seconds);
 }
 
 void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem) {
@@ -165,11 +192,16 @@ int cmd_amp(int argc, char** argv) {
 
   api::Simulator sim(circ, make_sim_options());
   auto res = sim.amplitude(bits);
+  if (!res.error.empty()) {
+    std::fprintf(stderr, "sharded run failed: %s\n", res.error.c_str());
+    return 1;
+  }
   std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", res.amplitude.real(),
               res.amplitude.imag(), std::norm(res.amplitude));
   std::printf("slices %d, overhead %.4f, flops %.3g\n", res.num_slices, res.slicing.overhead(),
               res.stats.flops);
   print_telemetry(res.runtime_stats, res.memory);
+  print_shards(res.shards);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -192,16 +224,69 @@ int cmd_sample(int argc, char** argv) {
 
   api::Simulator sim(circ, make_sim_options());
   auto batch = sim.batch_amplitudes(bits, open);
+  if (!batch.error.empty()) {
+    std::fprintf(stderr, "sharded run failed: %s\n", batch.error.c_str());
+    return 1;
+  }
   auto samples = api::Simulator::sample_from_batch(batch, n_samples, 7);
   std::printf("# open qubits:");
   for (int q : open) std::printf(" %d", q);
   std::printf("\n");
   print_telemetry(batch.runtime_stats, batch.memory);
+  print_shards(batch.shards);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
     std::putchar('\n');
   }
   return 0;
+}
+
+// Multi-host mode: `coordinate` shards one amplitude job across `nworkers`
+// TCP workers (started separately with `worker`) and prints the same
+// amplitude line as `amp`, so the two paths can be diffed byte-for-byte.
+int cmd_coordinate(int argc, char** argv) {
+  if (argc < 6) return 64;
+  const int port = std::atoi(argv[2]);
+  const int nworkers = std::atoi(argv[3]);
+  if (port < 0 || port > 65535 || nworkers < 1) return 64;
+  auto circ = load_circuit(argv[4]);
+  const char* bitstr = argv[5];
+  if (int(std::strlen(bitstr)) != circ.num_qubits) {
+    std::fprintf(stderr, "bitstring must have %d bits\n", circ.num_qubits);
+    return 2;
+  }
+  std::vector<int> bits(size_t(circ.num_qubits));
+  for (int q = 0; q < circ.num_qubits; ++q) bits[size_t(q)] = bitstr[q] == '1';
+
+  dist::ServiceOptions so;
+  so.executor = g_flags.executor;
+  so.grain = g_flags.grain;
+  so.workers_per_process = g_flags.workers;
+  dist::CoordinatorServer server{uint16_t(port)};
+  std::fprintf(stderr, "coordinator listening on port %u, waiting for %d workers\n",
+               unsigned(server.port()), nworkers);
+  auto res = server.run_amplitude(nworkers, circ, bits, so);
+  if (!res.completed) {
+    std::fprintf(stderr, "distributed run failed: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", res.amplitude.real(),
+              res.amplitude.imag(), std::norm(res.amplitude));
+  std::printf("slices %d, tasks %llu over %d workers\n", res.num_slices,
+              (unsigned long long)res.tasks_run, nworkers);
+  print_shards(res.shards);
+  if (circ.num_qubits <= 22) {
+    auto exact = sv::simulate_amplitude(circ, bits);
+    std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
+  }
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  if (argc < 4) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  return dist::serve_worker(argv[2], uint16_t(port));
 }
 
 }  // namespace
@@ -217,7 +302,10 @@ int main(int raw_argc, char** raw_argv) {
                  "       ltns_cli plan <circuit|-> [depth]\n"
                  "       ltns_cli amp <circuit|-> <bitstring>\n"
                  "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n"
-                 "flags: --runtime=ws|static|serial --grain=N --no-telemetry\n");
+                 "       ltns_cli coordinate <port> <nworkers> <circuit|-> <bitstring>\n"
+                 "       ltns_cli worker <host> <port>\n"
+                 "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
+                 "       --no-telemetry\n");
     return 64;
   }
   std::string cmd = argv[1];
@@ -227,6 +315,8 @@ int main(int raw_argc, char** raw_argv) {
   else if (cmd == "plan") rc = cmd_plan(argc, argv);
   else if (cmd == "amp") rc = cmd_amp(argc, argv);
   else if (cmd == "sample") rc = cmd_sample(argc, argv);
+  else if (cmd == "coordinate") rc = cmd_coordinate(argc, argv);
+  else if (cmd == "worker") rc = cmd_worker(argc, argv);
   if (rc == 64) std::fprintf(stderr, "bad arguments; run without arguments for usage\n");
   return rc;
 }

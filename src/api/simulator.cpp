@@ -31,21 +31,52 @@ Prepared prepare(const circuit::Circuit& c, const SimulatorOptions& opt,
   return p;
 }
 
-exec::SliceRunResult run(const Prepared& p, const SimulatorOptions& opt,
-                         exec::FusedPlan* fused_storage) {
+struct RunOutput {
+  exec::SliceRunResult r;
+  std::vector<dist::ShardTelemetry> shards;
+  std::string error;
+};
+
+RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* fused_storage) {
+  const exec::FusedPlan* fused = nullptr;
+  if (opt.fused) {
+    *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
+    fused = fused_storage;
+  }
+  auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
+    return ln.tensors[size_t(v)];
+  };
+
+  RunOutput out;
+  if (opt.processes > 1) {
+    exec::ShardRunOptions so;
+    so.processes = opt.processes;
+    so.workers_per_process = opt.workers_per_process;
+    so.executor = opt.executor;
+    so.grain = opt.grain;
+    so.fused = fused;
+    auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
+    out.r.accumulated = std::move(sr.accumulated);
+    out.r.completed = sr.completed;
+    out.r.tasks_run = sr.tasks_run;
+    out.r.stats = sr.stats;
+    out.r.wall_seconds = sr.wall_seconds;
+    out.r.executor_stats = sr.executor_stats;
+    out.r.memory = sr.memory;
+    out.r.reduce_merges = sr.reduce_merges;
+    out.shards = std::move(sr.shards);
+    out.error = std::move(sr.error);
+    return out;
+  }
+
   exec::SliceRunOptions ro;
   ro.executor = opt.executor;
   ro.scheduler = opt.scheduler;
   ro.grain = opt.grain;
   ro.pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
-  if (opt.fused) {
-    *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
-    ro.fused = fused_storage;
-  }
-  auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
-    return ln.tensors[size_t(v)];
-  };
-  return exec::run_sliced(*p.plan.tree, leaves, p.plan.slices, ro);
+  ro.fused = fused;
+  out.r = exec::run_sliced(*p.plan.tree, leaves, p.plan.slices, ro);
+  return out;
 }
 
 }  // namespace
@@ -59,14 +90,17 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
 
   Timer t;
   exec::FusedPlan fused;
-  auto rr = run(p, opt_, &fused);
+  auto out = run(p, opt_, &fused);
+  const auto& rr = out.r;
   res.exec_seconds = t.seconds();
   res.stats = rr.stats;
   res.runtime_stats = rr.executor_stats;
   res.memory = rr.memory;
   res.completed = rr.completed;
-  // A cancelled run yields an empty tensor; report a zero amplitude rather
-  // than reading a scalar that was never accumulated.
+  res.shards = std::move(out.shards);
+  res.error = std::move(out.error);
+  // A cancelled or failed run yields an empty tensor; report a zero
+  // amplitude rather than reading a scalar that was never accumulated.
   if (!rr.completed || rr.accumulated.size() == 0) return res;
   assert(rr.accumulated.rank() == 0);
   res.amplitude = std::complex<double>(rr.accumulated.data()[0]) * p.lowered.scalar;
@@ -82,11 +116,14 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   res.slicing = p.plan.metrics;
 
   exec::FusedPlan fused;
-  auto rr = run(p, opt_, &fused);
+  auto out = run(p, opt_, &fused);
+  const auto& rr = out.r;
   res.stats = rr.stats;
   res.runtime_stats = rr.executor_stats;
   res.memory = rr.memory;
   res.completed = rr.completed;
+  res.shards = std::move(out.shards);
+  res.error = std::move(out.error);
 
   // The result tensor's axes are the open output edges in some order;
   // re-index so open_qubits[0] is the most significant bit.

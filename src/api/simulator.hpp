@@ -11,10 +11,12 @@
 #include <complex>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
+#include "exec/shard_runner.hpp"
 #include "exec/slice_runner.hpp"
 
 namespace ltns::api {
@@ -29,6 +31,12 @@ struct SimulatorOptions {
   ThreadPool* pool = nullptr;     // kInnerPool/kStaticPool; defaults to global
   runtime::SliceScheduler* scheduler = nullptr;  // kWorkStealing; defaults to global
   uint64_t grain = 1;             // scheduler chunk size (tasks per pop)
+  // Multi-process sharding: > 1 forks one worker process per shard of the
+  // 2^|S| subtasks (exec::run_sharded) and merges the partials in fixed
+  // tournament order, so the result is bitwise identical to an in-process
+  // run. Per-shard telemetry lands in the result's `shards`.
+  int processes = 1;
+  int workers_per_process = 0;    // scheduler width per worker; 0 = hw/processes
 };
 
 struct AmplitudeResult {
@@ -40,7 +48,11 @@ struct AmplitudeResult {
   int num_slices = 0;
   exec::ExecStats stats;
   runtime::ExecutorSnapshot runtime_stats;  // per-run scheduler telemetry
+                                            // (aggregated over processes)
   runtime::MemoryStats memory;              // main/LDM/RMA traffic recorder
+  std::vector<dist::ShardTelemetry> shards; // per-process telemetry
+                                            // (empty for in-process runs)
+  std::string error;                        // sharded-run failure, if any
   double plan_seconds = 0;
   double exec_seconds = 0;
 };
@@ -55,6 +67,8 @@ struct BatchResult {
   exec::ExecStats stats;
   runtime::ExecutorSnapshot runtime_stats;
   runtime::MemoryStats memory;
+  std::vector<dist::ShardTelemetry> shards;  // per-process telemetry
+  std::string error;                         // sharded-run failure, if any
 };
 
 class Simulator {

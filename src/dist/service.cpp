@@ -1,0 +1,315 @@
+#include "dist/service.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/time.h>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "circuit/io.hpp"
+#include "circuit/lowering.hpp"
+#include "core/planner.hpp"
+#include "dist/shard_merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_stream.hpp"
+#include "runtime/slice_scheduler.hpp"
+#include "util/timer.hpp"
+
+namespace ltns::dist {
+
+namespace {
+
+// One job = everything a worker needs to reproduce the coordinator's plan
+// and run its shard window.
+struct Job {
+  std::string circuit_text;
+  std::string bits;  // '0'/'1' per qubit
+  double target_log2size = 16;
+  uint64_t plan_seed = 0;
+  uint32_t executor = 0;
+  uint64_t grain = 1;
+  int32_t workers = 0;
+  int32_t num_slices = 0;  // coordinator's |S|; worker must agree
+  int32_t shard_id = 0;
+  uint64_t first = 0;
+  uint64_t count = 0;
+  uint32_t fused = 1;
+  uint64_t ldm_elems = 32768;
+};
+
+void put_job(ByteWriter& w, const Job& j) {
+  w.put_string(j.circuit_text);
+  w.put_string(j.bits);
+  w.put<double>(j.target_log2size);
+  w.put<uint64_t>(j.plan_seed);
+  w.put<uint32_t>(j.executor);
+  w.put<uint64_t>(j.grain);
+  w.put<int32_t>(j.workers);
+  w.put<int32_t>(j.num_slices);
+  w.put<int32_t>(j.shard_id);
+  w.put<uint64_t>(j.first);
+  w.put<uint64_t>(j.count);
+  w.put<uint32_t>(j.fused);
+  w.put<uint64_t>(j.ldm_elems);
+}
+
+Job get_job(ByteReader& r) {
+  Job j;
+  j.circuit_text = r.get_string();
+  j.bits = r.get_string();
+  j.target_log2size = r.get<double>();
+  j.plan_seed = r.get<uint64_t>();
+  j.executor = r.get<uint32_t>();
+  j.grain = r.get<uint64_t>();
+  j.workers = r.get<int32_t>();
+  j.num_slices = r.get<int32_t>();
+  j.shard_id = r.get<int32_t>();
+  j.first = r.get<uint64_t>();
+  j.count = r.get<uint64_t>();
+  j.fused = r.get<uint32_t>();
+  j.ldm_elems = r.get<uint64_t>();
+  return j;
+}
+
+struct Prepared {
+  circuit::LoweredNetwork lowered;
+  core::Plan plan;
+};
+
+// The deterministic plan both sides derive independently from the job spec.
+// This MUST mirror api::Simulator's prepare pipeline (lower -> simplify ->
+// make_plan with default options beyond target/seed) — the documented
+// bitwise comparability of `coordinate` vs `amp` depends on it, and the CI
+// distributed job diffs the two amplitude lines on every push to catch
+// drift.
+Prepared prepare(const circuit::Circuit& c, const std::vector<int>& bits, double target,
+                 uint64_t seed) {
+  circuit::LoweringOptions lo;
+  lo.output_bits = bits;
+  Prepared p{circuit::lower(c, lo), core::Plan{}};
+  circuit::simplify(p.lowered);
+  core::PlanOptions po;
+  po.target_log2size = target;
+  po.seed = seed;
+  p.plan = core::make_plan(p.lowered.net, po);
+  return p;
+}
+
+void close_fd(int* fd) {
+  if (*fd >= 0) ::close(*fd);
+  *fd = -1;
+}
+
+void send_error(int fd, const std::string& msg) {
+  try {
+    ByteWriter w;
+    w.put_string(msg);
+    write_frame(fd, FrameType::kError, w);
+  } catch (...) {
+  }
+}
+
+}  // namespace
+
+CoordinatorServer::CoordinatorServer(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("dist service: socket failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    close_fd(&listen_fd_);
+    throw std::runtime_error("dist service: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+CoordinatorServer::~CoordinatorServer() { close_fd(&listen_fd_); }
+
+CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circuit::Circuit& c,
+                                                   const std::vector<int>& bits,
+                                                   const ServiceOptions& opt) {
+  std::signal(SIGPIPE, SIG_IGN);
+  CoordinatorResult res;
+  Timer wall;
+  auto p = prepare(c, bits, opt.target_log2size, core::PlanOptions{}.seed);
+  res.num_slices = p.plan.num_slices();
+  if (p.plan.num_slices() >= 57) {  // same bound run_sharded enforces
+    res.error = "too many sliced edges";
+    return res;
+  }
+  const uint64_t total = uint64_t(1) << p.plan.num_slices();
+  const auto shards = make_shard_plan(total, std::max(1, num_workers));
+
+  Job base;
+  base.circuit_text = circuit::circuit_to_string(c);
+  base.bits.reserve(bits.size());
+  for (int b : bits) base.bits.push_back(b != 0 ? '1' : '0');
+  base.target_log2size = opt.target_log2size;
+  base.plan_seed = core::PlanOptions{}.seed;
+  base.executor = uint32_t(opt.executor);
+  base.grain = opt.grain;
+  base.workers = opt.workers_per_process;
+  base.num_slices = int32_t(p.plan.num_slices());
+  base.fused = opt.fused ? 1 : 0;
+  base.ldm_elems = opt.ldm_elems;
+
+  // Accept every worker and hand out all the jobs BEFORE draining any
+  // result stream, so the shards run concurrently. The accept wait is
+  // bounded: a worker that dies before connecting must produce an error,
+  // not an indefinite hang (socket EOF only covers connected workers).
+  if (opt.accept_timeout_seconds > 0) {
+    timeval tv{};
+    tv.tv_sec = opt.accept_timeout_seconds;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  std::vector<int> fds(size_t(num_workers), -1);
+  for (int i = 0; i < num_workers; ++i) {
+    fds[size_t(i)] = ::accept(listen_fd_, nullptr, nullptr);
+    if (fds[size_t(i)] < 0) {
+      res.error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                      ? "timed out waiting for worker " + std::to_string(i) + " to connect"
+                      : "accept failed";
+      break;
+    }
+    // Accepted sockets inherit the listener's SO_RCVTIMEO on Linux; clear
+    // it so a long-running shard (first block slower than the accept
+    // timeout) doesn't turn into a spurious read error mid-drain.
+    timeval no_timeout{};
+    ::setsockopt(fds[size_t(i)], SOL_SOCKET, SO_RCVTIMEO, &no_timeout, sizeof(no_timeout));
+    try {
+      Frame hello;
+      if (!read_frame(fds[size_t(i)], &hello) || hello.type != FrameType::kHello)
+        throw std::runtime_error("worker did not say hello");
+      Job j = base;
+      j.shard_id = i;
+      j.first = shards[size_t(i)].first;
+      j.count = shards[size_t(i)].count;
+      ByteWriter w;
+      put_job(w, j);
+      write_frame(fds[size_t(i)], FrameType::kJob, w);
+    } catch (const std::exception& e) {
+      res.error = "worker " + std::to_string(i) + ": " + e.what();
+      break;
+    }
+  }
+
+  ShardMerger merger(total);
+  res.shards.assign(size_t(num_workers), {});
+  if (res.error.empty()) {
+    for (int i = 0; i < num_workers; ++i) {
+      auto err = drain_shard_stream(fds[size_t(i)], &merger, &res.shards[size_t(i)]);
+      if (!err.empty()) {
+        if (!res.error.empty()) res.error += "; ";
+        res.error += "worker " + std::to_string(i) + ": " + err;
+      }
+    }
+  }
+  for (int& fd : fds) close_fd(&fd);
+
+  for (const auto& t : res.shards) res.tasks_run += t.tasks_run;
+  res.wall_seconds = wall.seconds();
+  if (!res.error.empty()) return res;
+  if (!merger.complete()) {
+    res.error = "reduction incomplete despite clean workers";
+    return res;
+  }
+  auto root = merger.take_root();
+  if (root.rank() != 0 || root.size() != 1) {
+    res.error = "amplitude job produced a non-scalar root";
+    return res;
+  }
+  res.amplitude = std::complex<double>(root.data()[0]) * p.lowered.scalar;
+  res.completed = true;
+  return res;
+}
+
+int serve_worker(const std::string& host, uint16_t port) {
+  std::signal(SIGPIPE, SIG_IGN);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* ai = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &ai) != 0 ||
+      ai == nullptr)
+    return 2;
+  // Retry the connect for ~10s so workers may be launched before (or
+  // alongside) the coordinator without a fragile startup order.
+  int fd = -1;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd >= 0 && ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    ::usleep(500 * 1000);
+  }
+  ::freeaddrinfo(ai);
+  if (fd < 0) return 2;
+
+  int rc = 0;
+  try {
+    write_frame(fd, FrameType::kHello, nullptr, 0);
+    Frame f;
+    if (!read_frame(fd, &f) || f.type != FrameType::kJob)
+      throw std::runtime_error("expected a job frame");
+    ByteReader jr(f.payload);
+    Job job = get_job(jr);
+
+    auto circ = circuit::circuit_from_string(job.circuit_text);
+    std::vector<int> bits;
+    bits.reserve(job.bits.size());
+    for (char ch : job.bits) bits.push_back(ch == '1');
+    auto p = prepare(circ, bits, job.target_log2size, job.plan_seed);
+    if (p.plan.num_slices() != int(job.num_slices))
+      throw std::runtime_error("plan mismatch: local |S| = " +
+                               std::to_string(p.plan.num_slices()) + ", coordinator expected " +
+                               std::to_string(job.num_slices));
+    const uint64_t totalv = uint64_t(1) << p.plan.num_slices();
+    if (job.first + job.count > totalv)
+      throw std::runtime_error("shard window outside the task range");
+
+    const int workers = job.workers > 0 ? job.workers : 0;  // 0 = hardware
+    ThreadPool pool(workers);
+    runtime::SliceScheduler sched(workers);
+    auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
+      return ln.tensors[size_t(v)];
+    };
+    exec::FusedPlan fused_plan;
+    const exec::FusedPlan* fused = nullptr;
+    if (job.fused != 0) {
+      fused_plan =
+          exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), size_t(job.ldm_elems));
+      fused = &fused_plan;
+    }
+
+    ShardStreamOptions so;
+    so.executor = exec::SliceExecutor(job.executor);
+    so.grain = job.grain;
+    so.pool = &pool;
+    so.scheduler = &sched;
+    so.fused = fused;
+    stream_shard_window(fd, int(job.shard_id), job.first, job.count, *p.plan.tree, leaves,
+                        p.plan.slices, so);
+  } catch (const std::exception& e) {
+    send_error(fd, e.what());
+    rc = 1;
+  }
+  ::close(fd);
+  return rc;
+}
+
+}  // namespace ltns::dist

@@ -1,0 +1,86 @@
+#include "dist/shard_merge.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ltns::dist {
+
+namespace {
+
+// Same key scheme as ReductionTree: (level, idx) with idx in the low bits.
+uint64_t node_key(int level, uint64_t idx) { return (uint64_t(level) << 57) | idx; }
+
+void merge_into(exec::Tensor& left, const exec::Tensor& right) {
+  if (left.ixs() != right.ixs() || left.size() != right.size())
+    throw std::runtime_error("dist merge: shard partials disagree on tensor layout");
+  exec::cfloat* a = left.raw();
+  const exec::cfloat* b = right.raw();
+  for (size_t i = 0; i < left.size(); ++i) a[i] += b[i];
+}
+
+}  // namespace
+
+ShardMerger::ShardMerger(uint64_t total) : total_(total) {
+  assert(total < (uint64_t(1) << 57));
+  root_set_ = total == 0;  // empty range: root is the empty tensor
+}
+
+bool ShardMerger::subtree_nonempty(int level, uint64_t idx) const {
+  return level < 64 && (idx << level) < total_;
+}
+
+void ShardMerger::add(int level, uint64_t index, exec::Tensor partial) {
+  // (level, index) comes off the wire: validate (overflow-safely) that the
+  // block lies inside [0, total) rather than assert, so a corrupt or
+  // version-skewed frame is a clean protocol error in release builds too.
+  if (level < 0 || level >= 64 || total_ == 0 || index > ((total_ - 1) >> level))
+    throw std::runtime_error("dist merge: block outside the task range");
+  int l = level;
+  uint64_t idx = index;
+  exec::Tensor r = std::move(partial);
+  for (;;) {
+    if (idx == 0 && (l >= 64 || (uint64_t(1) << l) >= total_)) {
+      // This node covers the whole range: it is the root.
+      if (root_set_) throw std::runtime_error("dist merge: duplicate root contribution");
+      root_ = std::move(r);
+      root_set_ = true;
+      return;
+    }
+    if (!subtree_nonempty(l, idx ^ 1)) {
+      // Sibling range is empty (ragged right edge): promote unchanged.
+      ++l;
+      idx >>= 1;
+      continue;
+    }
+    auto it = pending_.find(node_key(l, idx ^ 1));
+    if (it == pending_.end()) {
+      if (!pending_.emplace(node_key(l, idx), std::move(r)).second)
+        throw std::runtime_error("dist merge: duplicate block contribution");
+      return;
+    }
+    exec::Tensor sibling = std::move(it->second);
+    pending_.erase(it);
+    // The even-index node is always the left operand — the same fixed
+    // float-addition order the in-process ReductionTree uses.
+    if (idx & 1) {
+      merge_into(sibling, r);
+      r = std::move(sibling);
+    } else {
+      merge_into(r, sibling);
+    }
+    ++merges_;
+    ++l;
+    idx >>= 1;
+  }
+}
+
+bool ShardMerger::complete() const { return root_set_ && pending_.empty(); }
+
+exec::Tensor ShardMerger::take_root() {
+  assert(complete() && "shard merge incomplete");
+  root_set_ = false;
+  return std::move(root_);
+}
+
+}  // namespace ltns::dist

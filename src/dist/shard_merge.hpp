@@ -1,0 +1,47 @@
+// Coordinator-side finish of the global reduction tournament.
+//
+// Workers ship one partial tensor per tournament-aligned block of their
+// shard window; each partial is bitwise identical to the corresponding
+// internal node of the single-process ReductionTree over [0, total)
+// (see shard_plan.hpp). The ShardMerger completes the upper levels of that
+// same tree: a node merges with its sibling as `left += right` (even index
+// on the left), and a node whose sibling range falls outside [0, total)
+// promotes unchanged — exactly ReductionTree's rules, so the root is
+// bitwise identical to the single-process run no matter how many shards
+// contributed or in which order their frames arrived.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "exec/tensor.hpp"
+
+namespace ltns::dist {
+
+class ShardMerger {
+ public:
+  // Merges aligned-block partials of the task range [0, total).
+  explicit ShardMerger(uint64_t total);
+
+  // Contributes the partial of block (level, index); performs every merge
+  // that becomes ready. Each block of the tiling must be added exactly once.
+  void add(int level, uint64_t index, exec::Tensor partial);
+
+  // True once every task's contribution is folded into the root.
+  bool complete() const;
+  uint64_t merges() const { return merges_; }
+
+  // The accumulated tensor; only valid when complete().
+  exec::Tensor take_root();
+
+ private:
+  bool subtree_nonempty(int level, uint64_t idx) const;
+
+  uint64_t total_ = 0;
+  std::unordered_map<uint64_t, exec::Tensor> pending_;  // key: (level, idx)
+  exec::Tensor root_;
+  bool root_set_ = false;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace ltns::dist

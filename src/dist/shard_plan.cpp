@@ -1,0 +1,38 @@
+#include "dist/shard_plan.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace ltns::dist {
+
+std::vector<Shard> make_shard_plan(uint64_t total, int processes) {
+  assert(processes >= 1);
+  std::vector<Shard> plan;
+  plan.reserve(std::size_t(processes));
+  const auto p = uint64_t(processes);
+  // __int128 keeps total·(w+1) exact for totals up to 2^57 (the ReductionTree
+  // cap) at any process count.
+  for (uint64_t w = 0; w < p; ++w) {
+    const auto lo = uint64_t((unsigned __int128)(total)*w / p);
+    const auto hi = uint64_t((unsigned __int128)(total) * (w + 1) / p);
+    plan.push_back({lo, hi - lo});
+  }
+  return plan;
+}
+
+std::vector<AlignedBlock> aligned_blocks(uint64_t first, uint64_t count) {
+  std::vector<AlignedBlock> blocks;
+  uint64_t lo = first;
+  const uint64_t hi = first + count;
+  while (lo < hi) {
+    // Largest power-of-two block starting at lo: limited by lo's alignment
+    // (lowest set bit) and by the remaining span.
+    int level = lo == 0 ? 63 : __builtin_ctzll(lo);
+    while ((uint64_t(1) << level) > hi - lo) --level;
+    blocks.push_back({level, lo >> level});
+    lo += uint64_t(1) << level;
+  }
+  return blocks;
+}
+
+}  // namespace ltns::dist

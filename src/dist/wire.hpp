@@ -1,0 +1,150 @@
+// Length-prefixed wire protocol for the multi-process shard driver.
+//
+// Every message is one frame: a fixed header {magic, version, type,
+// payload_len} followed by payload_len bytes. Payloads are built with
+// ByteWriter/ByteReader, which memcpy PODs field by field — floats and
+// doubles travel as their raw bit patterns, so a tensor or telemetry block
+// round-trips BIT-EXACTLY (the property the cross-process reduction relies
+// on). Endianness/width must match across peers; the driver targets
+// same-binary same-arch deployments (fork on one host, or the same
+// executable on homogeneous nodes) and the Hello exchange rejects mismatched
+// protocol versions.
+//
+// Reader behaviour on a dead peer: read_frame returns false on a clean EOF
+// at a frame boundary and throws std::runtime_error on a truncated frame or
+// corrupt header — so a killed worker surfaces as an error, never a hang
+// (the socket closes with the process).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "exec/tensor.hpp"
+#include "exec/tree_executor.hpp"
+#include "runtime/executor_stats.hpp"
+#include "runtime/memory_stats.hpp"
+
+namespace ltns::dist {
+
+inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
+inline constexpr uint32_t kWireVersion = 1;
+
+enum class FrameType : uint32_t {
+  kHello = 1,      // worker -> coordinator: protocol version
+  kJob = 2,        // coordinator -> worker: circuit + plan options + window
+  kBlock = 3,      // worker -> coordinator: one aligned-block partial tensor
+  kTelemetry = 4,  // worker -> coordinator: per-shard telemetry
+  kDone = 5,       // worker -> coordinator: shard finished cleanly
+  kError = 6,      // either direction: human-readable failure
+};
+
+// --- payload (de)serialization -------------------------------------------
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  void put_bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  void put_string(const std::string& s) {
+    put<uint64_t>(s.size());
+    put_bytes(s.data(), s.size());
+  }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : p_(data), end_(data + size) {}
+  explicit ByteReader(const std::vector<uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    T v;
+    get_bytes(&v, sizeof(T));
+    return v;
+  }
+  void get_bytes(void* out, size_t n) {
+    if (size_t(end_ - p_) < n) throw std::runtime_error("dist wire: truncated payload");
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+  std::string get_string() {
+    auto n = get<uint64_t>();
+    if (size_t(end_ - p_) < n) throw std::runtime_error("dist wire: truncated string");
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+  bool exhausted() const { return p_ == end_; }
+  size_t remaining() const { return size_t(end_ - p_); }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+// Per-shard telemetry shipped back to the coordinator and aggregated into
+// the sharded run result — the cross-process counterpart of the fields a
+// SliceRunResult carries.
+struct ShardTelemetry {
+  int32_t shard = 0;
+  uint64_t first = 0;
+  uint64_t count = 0;
+  uint64_t tasks_run = 0;
+  uint64_t reduce_merges = 0;  // worker-local tournament merges
+  double wall_seconds = 0;
+  runtime::ExecutorSnapshot executor;
+  runtime::MemoryStats memory;
+  exec::ExecStats exec;
+};
+
+void put_tensor(ByteWriter& w, const exec::Tensor& t);
+exec::Tensor get_tensor(ByteReader& r);
+
+void put_exec_stats(ByteWriter& w, const exec::ExecStats& s);
+exec::ExecStats get_exec_stats(ByteReader& r);
+
+void put_snapshot(ByteWriter& w, const runtime::ExecutorSnapshot& s);
+runtime::ExecutorSnapshot get_snapshot(ByteReader& r);
+
+void put_memory_stats(ByteWriter& w, const runtime::MemoryStats& m);
+runtime::MemoryStats get_memory_stats(ByteReader& r);
+
+void put_telemetry(ByteWriter& w, const ShardTelemetry& t);
+ShardTelemetry get_telemetry(ByteReader& r);
+
+// --- framing over a file descriptor (socketpair or TCP socket) -----------
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+// Writes one frame; throws std::runtime_error on a write error (EPIPE when
+// the peer died — callers ignore SIGPIPE).
+void write_frame(int fd, FrameType type, const void* payload, size_t size);
+inline void write_frame(int fd, FrameType type, const ByteWriter& w) {
+  write_frame(fd, type, w.buffer().data(), w.buffer().size());
+}
+
+// Reads one frame. Returns false on clean EOF before a header (peer closed
+// between frames); throws on truncation, bad magic/version, or oversized
+// payloads.
+bool read_frame(int fd, Frame* out);
+
+}  // namespace ltns::dist

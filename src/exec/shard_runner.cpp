@@ -1,0 +1,158 @@
+#include "exec/shard_runner.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/shard_merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_stream.hpp"
+#include "runtime/slice_scheduler.hpp"
+#include "util/timer.hpp"
+
+namespace ltns::exec {
+
+namespace {
+
+int workers_for(const ShardRunOptions& opt) {
+  if (opt.workers_per_process > 0) return opt.workers_per_process;
+  const int hw = int(std::max(1u, std::thread::hardware_concurrency()));
+  return std::max(1, hw / std::max(1, opt.processes));
+}
+
+// Worker process body: stream the shard window's block partials over the
+// shared protocol, then exit. Never returns; exit code 0 = clean, 1 =
+// reported error frame.
+[[noreturn]] void worker_main(int fd, int shard_id, dist::Shard shard,
+                              const tn::ContractionTree& tree, const LeafProvider& leaves,
+                              const core::SliceSet& slices, const ShardRunOptions& opt) {
+  // A dead coordinator must surface as a write error, not SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    // Fresh executor resources: threads do not survive fork, so the
+    // parent's (global) pools are unusable husks in this process.
+    const int workers = workers_for(opt);
+    ThreadPool pool(workers);
+    runtime::SliceScheduler sched(workers);
+    dist::ShardStreamOptions so;
+    so.executor = opt.executor;
+    so.grain = opt.grain;
+    so.pool = &pool;
+    so.scheduler = &sched;
+    so.fused = opt.fused;
+    dist::stream_shard_window(fd, shard_id, shard.first, shard.count, tree, leaves, slices, so);
+    ::close(fd);
+    std::_Exit(0);
+  } catch (const std::exception& e) {
+    try {
+      dist::ByteWriter w;
+      w.put_string(e.what());
+      dist::write_frame(fd, dist::FrameType::kError, w);
+    } catch (...) {
+    }
+    std::_Exit(1);
+  }
+}
+
+struct Child {
+  pid_t pid = -1;
+  int fd = -1;
+};
+
+void append_error(std::string* error, const std::string& msg) {
+  if (!error->empty()) *error += "; ";
+  *error += msg;
+}
+
+}  // namespace
+
+ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& leaves,
+                           const core::SliceSet& slices, const ShardRunOptions& opt) {
+  ShardRunResult res;
+  const auto sliced = slices.to_vector();
+  if (sliced.size() >= 57) {
+    res.error = "too many sliced edges";
+    return res;
+  }
+  const uint64_t total = uint64_t(1) << sliced.size();
+  const int processes = std::max(1, opt.processes);
+  const auto plan = dist::make_shard_plan(total, processes);
+
+  Timer wall;
+  std::vector<Child> kids(size_t(processes), Child{});
+  for (int p = 0; p < processes; ++p) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      append_error(&res.error, "socketpair failed");
+      break;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      append_error(&res.error, "fork failed");
+      break;
+    }
+    if (pid == 0) {
+      // Child: drop every inherited coordinator-side descriptor.
+      for (const auto& k : kids)
+        if (k.fd >= 0) ::close(k.fd);
+      ::close(sv[0]);
+      if (opt.fault_shard == p) std::_Exit(17);  // test hook: die unreported
+      worker_main(sv[1], p, plan[size_t(p)], tree, leaves, slices, opt);
+    }
+    ::close(sv[1]);
+    kids[size_t(p)] = {pid, sv[0]};
+  }
+
+  // Drain every worker's frame stream; a worker that dies mid-run closes
+  // its socket, so the read loop ends in EOF and reports instead of hanging.
+  dist::ShardMerger merger(total);
+  res.shards.assign(size_t(processes), {});
+  for (int p = 0; p < processes; ++p) {
+    Child& kid = kids[size_t(p)];
+    if (kid.fd < 0) continue;
+    auto err = dist::drain_shard_stream(kid.fd, &merger, &res.shards[size_t(p)]);
+    if (!err.empty()) append_error(&res.error, "shard " + std::to_string(p) + ": " + err);
+    ::close(kid.fd);
+    kid.fd = -1;
+  }
+
+  for (int p = 0; p < processes; ++p) {
+    if (kids[size_t(p)].pid < 0) continue;
+    int st = 0;
+    ::waitpid(kids[size_t(p)].pid, &st, 0);
+    if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+      // Only worth reporting when the worker didn't already explain itself.
+      if (res.error.empty())
+        append_error(&res.error, "shard " + std::to_string(p) + " exited abnormally (status " +
+                                     std::to_string(st) + ")");
+    }
+  }
+
+  for (const auto& t : res.shards) {
+    res.tasks_run += t.tasks_run;
+    res.reduce_merges += t.reduce_merges;
+    res.stats.merge(t.exec);
+    res.memory.merge(t.memory);
+    res.executor_stats.merge(t.executor);
+  }
+  res.wall_seconds = wall.seconds();
+  if (!res.error.empty()) return res;
+  if (!merger.complete()) {
+    res.error = "reduction incomplete despite clean workers";
+    return res;
+  }
+  res.reduce_merges += merger.merges();
+  res.accumulated = merger.take_root();
+  res.completed = true;
+  return res;
+}
+
+}  // namespace ltns::exec

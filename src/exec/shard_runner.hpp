@@ -1,0 +1,64 @@
+// Multi-process shard runner: run_sharded(), alongside run_sliced().
+//
+// Splits the 2^|S| slicing subtasks into one contiguous window per process
+// (dist::make_shard_plan), forks one worker process per shard over a
+// socketpair, and merges the partial tensors the workers ship back in fixed
+// tournament order (dist::ShardMerger) — the process-level layer of the
+// paper's headline runs, where nodes each take a task range and the program
+// ends in a single allReduce.
+//
+// Bitwise stability: each worker decomposes its window into tournament-
+// aligned blocks and reduces every block with the same ReductionTree a
+// single-process run uses, so each shipped partial is bit-identical to the
+// corresponding subtree node of the single-process tournament; the
+// coordinator finishes the remaining levels under the same merge rules.
+// The accumulated tensor is therefore bitwise identical to run_sliced()
+// over the full range for ANY process count — asserted by tests/test_dist
+// and the CI `distributed` job.
+//
+// Telemetry: each worker reports a dist::ShardTelemetry (executor snapshot,
+// memory traffic, exec stats, wall time); the coordinator keeps the
+// per-shard records and aggregates them into the SliceRunResult-shaped
+// fields of ShardRunResult.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "exec/slice_runner.hpp"
+
+namespace ltns::exec {
+
+struct ShardRunOptions {
+  int processes = 2;
+  // Scheduler/pool width inside each worker process; 0 divides the host's
+  // hardware concurrency evenly across processes (at least 1).
+  int workers_per_process = 0;
+  SliceExecutor executor = SliceExecutor::kWorkStealing;
+  uint64_t grain = 1;          // tasks per deque pop under work stealing
+  const FusedPlan* fused = nullptr;
+  // Test hook: the worker for this shard index exits without reporting, so
+  // the failure path (clean error, no hang) can be exercised. -1 = off.
+  int fault_shard = -1;
+};
+
+struct ShardRunResult {
+  // Merged over all shards in tournament order; empty when a shard failed
+  // (completed == false, `error` says which and why).
+  Tensor accumulated;
+  bool completed = false;
+  std::string error;
+  uint64_t tasks_run = 0;
+  ExecStats stats;                           // merged over shards
+  double wall_seconds = 0;                   // coordinator wall time
+  runtime::ExecutorSnapshot executor_stats;  // aggregated over shards
+  runtime::MemoryStats memory;
+  uint64_t reduce_merges = 0;                // worker + coordinator merges
+  std::vector<dist::ShardTelemetry> shards;  // one record per process
+};
+
+ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& leaves,
+                           const core::SliceSet& slices, const ShardRunOptions& opt = {});
+
+}  // namespace ltns::exec

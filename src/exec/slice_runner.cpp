@@ -1,5 +1,6 @@
 #include "exec/slice_runner.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -23,9 +24,13 @@ SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& l
   auto sliced = slices.to_vector();
   assert(sliced.size() < 57);
   const uint64_t all = uint64_t(1) << sliced.size();
-  const uint64_t first = opt.first_task;
-  const uint64_t count = opt.num_tasks == 0 ? all : opt.num_tasks;
-  assert(first < all && first + count <= all);
+  // Clamp the shard window to [0, 2^|S|): an out-of-range first_task runs
+  // nothing (completed, empty tensor) and an overflowing num_tasks runs the
+  // remainder of the range — never tasks that don't exist. Multi-process
+  // shard plans are computed from 2^|S|, but a hand-written window (CLI,
+  // bench, a stale plan) must not silently schedule nonsense.
+  const uint64_t first = std::min(opt.first_task, all);
+  const uint64_t count = opt.num_tasks == 0 ? all - first : std::min(opt.num_tasks, all - first);
 
   ThreadPool* pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
   runtime::SliceScheduler* sched =

@@ -39,8 +39,11 @@ enum class SliceExecutor {
 
 struct SliceRunOptions {
   // Run only assignments [first_task, first_task + num_tasks); num_tasks = 0
-  // means all 2^|S|. Benches and multi-process shards use a subset, exactly
-  // like the paper measures 1024 nodes and projects the full machine.
+  // means everything from first_task to 2^|S|. Benches and multi-process
+  // shards use a subset, exactly like the paper measures 1024 nodes and
+  // projects the full machine. The window is clamped to [0, 2^|S|): a
+  // first_task past the end runs zero tasks (completed, empty accumulated
+  // tensor) and an overflowing num_tasks runs only the remaining range.
   uint64_t first_task = 0;
   uint64_t num_tasks = 0;
   ThreadPool* pool = nullptr;  // kInnerPool / kStaticPool; null -> global

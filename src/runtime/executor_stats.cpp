@@ -22,6 +22,27 @@ ExecutorSnapshot ExecutorSnapshot::since(const ExecutorSnapshot& begin) const {
   return d;  // running/waiting/ema are gauges: keep the end-of-run value
 }
 
+void ExecutorSnapshot::merge(const ExecutorSnapshot& o) {
+  const uint64_t f = finished + o.finished;
+  if (f > 0)
+    ema_utilization =
+        (ema_utilization * double(finished) + o.ema_utilization * double(o.finished)) / double(f);
+  scheduled += o.scheduled;
+  stolen += o.stolen;
+  finished += o.finished;
+  cancelled += o.cancelled;
+  running += o.running;
+  waiting += o.waiting;
+  permute.count += o.permute.count;
+  permute.seconds += o.permute.seconds;
+  gemm.count += o.gemm.count;
+  gemm.seconds += o.gemm.seconds;
+  reduce.count += o.reduce.count;
+  reduce.seconds += o.reduce.seconds;
+  memory.count += o.memory.count;
+  memory.seconds += o.memory.seconds;
+}
+
 void ExecutorStats::update_ema_utilization(double busy, double interval) {
   if (interval <= 0) return;
   const double util = std::clamp(busy / interval, 0.0, 1.0);

@@ -54,6 +54,12 @@ struct ExecutorSnapshot {
   PerfSnapshot permute, gemm, reduce, memory;
 
   ExecutorSnapshot since(const ExecutorSnapshot& begin) const;
+
+  // Folds another run's snapshot into this one: counters, gauges and phase
+  // timers add; the utilization EMA becomes a finished-task-weighted
+  // average. The multi-process driver uses this to aggregate per-shard
+  // telemetry into one cross-process view.
+  void merge(const ExecutorSnapshot& o);
 };
 
 class ExecutorStats {

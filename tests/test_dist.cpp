@@ -1,0 +1,405 @@
+// Multi-process shard driver tests. The load-bearing invariants:
+//   1. the shard plan partitions [0, 2^|S|) exactly — no gaps, no overlaps,
+//      any process count — and windows decompose into tournament-aligned
+//      blocks that tile them;
+//   2. the wire protocol round-trips tensors and telemetry BIT-exactly, and
+//      a dead peer surfaces as EOF/error, never a hang;
+//   3. the cross-process reduction is bitwise identical to the in-process
+//      ReductionTree for any shard count (the ISSUE acceptance criterion);
+//   4. a killed worker produces a clean error from run_sharded.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/simulator.hpp"
+#include "core/greedy_slicer.hpp"
+#include "dist/service.hpp"
+#include "dist/shard_merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/wire.hpp"
+#include "exec/shard_runner.hpp"
+#include "exec/slice_runner.hpp"
+#include "runtime/reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace ltns::dist {
+namespace {
+
+TEST(ShardPlan, PartitionsExactlyForAnyProcessCount) {
+  for (uint64_t total : {uint64_t(1), uint64_t(5), uint64_t(16), uint64_t(1000), uint64_t(4096)}) {
+    for (int procs : {1, 2, 3, 4, 5, 7, 8, 64, 100}) {
+      auto plan = make_shard_plan(total, procs);
+      ASSERT_EQ(plan.size(), size_t(procs));
+      uint64_t next = 0, sum = 0, largest = 0, smallest = UINT64_MAX;
+      for (const auto& s : plan) {
+        EXPECT_EQ(s.first, next) << "gap/overlap at total=" << total << " procs=" << procs;
+        next = s.first + s.count;
+        sum += s.count;
+        largest = std::max(largest, s.count);
+        smallest = std::min(smallest, s.count);
+      }
+      EXPECT_EQ(next, total);
+      EXPECT_EQ(sum, total);
+      // Balanced boundaries: shard sizes differ by at most one task.
+      EXPECT_LE(largest - smallest, 1u) << "total=" << total << " procs=" << procs;
+    }
+  }
+}
+
+TEST(ShardPlan, AlignedBlocksTileAnyWindow) {
+  for (uint64_t first : {uint64_t(0), uint64_t(1), uint64_t(5), uint64_t(21), uint64_t(64)}) {
+    for (uint64_t count : {uint64_t(0), uint64_t(1), uint64_t(3), uint64_t(13), uint64_t(64)}) {
+      auto blocks = aligned_blocks(first, count);
+      uint64_t next = first;
+      for (const auto& b : blocks) {
+        EXPECT_EQ(b.first(), next);
+        // Aligned: the block start is a multiple of the block size.
+        EXPECT_EQ(b.first() % b.count(), 0u);
+        next = b.first() + b.count();
+      }
+      EXPECT_EQ(next, first + count);
+      if (count == 0) {
+        EXPECT_TRUE(blocks.empty());
+      }
+    }
+  }
+}
+
+exec::Tensor scalar_tensor(double v) { return exec::Tensor::scalar(exec::cfloat(float(v), 0)); }
+
+// Sharded reduction == in-process ReductionTree, bit for bit: shards reduce
+// their aligned blocks locally, the merger finishes the tournament.
+TEST(ShardMerger, MatchesReductionTreeBitwiseForAnyShardCount) {
+  auto value = [](uint64_t t) { return std::sin(double(t) + 0.25) / 7.0; };
+  for (uint64_t total : {uint64_t(1), uint64_t(8), uint64_t(13), uint64_t(64), uint64_t(100)}) {
+    runtime::ReductionTree ref(0, total);
+    for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+    ASSERT_TRUE(ref.complete());
+    auto expect = ref.take_root();
+
+    for (int procs : {1, 2, 3, 4, 7}) {
+      ShardMerger merger(total);
+      // Walk shards in reverse so block arrival order differs from task
+      // order — the merge result must not care.
+      auto plan = make_shard_plan(total, procs);
+      for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
+        for (const auto& b : aligned_blocks(it->first, it->count)) {
+          runtime::ReductionTree local(b.first(), b.count());
+          for (uint64_t t = b.first(); t < b.first() + b.count(); ++t)
+            local.add(t, scalar_tensor(value(t)));
+          ASSERT_TRUE(local.complete());
+          merger.add(b.level, b.index, local.take_root());
+        }
+      }
+      ASSERT_TRUE(merger.complete()) << "total=" << total << " procs=" << procs;
+      auto got = merger.take_root();
+      EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0)
+          << "total=" << total << " procs=" << procs;
+    }
+  }
+}
+
+// Wire-supplied block coordinates must be validated, not asserted: corrupt
+// frames are a clean protocol error in release builds too.
+TEST(ShardMerger, RejectsBlocksOutsideTheTaskRange) {
+  ShardMerger m(16);
+  EXPECT_THROW(m.add(-1, 0, scalar_tensor(1)), std::runtime_error);
+  EXPECT_THROW(m.add(64, 0, scalar_tensor(1)), std::runtime_error);
+  EXPECT_THROW(m.add(0, 16, scalar_tensor(1)), std::runtime_error);   // past the end
+  EXPECT_THROW(m.add(2, 4, scalar_tensor(1)), std::runtime_error);    // [16, 20)
+  EXPECT_THROW(m.add(0, uint64_t(1) << 60, scalar_tensor(1)), std::runtime_error);
+  m.add(2, 3, scalar_tensor(1));  // [12, 16): still accepted afterwards
+  EXPECT_FALSE(m.complete());
+}
+
+TEST(Wire, TensorRoundTripsBitExactly) {
+  auto t = exec::random_tensor({3, 7, 11, 2}, 1234);
+  ByteWriter w;
+  put_tensor(w, t);
+  ByteReader r(w.buffer());
+  auto back = get_tensor(r);
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_EQ(back.ixs(), t.ixs());
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(std::memcmp(back.raw(), t.raw(), t.size() * sizeof(exec::cfloat)), 0);
+}
+
+TEST(Wire, TelemetryRoundTripsExactly) {
+  ShardTelemetry t;
+  t.shard = 3;
+  t.first = 1024;
+  t.count = 512;
+  t.tasks_run = 512;
+  t.reduce_merges = 511;
+  t.wall_seconds = 0.123456789;
+  t.executor.scheduled = 512;
+  t.executor.stolen = 17;
+  t.executor.finished = 512;
+  t.executor.ema_utilization = 0.876543;
+  t.executor.gemm = {512, 1.5};
+  t.executor.reduce = {511, 0.25};
+  t.memory.main_bytes = 1e9 + 0.5;
+  t.memory.ldm_peak_elems = 32768;
+  t.exec.flops = 2.5e12;
+  t.exec.peak_live_elems = 99;
+
+  ByteWriter w;
+  put_telemetry(w, t);
+  ByteReader r(w.buffer());
+  auto b = get_telemetry(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(b.shard, t.shard);
+  EXPECT_EQ(b.first, t.first);
+  EXPECT_EQ(b.count, t.count);
+  EXPECT_EQ(b.tasks_run, t.tasks_run);
+  EXPECT_EQ(b.reduce_merges, t.reduce_merges);
+  EXPECT_EQ(b.wall_seconds, t.wall_seconds);  // exact: raw bit pattern
+  EXPECT_EQ(b.executor.stolen, t.executor.stolen);
+  EXPECT_EQ(b.executor.ema_utilization, t.executor.ema_utilization);
+  EXPECT_EQ(b.executor.gemm.count, t.executor.gemm.count);
+  EXPECT_EQ(b.executor.gemm.seconds, t.executor.gemm.seconds);
+  EXPECT_EQ(b.memory.main_bytes, t.memory.main_bytes);
+  EXPECT_EQ(b.memory.ldm_peak_elems, t.memory.ldm_peak_elems);
+  EXPECT_EQ(b.exec.flops, t.exec.flops);
+  EXPECT_EQ(b.exec.peak_live_elems, t.exec.peak_live_elems);
+}
+
+TEST(Wire, FramesRoundTripOverSocketpairAndEofIsClean) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ByteWriter w;
+  w.put_string("hello shard");
+  write_frame(sv[0], FrameType::kError, w);
+  write_frame(sv[0], FrameType::kDone, nullptr, 0);
+  ::close(sv[0]);
+
+  Frame f;
+  ASSERT_TRUE(read_frame(sv[1], &f));
+  EXPECT_EQ(f.type, FrameType::kError);
+  ByteReader r(f.payload);
+  EXPECT_EQ(r.get_string(), "hello shard");
+  ASSERT_TRUE(read_frame(sv[1], &f));
+  EXPECT_EQ(f.type, FrameType::kDone);
+  EXPECT_TRUE(f.payload.empty());
+  // Peer gone at a frame boundary: clean EOF, not an exception.
+  EXPECT_FALSE(read_frame(sv[1], &f));
+  ::close(sv[1]);
+}
+
+TEST(Wire, TruncatedFrameThrows) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // A hand-built header (pinning the wire layout) promising 100 payload
+  // bytes, followed by only 3 — then death.
+  ByteWriter h;
+  h.put<uint32_t>(kWireMagic);
+  h.put<uint32_t>(kWireVersion);
+  h.put<uint32_t>(uint32_t(FrameType::kBlock));
+  h.put<uint32_t>(0);  // header padding
+  h.put<uint64_t>(100);
+  ASSERT_EQ(::write(sv[0], h.buffer().data(), h.buffer().size()), ssize_t(h.buffer().size()));
+  ASSERT_EQ(::write(sv[0], "abc", 3), 3);
+  ::close(sv[0]);
+  Frame f;
+  EXPECT_THROW(read_frame(sv[1], &f), std::runtime_error);
+  ::close(sv[1]);
+}
+
+TEST(Wire, BadMagicThrows) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ByteWriter h;
+  h.put<uint32_t>(0xDEADBEEFu);
+  h.put<uint32_t>(kWireVersion);
+  h.put<uint32_t>(uint32_t(FrameType::kDone));
+  h.put<uint32_t>(0);
+  h.put<uint64_t>(0);
+  ASSERT_EQ(::write(sv[0], h.buffer().data(), h.buffer().size()), ssize_t(h.buffer().size()));
+  ::close(sv[0]);
+  Frame f;
+  EXPECT_THROW(read_frame(sv[1], &f), std::runtime_error);
+  ::close(sv[1]);
+}
+
+// --- run_sharded over a real sliced contraction --------------------------
+
+struct SlicedFixture {
+  circuit::LoweredNetwork ln;
+  std::shared_ptr<tn::ContractionTree> tree;
+  core::SliceSet slices;
+
+  exec::LeafProvider leaves() const {
+    return [this](tn::VertId v) -> const exec::Tensor& { return ln.tensors[size_t(v)]; };
+  }
+};
+
+// Fixture with an exact slice count (the greedy slicer overshoots on this
+// tiny network): pick `num_slices` edges from a generous greedy set, so the
+// task range 2^|S| stays small enough to fork a process per task.
+SlicedFixture make_sliced_fixture(int num_slices = 4) {
+  SlicedFixture f{test::small_network(3, 4, 6), nullptr, core::SliceSet{}};
+  f.tree = std::make_shared<tn::ContractionTree>(test::greedy_tree(f.ln.net));
+  core::GreedySlicerOptions go;
+  go.target_log2size = std::max(2.0, f.tree->max_log2size() - 3.0);
+  auto candidates = core::greedy_slice(*f.tree, go).to_vector();
+  EXPECT_GE(candidates.size(), size_t(num_slices));
+  core::SliceSet s(f.ln.net);
+  for (int i = 0; i < num_slices && i < int(candidates.size()); ++i) s.add(candidates[size_t(i)]);
+  f.slices = s;
+  return f;
+}
+
+bool bitwise_equal(const exec::Tensor& a, const exec::Tensor& b) {
+  return a.ixs() == b.ixs() && a.size() == b.size() &&
+         std::memcmp(a.raw(), b.raw(), a.size() * sizeof(exec::cfloat)) == 0;
+}
+
+TEST(RunSharded, BitwiseIdenticalToRunSlicedForAnyProcessCount) {
+  auto f = make_sliced_fixture();
+  ASSERT_GE(f.slices.size(), 2);
+  const uint64_t all = uint64_t(1) << f.slices.size();
+
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+  ASSERT_TRUE(ref.completed);
+
+  for (int procs : {1, 2, 3, 4}) {
+    exec::ShardRunOptions so;
+    so.processes = procs;
+    so.workers_per_process = 1;  // keep worker processes single-threaded
+    auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+    ASSERT_TRUE(r.completed) << "procs=" << procs << ": " << r.error;
+    EXPECT_TRUE(r.error.empty());
+    EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated))
+        << "sharded run diverged at " << procs << " processes";
+    // Aggregated cross-process accounting: every task ran exactly once and
+    // the split tournament still performs exactly n-1 merges overall.
+    EXPECT_EQ(r.tasks_run, all);
+    EXPECT_EQ(r.executor_stats.finished, all);
+    EXPECT_EQ(r.reduce_merges, all - 1);
+    ASSERT_EQ(r.shards.size(), size_t(procs));
+    uint64_t shard_tasks = 0;
+    for (const auto& s : r.shards) shard_tasks += s.tasks_run;
+    EXPECT_EQ(shard_tasks, all);
+    EXPECT_GT(r.stats.flops, 0.0);
+    EXPECT_GT(r.memory.main_bytes, 0.0);
+  }
+}
+
+TEST(RunSharded, FusedAndMultiWorkerStayBitwiseStable) {
+  auto f = make_sliced_fixture();
+  auto stem = tn::extract_stem(*f.tree);
+  auto plan = exec::plan_fused(stem, f.slices.to_vector(), 1 << 12);
+
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  serial.fused = &plan;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 2;  // worker processes use their own schedulers
+  so.fused = &plan;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  EXPECT_GT(r.memory.ldm_subtasks, 0u);
+}
+
+TEST(RunSharded, MoreProcessesThanTasksStillExact) {
+  auto f = make_sliced_fixture();
+  const uint64_t all = uint64_t(1) << f.slices.size();
+
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  exec::ShardRunOptions so;
+  so.processes = int(all) + 3;  // some shards are empty
+  so.workers_per_process = 1;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  EXPECT_EQ(r.tasks_run, all);
+}
+
+TEST(RunSharded, KilledWorkerSurfacesCleanError) {
+  auto f = make_sliced_fixture();
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.fault_shard = 1;  // that worker exits without reporting
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("shard 1"), std::string::npos) << r.error;
+  EXPECT_EQ(r.accumulated.size(), 0u);
+  // The healthy shards still reported their telemetry.
+  ASSERT_EQ(r.shards.size(), 3u);
+  EXPECT_GT(r.shards[0].tasks_run, 0u);
+  EXPECT_GT(r.shards[2].tasks_run, 0u);
+}
+
+// --- TCP coordinator/worker service --------------------------------------
+
+TEST(Service, CoordinatorAndWorkersMatchSimulatorBitwise) {
+  auto circ = test::small_rqc(3, 4, 6);
+  auto bits = test::zero_bits(circ.num_qubits);
+
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 10;  // force a few slices on the small circuit
+  api::Simulator sim(circ, sopt);
+  auto expect = sim.amplitude(bits);
+  ASSERT_TRUE(expect.completed);
+
+  CoordinatorServer server{0};  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  std::vector<std::thread> workers;
+  std::atomic<int> worker_rc{0};
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([&server, &worker_rc] {
+      worker_rc += serve_worker("127.0.0.1", server.port());
+    });
+  ServiceOptions so;
+  so.target_log2size = 10;
+  so.workers_per_process = 1;
+  auto res = server.run_amplitude(2, circ, bits, so);
+  for (auto& w : workers) w.join();
+
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(worker_rc.load(), 0);
+  // Same plan, same fused executor, tournament merge: bit-identical result.
+  EXPECT_EQ(res.amplitude.real(), expect.amplitude.real());
+  EXPECT_EQ(res.amplitude.imag(), expect.amplitude.imag());
+  EXPECT_EQ(res.num_slices, expect.num_slices);
+  ASSERT_EQ(res.shards.size(), 2u);
+  uint64_t tasks = 0;
+  for (const auto& s : res.shards) tasks += s.tasks_run;
+  EXPECT_EQ(tasks, res.tasks_run);
+}
+
+TEST(Service, MissingWorkerTimesOutInsteadOfHanging) {
+  auto circ = test::small_rqc(3, 3, 4);
+  auto bits = test::zero_bits(circ.num_qubits);
+  CoordinatorServer server{0};
+  ServiceOptions so;
+  so.accept_timeout_seconds = 1;  // nobody will connect
+  auto res = server.run_amplitude(1, circ, bits, so);
+  EXPECT_FALSE(res.completed);
+  EXPECT_NE(res.error.find("timed out"), std::string::npos) << res.error;
+}
+
+}  // namespace
+}  // namespace ltns::dist

@@ -296,6 +296,57 @@ TEST(RunSliced, ShardsPartitionTheFullRun) {
   EXPECT_NEAR(std::abs(sum - whole), 0.0, 1e-5 * std::max(1.0, std::abs(whole)));
 }
 
+// Regression: out-of-range shard windows used to slip past a release-build
+// assert and schedule nonexistent tasks; they are clamped to [0, 2^|S|) now.
+TEST(RunSliced, WindowClampedToTaskRange) {
+  auto f = make_sliced_fixture();
+  const uint64_t all = uint64_t(1) << f.slices.size();
+
+  SliceScheduler sched(2);
+  exec::SliceRunOptions base;
+  base.executor = exec::SliceExecutor::kWorkStealing;
+  base.scheduler = &sched;
+  auto full = run_sliced(*f.tree, f.leaves(), f.slices, base);
+  ASSERT_TRUE(full.completed);
+
+  // first_task past the end: nothing to run, still a completed (empty) run.
+  exec::SliceRunOptions past = base;
+  past.first_task = all + 5;
+  past.num_tasks = 3;
+  auto rp = run_sliced(*f.tree, f.leaves(), f.slices, past);
+  EXPECT_TRUE(rp.completed);
+  EXPECT_EQ(rp.tasks_run, 0u);
+  EXPECT_EQ(rp.executor_stats.scheduled, 0u);
+  EXPECT_EQ(rp.accumulated.size(), 0u);
+
+  // num_tasks overflowing the range: clamped to the remainder.
+  exec::SliceRunOptions over = base;
+  over.first_task = all - 2;
+  over.num_tasks = 100;
+  auto ro = run_sliced(*f.tree, f.leaves(), f.slices, over);
+  EXPECT_TRUE(ro.completed);
+  EXPECT_EQ(ro.tasks_run, 2u);
+
+  // num_tasks = 0 with a nonzero first_task: everything from first_task on.
+  exec::SliceRunOptions tail = base;
+  tail.first_task = all / 2;
+  tail.num_tasks = 0;
+  auto rt = run_sliced(*f.tree, f.leaves(), f.slices, tail);
+  EXPECT_TRUE(rt.completed);
+  EXPECT_EQ(rt.tasks_run, all - all / 2);
+
+  // The clamped tail plus the head still sum to the full run (the windows
+  // partition, so this pins that clamping kept the window semantics).
+  exec::SliceRunOptions head = base;
+  head.first_task = 0;
+  head.num_tasks = all / 2;
+  auto rh = run_sliced(*f.tree, f.leaves(), f.slices, head);
+  std::complex<double> sum = std::complex<double>(rh.accumulated.data()[0]) +
+                             std::complex<double>(rt.accumulated.data()[0]);
+  std::complex<double> whole(full.accumulated.data()[0]);
+  EXPECT_NEAR(std::abs(sum - whole), 0.0, 1e-5 * std::max(1.0, std::abs(whole)));
+}
+
 TEST(RunSliced, StatsInvariantsUnderContention) {
   auto f = make_sliced_fixture();
   const uint64_t all = uint64_t(1) << f.slices.size();
