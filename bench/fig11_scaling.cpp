@@ -231,6 +231,24 @@ int main(int argc, char** argv) {
               "%s\n",
               rp1.wall_seconds, rp4.wall_seconds, shard_stable ? "EQUAL" : "DIFFERENT");
 
+  // Elastic lease-based sharding over the same 4 processes: the artifact
+  // tracks the rebalancing protocol's overhead vs the one-shot static
+  // driver on every PR (same subtasks, same bitwise-identity bar).
+  exec::ShardRunOptions she;
+  she.processes = 4;
+  she.elastic = true;
+  auto rpe = exec::run_sharded(*inst.tree, inst.leaves(), S2, she);
+  const bool elastic_stable =
+      rpe.completed && rpe.accumulated.size() == rw.accumulated.size() &&
+      std::memcmp(rpe.accumulated.raw(), rw.accumulated.raw(),
+                  rw.accumulated.size() * sizeof(exec::cfloat)) == 0;
+  std::printf("elastic run_sharded: 4 procs %.3fs (static %.3fs), %llu leases, %llu stolen, "
+              "vs in-process bitwise %s\n",
+              rpe.wall_seconds, rp4.wall_seconds,
+              (unsigned long long)rpe.rebalance.leases_completed,
+              (unsigned long long)rpe.rebalance.ranges_stolen,
+              elastic_stable ? "EQUAL" : "DIFFERENT");
+
   // JSON for the bench trajectory.
   std::ofstream json("fig11_runtime.json");
   json << "{\n  \"skew\": " << skew << ",\n  \"tasks\": " << n_skew << ",\n  \"rows\": [\n";
@@ -248,7 +266,13 @@ int main(int argc, char** argv) {
        << ", \"ws_seconds\": " << rw.wall_seconds << ", \"bit_stable\": " << std::boolalpha
        << bit_stable << "},\n  \"sharded\": {\"subtasks\": " << (uint64_t(1) << S2.size())
        << ", \"p1_seconds\": " << rp1.wall_seconds << ", \"p4_seconds\": " << rp4.wall_seconds
-       << ", \"bit_stable\": " << std::boolalpha << shard_stable << "}\n}\n";
+       << ", \"bit_stable\": " << std::boolalpha << shard_stable
+       << "},\n  \"elastic\": {\"subtasks\": " << (uint64_t(1) << S2.size())
+       << ", \"static_p4_seconds\": " << rp4.wall_seconds
+       << ", \"elastic_p4_seconds\": " << rpe.wall_seconds
+       << ", \"leases\": " << rpe.rebalance.leases_completed
+       << ", \"ranges_stolen\": " << rpe.rebalance.ranges_stolen
+       << ", \"bit_stable\": " << std::boolalpha << elastic_stable << "}\n}\n";
   std::printf("wrote fig11_runtime.json\n");
-  return bit_stable && shard_stable ? 0 : 1;
+  return bit_stable && shard_stable && elastic_stable ? 0 : 1;
 }

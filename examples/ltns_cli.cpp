@@ -7,6 +7,7 @@
 //   ltns_cli sample <circuit-file> <n_open> <n_samples>   # correlated samples
 //
 //   ltns_cli coordinate <port> <nworkers> <circuit-file> <bitstring>
+//   ltns_cli coordinate --status <host> <port>            # live lease state as JSON
 //   ltns_cli worker <host> <port>                         # serve one shard job
 //
 // Runtime flags (anywhere on the command line):
@@ -14,6 +15,11 @@
 //   --grain=N                    scheduler chunk size (tasks per deque pop)
 //   --processes=N                fork N shard processes (amp/sample; default 1)
 //   --workers=N                  scheduler width per process (default: hw/N)
+//   --elastic                    lease-based elastic sharding (straggler steal,
+//                                dead-worker requeue; amp/sample/coordinate)
+//   --lease=N                    tasks per lease (default: auto)
+//   --heartbeat=SECONDS          worker liveness period (default 0.2)
+//   --stall-timeout=SECONDS      silent-worker revoke threshold (default 30)
 //   --no-telemetry               suppress the executor/memory stats report
 //
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
@@ -41,6 +47,10 @@ struct RuntimeFlags {
   int processes = 1;
   int workers = 0;
   bool telemetry = true;
+  bool elastic = false;
+  uint64_t lease = 0;
+  double heartbeat = 0.2;
+  double stall_timeout = 30;
 };
 
 RuntimeFlags g_flags;
@@ -77,6 +87,14 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       g_flags.workers = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--elastic") == 0) {
+      g_flags.elastic = true;
+    } else if (std::strncmp(argv[i], "--lease=", 8) == 0) {
+      g_flags.lease = uint64_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--heartbeat=", 12) == 0) {
+      g_flags.heartbeat = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--stall-timeout=", 16) == 0) {
+      g_flags.stall_timeout = std::atof(argv[i] + 16);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       g_flags.telemetry = false;
     } else {
@@ -93,16 +111,36 @@ api::SimulatorOptions make_sim_options() {
   opt.grain = g_flags.grain;
   opt.processes = g_flags.processes;
   opt.workers_per_process = g_flags.workers;
+  opt.elastic = g_flags.elastic;
+  opt.lease_size = g_flags.lease;
+  opt.heartbeat_seconds = g_flags.heartbeat;
+  opt.stall_timeout_seconds = g_flags.stall_timeout;
   return opt;
 }
 
 void print_shards(const std::vector<dist::ShardTelemetry>& shards) {
   if (!g_flags.telemetry || shards.empty()) return;
-  for (const auto& s : shards)
-    std::printf("  shard %d: tasks %llu of [%llu, %llu), %llu stolen, wall %.3fs\n", int(s.shard),
-                (unsigned long long)s.tasks_run, (unsigned long long)s.first,
-                (unsigned long long)(s.first + s.count), (unsigned long long)s.executor.stolen,
-                s.wall_seconds);
+  for (const auto& s : shards) {
+    if (s.count > 0)
+      std::printf("  shard %d: tasks %llu of [%llu, %llu), %llu stolen, wall %.3fs\n",
+                  int(s.shard), (unsigned long long)s.tasks_run, (unsigned long long)s.first,
+                  (unsigned long long)(s.first + s.count), (unsigned long long)s.executor.stolen,
+                  s.wall_seconds);
+    else
+      std::printf("  shard %d: tasks %llu over %llu leases, wall %.3fs\n", int(s.shard),
+                  (unsigned long long)s.tasks_run, (unsigned long long)s.leases,
+                  s.wall_seconds);
+  }
+}
+
+void print_rebalance(const dist::RebalanceStats& r) {
+  if (!g_flags.telemetry || r.leases_issued == 0) return;
+  std::printf("rebalance: %llu leases (%llu completed), %llu stolen, %llu reissued, "
+              "%llu requeued, %llu late-dropped, %llu workers lost, straggler wait %.3fs\n",
+              (unsigned long long)r.leases_issued, (unsigned long long)r.leases_completed,
+              (unsigned long long)r.ranges_stolen, (unsigned long long)r.ranges_reissued,
+              (unsigned long long)r.ranges_requeued, (unsigned long long)r.late_results_dropped,
+              (unsigned long long)r.workers_lost, r.straggler_wait_seconds);
 }
 
 void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem) {
@@ -202,6 +240,7 @@ int cmd_amp(int argc, char** argv) {
               res.stats.flops);
   print_telemetry(res.runtime_stats, res.memory);
   print_shards(res.shards);
+  print_rebalance(res.rebalance);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -234,6 +273,7 @@ int cmd_sample(int argc, char** argv) {
   std::printf("\n");
   print_telemetry(batch.runtime_stats, batch.memory);
   print_shards(batch.shards);
+  print_rebalance(batch.rebalance);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
     std::putchar('\n');
@@ -245,6 +285,20 @@ int cmd_sample(int argc, char** argv) {
 // TCP workers (started separately with `worker`) and prints the same
 // amplitude line as `amp`, so the two paths can be diffed byte-for-byte.
 int cmd_coordinate(int argc, char** argv) {
+  // Status probe: `coordinate --status <host> <port>` asks a live elastic
+  // coordinator for its lease/heartbeat state (debugging hung fleets).
+  if (argc >= 3 && std::strcmp(argv[2], "--status") == 0) {
+    if (argc < 5) return 64;
+    const int port = std::atoi(argv[4]);
+    if (port <= 0 || port > 65535) return 64;
+    try {
+      std::printf("%s\n", dist::query_status(argv[3], uint16_t(port)).c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
   if (argc < 6) return 64;
   const int port = std::atoi(argv[2]);
   const int nworkers = std::atoi(argv[3]);
@@ -262,6 +316,10 @@ int cmd_coordinate(int argc, char** argv) {
   so.executor = g_flags.executor;
   so.grain = g_flags.grain;
   so.workers_per_process = g_flags.workers;
+  so.elastic = g_flags.elastic;
+  so.lease_size = g_flags.lease;
+  so.heartbeat_seconds = g_flags.heartbeat;
+  so.stall_timeout_seconds = g_flags.stall_timeout;
   dist::CoordinatorServer server{uint16_t(port)};
   std::fprintf(stderr, "coordinator listening on port %u, waiting for %d workers\n",
                unsigned(server.port()), nworkers);
@@ -275,6 +333,7 @@ int cmd_coordinate(int argc, char** argv) {
   std::printf("slices %d, tasks %llu over %d workers\n", res.num_slices,
               (unsigned long long)res.tasks_run, nworkers);
   print_shards(res.shards);
+  print_rebalance(res.rebalance);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -303,9 +362,10 @@ int main(int raw_argc, char** raw_argv) {
                  "       ltns_cli amp <circuit|-> <bitstring>\n"
                  "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n"
                  "       ltns_cli coordinate <port> <nworkers> <circuit|-> <bitstring>\n"
+                 "       ltns_cli coordinate --status <host> <port>\n"
                  "       ltns_cli worker <host> <port>\n"
                  "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
-                 "       --no-telemetry\n");
+                 "       --elastic --lease=N --heartbeat=S --stall-timeout=S --no-telemetry\n");
     return 64;
   }
   std::string cmd = argv[1];

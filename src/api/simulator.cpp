@@ -34,6 +34,7 @@ Prepared prepare(const circuit::Circuit& c, const SimulatorOptions& opt,
 struct RunOutput {
   exec::SliceRunResult r;
   std::vector<dist::ShardTelemetry> shards;
+  dist::RebalanceStats rebalance;
   std::string error;
 };
 
@@ -48,13 +49,20 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
   };
 
   RunOutput out;
-  if (opt.processes > 1) {
+  // Elastic implies the shard driver even at one process — `--elastic`
+  // must never silently degrade to the in-process path (a 1-process
+  // elastic run still exercises the lease protocol and its telemetry).
+  if (opt.processes > 1 || opt.elastic) {
     exec::ShardRunOptions so;
     so.processes = opt.processes;
     so.workers_per_process = opt.workers_per_process;
     so.executor = opt.executor;
     so.grain = opt.grain;
     so.fused = fused;
+    so.elastic = opt.elastic;
+    so.lease_size = opt.lease_size;
+    so.heartbeat_seconds = opt.heartbeat_seconds;
+    so.stall_timeout_seconds = opt.stall_timeout_seconds;
     auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
     out.r.completed = sr.completed;
@@ -65,6 +73,7 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     out.r.memory = sr.memory;
     out.r.reduce_merges = sr.reduce_merges;
     out.shards = std::move(sr.shards);
+    out.rebalance = sr.rebalance;
     out.error = std::move(sr.error);
     return out;
   }
@@ -98,6 +107,7 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
   res.memory = rr.memory;
   res.completed = rr.completed;
   res.shards = std::move(out.shards);
+  res.rebalance = out.rebalance;
   res.error = std::move(out.error);
   // A cancelled or failed run yields an empty tensor; report a zero
   // amplitude rather than reading a scalar that was never accumulated.
@@ -123,6 +133,7 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   res.memory = rr.memory;
   res.completed = rr.completed;
   res.shards = std::move(out.shards);
+  res.rebalance = out.rebalance;
   res.error = std::move(out.error);
 
   // The result tensor's axes are the open output edges in some order;

@@ -37,6 +37,15 @@ struct SimulatorOptions {
   // run. Per-shard telemetry lands in the result's `shards`.
   int processes = 1;
   int workers_per_process = 0;    // scheduler width per worker; 0 = hw/processes
+  // Elastic sharding (forces the multi-process driver even when
+  // processes == 1): workers lease bounded task ranges
+  // from a coordinator queue instead of owning one fixed window — idle
+  // workers steal a straggler's untouched ranges and a dead worker's
+  // leases are requeued, still bitwise identical to an in-process run.
+  bool elastic = false;
+  uint64_t lease_size = 0;            // tasks per lease; 0 = auto
+  double heartbeat_seconds = 0.2;     // worker liveness period
+  double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
 };
 
 struct AmplitudeResult {
@@ -52,6 +61,7 @@ struct AmplitudeResult {
   runtime::MemoryStats memory;              // main/LDM/RMA traffic recorder
   std::vector<dist::ShardTelemetry> shards; // per-process telemetry
                                             // (empty for in-process runs)
+  dist::RebalanceStats rebalance;           // elastic-mode lease telemetry
   std::string error;                        // sharded-run failure, if any
   double plan_seconds = 0;
   double exec_seconds = 0;
@@ -68,6 +78,7 @@ struct BatchResult {
   runtime::ExecutorSnapshot runtime_stats;
   runtime::MemoryStats memory;
   std::vector<dist::ShardTelemetry> shards;  // per-process telemetry
+  dist::RebalanceStats rebalance;            // elastic-mode lease telemetry
   std::string error;                         // sharded-run failure, if any
 };
 

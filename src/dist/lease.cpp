@@ -1,0 +1,144 @@
+#include "dist/lease.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/shard_plan.hpp"
+
+namespace ltns::dist {
+
+LeaseLedger::LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size)
+    : total_(total) {
+  const int homes = std::max(1, home_workers);
+  if (lease_size == 0) {
+    // ~8 leases per home window: fine enough that a straggler's tail is a
+    // small fraction of its window, coarse enough to keep framing cheap.
+    lease_size = std::max<uint64_t>(1, total / (uint64_t(homes) * 8));
+  }
+  lease_size_ = lease_size;
+  by_home_.resize(size_t(homes));
+  home_load_.assign(size_t(homes), 0);
+  const auto plan = make_shard_plan(total, homes);
+  for (int h = 0; h < homes; ++h) {
+    const auto& shard = plan[size_t(h)];
+    for (uint64_t lo = shard.first; lo < shard.first + shard.count; lo += lease_size_) {
+      const uint64_t n = std::min(lease_size_, shard.first + shard.count - lo);
+      by_home_[size_t(h)].push_back({lo, n, h});
+      home_load_[size_t(h)] += n;
+      ++pending_count_;
+    }
+  }
+}
+
+bool LeaseLedger::acquire(int worker, Lease* out) {
+  if (pending_count_ == 0) return false;
+  PendingRange r;
+  bool stolen = false;
+  bool reissued = false;
+  if (!reissue_.empty()) {
+    // Requeued ranges first, whoever's home they are: they have already
+    // been delayed by a revoke once and are the likeliest to gate the
+    // tournament tail.
+    r = reissue_.front();
+    reissue_.pop_front();
+    reissued = true;
+  } else if (worker >= 0 && size_t(worker) < by_home_.size() &&
+             !by_home_[size_t(worker)].empty()) {
+    // Own home window, front-to-back — the worker walks its window in
+    // task order exactly like a static shard would.
+    r = by_home_[size_t(worker)].front();
+    by_home_[size_t(worker)].pop_front();
+    home_load_[size_t(worker)] -= r.count;
+  } else {
+    // Steal: the TAIL range of the home with the most pending work, like
+    // the in-process thief taking from the victim deque's far end.
+    int victim = -1;
+    uint64_t best_load = 0;
+    for (size_t h = 0; h < home_load_.size(); ++h) {
+      if (home_load_[h] > best_load) {
+        best_load = home_load_[h];
+        victim = int(h);
+      }
+    }
+    if (victim < 0) return false;  // unreachable while pending_count_ > 0
+    r = by_home_[size_t(victim)].back();
+    by_home_[size_t(victim)].pop_back();
+    home_load_[size_t(victim)] -= r.count;
+    stolen = true;
+  }
+  --pending_count_;
+
+  out->id = next_id_++;
+  out->first = r.first;
+  out->count = r.count;
+  active_.emplace(out->id, ActiveState{worker, r.first, r.count, r.home, {}});
+  ++stats_.leases_issued;
+  if (stolen) ++stats_.ranges_stolen;
+  if (reissued) ++stats_.ranges_reissued;
+  return true;
+}
+
+bool LeaseLedger::add_block(int worker, uint64_t lease_id, int level, uint64_t index,
+                            exec::Tensor partial) {
+  auto it = active_.find(lease_id);
+  if (it == active_.end() || it->second.worker != worker) {
+    ++stats_.late_results_dropped;
+    return false;
+  }
+  // Wire-supplied coordinates: validate against the leased range rather
+  // than trusting the sender (the merger re-validates against [0, total)).
+  if (level < 0 || level >= 64) throw std::runtime_error("dist lease: block level out of range");
+  const AlignedBlock b{level, index};
+  if (b.first() < it->second.first ||
+      b.first() + b.count() > it->second.first + it->second.count)
+    throw std::runtime_error("dist lease: block outside its leased range");
+  it->second.blocks.push_back({level, index, std::move(partial)});
+  return true;
+}
+
+bool LeaseLedger::complete(int worker, uint64_t lease_id, ShardMerger* merger) {
+  auto it = active_.find(lease_id);
+  if (it == active_.end() || it->second.worker != worker) {
+    // The lease was revoked (and possibly re-issued to a peer) while this
+    // result was in flight: drop it, the range is accounted elsewhere.
+    ++stats_.late_results_dropped;
+    return false;
+  }
+  uint64_t shipped = 0;
+  for (const auto& b : it->second.blocks) shipped += AlignedBlock{b.level, b.index}.count();
+  if (shipped != it->second.count)
+    throw std::runtime_error("dist lease: range finished without tiling its blocks");
+  for (auto& b : it->second.blocks) merger->add(b.level, b.index, std::move(b.partial));
+  tasks_done_ += it->second.count;
+  ++stats_.leases_completed;
+  active_.erase(it);
+  return true;
+}
+
+void LeaseLedger::revoke_worker(int worker, bool lost) {
+  if (lost) ++stats_.workers_lost;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.worker == worker) {
+      // Front of the requeue line: a revoked range gates the tournament
+      // root, so it must not sit behind every untouched range.
+      reissue_.push_front({it->second.first, it->second.count, it->second.home});
+      ++pending_count_;
+      ++stats_.ranges_requeued;
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<LeaseLedger::ActiveLease> LeaseLedger::active() const {
+  std::vector<ActiveLease> out;
+  out.reserve(active_.size());
+  for (const auto& [id, a] : active_) out.push_back({id, a.worker, a.first, a.count});
+  std::sort(out.begin(), out.end(),
+            [](const ActiveLease& x, const ActiveLease& y) { return x.id < y.id; });
+  return out;
+}
+
+}  // namespace ltns::dist

@@ -17,6 +17,7 @@
 #include "circuit/io.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
+#include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_stream.hpp"
@@ -40,9 +41,11 @@ struct Job {
   int32_t num_slices = 0;  // coordinator's |S|; worker must agree
   int32_t shard_id = 0;
   uint64_t first = 0;
-  uint64_t count = 0;
+  uint64_t count = 0;  // ignored when elastic
   uint32_t fused = 1;
   uint64_t ldm_elems = 32768;
+  uint32_t elastic = 0;
+  double heartbeat_seconds = 0.2;
 };
 
 void put_job(ByteWriter& w, const Job& j) {
@@ -59,6 +62,8 @@ void put_job(ByteWriter& w, const Job& j) {
   w.put<uint64_t>(j.count);
   w.put<uint32_t>(j.fused);
   w.put<uint64_t>(j.ldm_elems);
+  w.put<uint32_t>(j.elastic);
+  w.put<double>(j.heartbeat_seconds);
 }
 
 Job get_job(ByteReader& r) {
@@ -76,6 +81,8 @@ Job get_job(ByteReader& r) {
   j.count = r.get<uint64_t>();
   j.fused = r.get<uint32_t>();
   j.ldm_elems = r.get<uint64_t>();
+  j.elastic = r.get<uint32_t>();
+  j.heartbeat_seconds = r.get<double>();
   return j;
 }
 
@@ -115,6 +122,32 @@ void send_error(int fd, const std::string& msg) {
     write_frame(fd, FrameType::kError, w);
   } catch (...) {
   }
+}
+
+// Resolves `host` and connects, walking EVERY resolved address per
+// attempt (a stale first A record must not mask a working one) and
+// retrying every 500 ms up to `attempts` times so callers may start
+// before their peer. Returns -1 when nothing answered.
+int connect_to(const std::string& host, uint16_t port, int attempts) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* ai = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &ai) != 0 ||
+      ai == nullptr)
+    return -1;
+  int fd = -1;
+  for (int attempt = 0; attempt < attempts && fd < 0; ++attempt) {
+    if (attempt > 0) ::usleep(500 * 1000);
+    for (const addrinfo* a = ai; a != nullptr && fd < 0; a = a->ai_next) {
+      fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+      if (fd >= 0 && ::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+  ::freeaddrinfo(ai);
+  return fd;
 }
 
 }  // namespace
@@ -168,6 +201,53 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
   base.fused = opt.fused ? 1 : 0;
   base.ldm_elems = opt.ldm_elems;
 
+  // Shared tail of both drivers: fold the merged root into the amplitude.
+  auto finish_amplitude = [&p, &res](ShardMerger& merger) {
+    if (!res.error.empty()) return;
+    if (!merger.complete()) {
+      res.error = "reduction incomplete despite clean workers";
+      return;
+    }
+    auto root = merger.take_root();
+    if (root.rank() != 0 || root.size() != 1) {
+      res.error = "amplitude job produced a non-scalar root";
+      return;
+    }
+    res.amplitude = std::complex<double>(root.data()[0]) * p.lowered.scalar;
+    res.completed = true;
+  };
+
+  if (opt.elastic) {
+    // Elastic: the coordinator's poll loop owns the listener — workers
+    // join whenever they connect (even mid-run, `num_workers` is only the
+    // notional home-window count for the lease queue), status probes are
+    // answered in-line, and dead or stalled workers have their leases
+    // requeued instead of failing the run.
+    ElasticOptions eo;
+    eo.lease_size = opt.lease_size;
+    eo.heartbeat_seconds = opt.heartbeat_seconds;
+    eo.stall_timeout_seconds = opt.stall_timeout_seconds;
+    eo.accept_timeout_seconds = opt.accept_timeout_seconds;
+    ElasticCoordinator coord(total, std::max(1, num_workers), eo);
+    coord.set_listener(listen_fd_, [&](int fd, int worker_id) {
+      Job j = base;
+      j.elastic = 1;
+      j.heartbeat_seconds = opt.heartbeat_seconds;
+      j.shard_id = worker_id;
+      ByteWriter w;
+      put_job(w, j);
+      write_frame(fd, FrameType::kJob, w);
+    });
+    ShardMerger merger(total);
+    res.error = coord.run(&merger);
+    res.shards = coord.telemetry();
+    res.rebalance = coord.ledger().stats();
+    for (const auto& t : res.shards) res.tasks_run += t.tasks_run;
+    res.wall_seconds = wall.seconds();
+    finish_amplitude(merger);
+    return res;
+  }
+
   // Accept every worker and hand out all the jobs BEFORE draining any
   // result stream, so the shards run concurrently. The accept wait is
   // bounded: a worker that dies before connecting must produce an error,
@@ -178,32 +258,45 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   std::vector<int> fds(size_t(num_workers), -1);
-  for (int i = 0; i < num_workers; ++i) {
-    fds[size_t(i)] = ::accept(listen_fd_, nullptr, nullptr);
-    if (fds[size_t(i)] < 0) {
-      res.error = (errno == EAGAIN || errno == EWOULDBLOCK)
-                      ? "timed out waiting for worker " + std::to_string(i) + " to connect"
-                      : "accept failed";
-      break;
-    }
-    // Accepted sockets inherit the listener's SO_RCVTIMEO on Linux; clear
-    // it so a long-running shard (first block slower than the accept
-    // timeout) doesn't turn into a spurious read error mid-drain.
-    timeval no_timeout{};
-    ::setsockopt(fds[size_t(i)], SOL_SOCKET, SO_RCVTIMEO, &no_timeout, sizeof(no_timeout));
-    try {
-      Frame hello;
-      if (!read_frame(fds[size_t(i)], &hello) || hello.type != FrameType::kHello)
-        throw std::runtime_error("worker did not say hello");
-      Job j = base;
-      j.shard_id = i;
-      j.first = shards[size_t(i)].first;
-      j.count = shards[size_t(i)].count;
-      ByteWriter w;
-      put_job(w, j);
-      write_frame(fds[size_t(i)], FrameType::kJob, w);
-    } catch (const std::exception& e) {
-      res.error = "worker " + std::to_string(i) + ": " + e.what();
+  for (int i = 0; i < num_workers && res.error.empty(); ++i) {
+    for (;;) {  // re-accept this slot when a non-worker connection shows up
+      fds[size_t(i)] = ::accept(listen_fd_, nullptr, nullptr);
+      if (fds[size_t(i)] < 0) {
+        res.error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                        ? "timed out waiting for worker " + std::to_string(i) + " to connect"
+                        : "accept failed";
+        break;
+      }
+      // Accepted sockets inherit the listener's SO_RCVTIMEO on Linux; clear
+      // it so a long-running shard (first block slower than the accept
+      // timeout) doesn't turn into a spurious read error mid-drain.
+      timeval no_timeout{};
+      ::setsockopt(fds[size_t(i)], SOL_SOCKET, SO_RCVTIMEO, &no_timeout, sizeof(no_timeout));
+      try {
+        Frame hello;
+        if (!read_frame(fds[size_t(i)], &hello) || hello.type != FrameType::kHello) {
+          // A stray status probe (or any non-worker) must not consume a
+          // worker slot and abort a whole fleet's run: answer and keep
+          // waiting for the real worker.
+          if (hello.type == FrameType::kStatusRequest) {
+            send_error(fds[size_t(i)],
+                       "this coordinator runs the static driver; live lease state "
+                       "exists only under --elastic");
+            close_fd(&fds[size_t(i)]);
+            continue;
+          }
+          throw std::runtime_error("worker did not say hello");
+        }
+        Job j = base;
+        j.shard_id = i;
+        j.first = shards[size_t(i)].first;
+        j.count = shards[size_t(i)].count;
+        ByteWriter w;
+        put_job(w, j);
+        write_frame(fds[size_t(i)], FrameType::kJob, w);
+      } catch (const std::exception& e) {
+        res.error = "worker " + std::to_string(i) + ": " + e.what();
+      }
       break;
     }
   }
@@ -223,41 +316,15 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
 
   for (const auto& t : res.shards) res.tasks_run += t.tasks_run;
   res.wall_seconds = wall.seconds();
-  if (!res.error.empty()) return res;
-  if (!merger.complete()) {
-    res.error = "reduction incomplete despite clean workers";
-    return res;
-  }
-  auto root = merger.take_root();
-  if (root.rank() != 0 || root.size() != 1) {
-    res.error = "amplitude job produced a non-scalar root";
-    return res;
-  }
-  res.amplitude = std::complex<double>(root.data()[0]) * p.lowered.scalar;
-  res.completed = true;
+  finish_amplitude(merger);
   return res;
 }
 
 int serve_worker(const std::string& host, uint16_t port) {
   std::signal(SIGPIPE, SIG_IGN);
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* ai = nullptr;
-  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &ai) != 0 ||
-      ai == nullptr)
-    return 2;
-  // Retry the connect for ~10s so workers may be launched before (or
-  // alongside) the coordinator without a fragile startup order.
-  int fd = -1;
-  for (int attempt = 0; attempt < 20; ++attempt) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd >= 0 && ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    if (fd >= 0) ::close(fd);
-    fd = -1;
-    ::usleep(500 * 1000);
-  }
-  ::freeaddrinfo(ai);
+  // ~10s of connect retries: workers may be launched before (or alongside)
+  // the coordinator.
+  int fd = connect_to(host, port, 20);
   if (fd < 0) return 2;
 
   int rc = 0;
@@ -302,14 +369,46 @@ int serve_worker(const std::string& host, uint16_t port) {
     so.pool = &pool;
     so.scheduler = &sched;
     so.fused = fused;
-    stream_shard_window(fd, int(job.shard_id), job.first, job.count, *p.plan.tree, leaves,
-                        p.plan.slices, so);
+    if (job.elastic != 0) {
+      ElasticWorkerOptions eo;
+      eo.stream = so;
+      eo.worker_id = int(job.shard_id);
+      eo.heartbeat_seconds = job.heartbeat_seconds;
+      serve_elastic_shard(fd, *p.plan.tree, leaves, p.plan.slices, eo);
+    } else {
+      stream_shard_window(fd, int(job.shard_id), job.first, job.count, *p.plan.tree, leaves,
+                          p.plan.slices, so);
+    }
   } catch (const std::exception& e) {
     send_error(fd, e.what());
     rc = 1;
   }
   ::close(fd);
   return rc;
+}
+
+std::string query_status(const std::string& host, uint16_t port) {
+  std::signal(SIGPIPE, SIG_IGN);
+  // One attempt: a probe should fail fast when nothing is listening.
+  int fd = connect_to(host, port, 1);
+  if (fd < 0)
+    throw std::runtime_error("status: no coordinator listening on " + host + ":" +
+                             std::to_string(port));
+  try {
+    write_frame(fd, FrameType::kStatusRequest, nullptr, 0);
+    Frame f;
+    if (!read_frame(fd, &f)) throw std::runtime_error("status: coordinator did not answer");
+    ByteReader r(f.payload);
+    if (f.type == FrameType::kError) throw std::runtime_error("status: " + r.get_string());
+    if (f.type != FrameType::kStatus)
+      throw std::runtime_error("status: unexpected reply frame");
+    auto json = r.get_string();
+    ::close(fd);
+    return json;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
 }
 
 }  // namespace ltns::dist

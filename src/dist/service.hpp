@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "dist/lease.hpp"
 #include "dist/wire.hpp"
 #include "exec/slice_runner.hpp"
 
@@ -39,6 +40,16 @@ struct ServiceOptions {
   // Bound on waiting for workers to connect; a worker that dies before
   // connecting then yields an error instead of a hang. 0 = wait forever.
   int accept_timeout_seconds = 300;
+  // Elastic mode (dist/elastic.hpp): workers lease bounded task ranges
+  // instead of one fixed window; stragglers are stolen from, dead workers'
+  // leases are requeued, new workers may join mid-run, and a
+  // kStatusRequest probe (ltns_cli coordinate --status) gets live
+  // lease/heartbeat state. The result stays bitwise identical to a
+  // 1-process run either way.
+  bool elastic = false;
+  uint64_t lease_size = 0;            // tasks per lease; 0 = auto
+  double heartbeat_seconds = 0.2;     // worker liveness period
+  double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
 };
 
 struct CoordinatorResult {
@@ -49,6 +60,7 @@ struct CoordinatorResult {
   uint64_t tasks_run = 0;
   double wall_seconds = 0;
   std::vector<ShardTelemetry> shards;  // one record per worker
+  RebalanceStats rebalance;            // elastic-mode lease telemetry
 };
 
 class CoordinatorServer {
@@ -73,8 +85,14 @@ class CoordinatorServer {
   uint16_t port_ = 0;
 };
 
-// Connects to a coordinator, executes the one job it is handed, streams the
+// Connects to a coordinator, executes the job it is handed (one fixed
+// window, or the elastic lease loop when the job says so), streams the
 // partials back, and returns 0 on success (non-zero on any failure).
 int serve_worker(const std::string& host, uint16_t port);
+
+// Status probe: connects to a running *elastic* coordinator and returns
+// its live lease/heartbeat state as a JSON string (`ltns_cli coordinate
+// --status`). Throws std::runtime_error when nothing answers.
+std::string query_status(const std::string& host, uint16_t port);
 
 }  // namespace ltns::dist

@@ -1,11 +1,33 @@
 #include "dist/shard_stream.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "dist/shard_plan.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::dist {
+
+exec::Tensor reduce_block(const AlignedBlock& block, const tn::ContractionTree& tree,
+                          const exec::LeafProvider& leaves, const core::SliceSet& slices,
+                          const ShardStreamOptions& opt, ShardTelemetry* tel) {
+  exec::SliceRunOptions ro;
+  ro.first_task = block.first();
+  ro.num_tasks = block.count();
+  ro.executor = opt.executor;
+  ro.pool = opt.pool;
+  ro.scheduler = opt.scheduler;
+  ro.grain = opt.grain;
+  ro.fused = opt.fused;
+  auto r = exec::run_sliced(tree, leaves, slices, ro);
+  if (!r.completed) throw std::runtime_error("block run did not complete");
+  tel->tasks_run += r.tasks_run;
+  tel->reduce_merges += r.reduce_merges;
+  tel->executor.merge(r.executor_stats);
+  tel->memory.merge(r.memory);
+  tel->exec.merge(r.stats);
+  return std::move(r.accumulated);
+}
 
 void stream_shard_window(int fd, int shard_id, uint64_t first, uint64_t count,
                          const tn::ContractionTree& tree, const exec::LeafProvider& leaves,
@@ -16,26 +38,11 @@ void stream_shard_window(int fd, int shard_id, uint64_t first, uint64_t count,
   tel.count = count;
   Timer wall;
   for (const auto& block : aligned_blocks(first, count)) {
-    exec::SliceRunOptions ro;
-    ro.first_task = block.first();
-    ro.num_tasks = block.count();
-    ro.executor = opt.executor;
-    ro.pool = opt.pool;
-    ro.scheduler = opt.scheduler;
-    ro.grain = opt.grain;
-    ro.fused = opt.fused;
-    auto r = exec::run_sliced(tree, leaves, slices, ro);
-    if (!r.completed) throw std::runtime_error("block run did not complete");
-    tel.tasks_run += r.tasks_run;
-    tel.reduce_merges += r.reduce_merges;
-    tel.executor.merge(r.executor_stats);
-    tel.memory.merge(r.memory);
-    tel.exec.merge(r.stats);
-
+    auto partial = reduce_block(block, tree, leaves, slices, opt, &tel);
     ByteWriter w;
     w.put<int32_t>(int32_t(block.level));
     w.put<uint64_t>(block.index);
-    put_tensor(w, r.accumulated);
+    put_tensor(w, partial);
     write_frame(fd, FrameType::kBlock, w);
   }
   tel.wall_seconds = wall.seconds();

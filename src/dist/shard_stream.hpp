@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dist/shard_merge.hpp"
+#include "dist/shard_plan.hpp"
 #include "dist/wire.hpp"
 #include "exec/slice_runner.hpp"
 
@@ -21,6 +22,14 @@ struct ShardStreamOptions {
   runtime::SliceScheduler* scheduler = nullptr;  // required
   const exec::FusedPlan* fused = nullptr;
 };
+
+// Reduces one tournament-aligned block with run_sliced and folds the run's
+// counters into `tel`. Shared by the static window streamer and the
+// elastic lease loop — the bitwise-identity guarantee requires every path
+// to compute a block partial the exact same way.
+exec::Tensor reduce_block(const AlignedBlock& block, const tn::ContractionTree& tree,
+                          const exec::LeafProvider& leaves, const core::SliceSet& slices,
+                          const ShardStreamOptions& opt, ShardTelemetry* tel);
 
 // Worker side: reduces every tournament-aligned block of
 // [first, first + count) with run_sliced and streams one kBlock frame per

@@ -14,11 +14,12 @@ constexpr uint64_t kMaxPayload = uint64_t(1) << 40;
 
 struct FrameHeader {
   uint32_t magic;
-  uint32_t version;
-  uint32_t type;
-  uint32_t pad;  // keeps payload_len naturally aligned; always 0
+  uint16_t version;
+  uint8_t endian;  // kWireEndianLittle/Big; must equal the reader's host
+  uint8_t type;
   uint64_t payload_len;
 };
+static_assert(sizeof(FrameHeader) == 16, "frame header layout is wire ABI");
 
 [[noreturn]] void fail_errno(const char* what) {
   throw std::runtime_error(std::string("dist wire: ") + what + ": " + std::strerror(errno));
@@ -60,7 +61,7 @@ bool read_exact(int fd, void* buf, size_t n, bool eof_ok) {
 }  // namespace
 
 void write_frame(int fd, FrameType type, const void* payload, size_t size) {
-  FrameHeader h{kWireMagic, kWireVersion, uint32_t(type), 0, uint64_t(size)};
+  FrameHeader h{kWireMagic, kWireVersion, host_endian(), uint8_t(type), uint64_t(size)};
   write_exact(fd, &h, sizeof(h));
   if (size > 0) write_exact(fd, payload, size);
 }
@@ -68,8 +69,33 @@ void write_frame(int fd, FrameType type, const void* payload, size_t size) {
 bool read_frame(int fd, Frame* out) {
   FrameHeader h;
   if (!read_exact(fd, &h, sizeof(h), /*eof_ok=*/true)) return false;
-  if (h.magic != kWireMagic) throw std::runtime_error("dist wire: bad magic");
-  if (h.version != kWireVersion) throw std::runtime_error("dist wire: protocol version mismatch");
+  // A genuinely foreign-endian peer swaps EVERY multi-byte field, magic
+  // included — so a byte-reversed magic IS the endianness mismatch, and it
+  // must be recognized before being written off as garbage.
+  if (h.magic != kWireMagic) {
+    if (h.magic == __builtin_bswap32(kWireMagic))
+      throw std::runtime_error(
+          "dist wire: endianness mismatch (magic arrived byte-swapped; peer and host "
+          "disagree and the raw IEEE payloads cannot interoperate)");
+    throw std::runtime_error("dist wire: bad magic");
+  }
+  // Version next: a same-endian v1 peer's old header parses to version 1
+  // here, so it gets the precise version error rather than a misreading
+  // of its (differently laid out) remaining bytes.
+  if (h.version != kWireVersion)
+    throw std::runtime_error("dist wire: protocol version mismatch (peer v" +
+                             std::to_string(h.version) + ", expected v" +
+                             std::to_string(kWireVersion) + ")");
+  // Defense in depth: same-order magic and version but a wrong endian tag
+  // (hand-built or corrupt header) still must not slip through.
+  if (h.endian != host_endian())
+    throw std::runtime_error(
+        "dist wire: endianness mismatch (peer tagged " +
+        std::string(h.endian == kWireEndianBig
+                        ? "big"
+                        : h.endian == kWireEndianLittle ? "little" : "unknown") +
+        "-endian, host is " +
+        std::string(host_endian() == kWireEndianBig ? "big" : "little") + "-endian)");
   if (h.payload_len > kMaxPayload) throw std::runtime_error("dist wire: oversized payload");
   out->type = FrameType(h.type);
   out->payload.resize(size_t(h.payload_len));
@@ -146,6 +172,9 @@ void put_snapshot(ByteWriter& w, const runtime::ExecutorSnapshot& s) {
   w.put<int32_t>(s.running);
   w.put<int32_t>(s.waiting);
   w.put<double>(s.ema_utilization);
+  w.put<uint64_t>(s.ranges_stolen);
+  w.put<uint64_t>(s.ranges_reissued);
+  w.put<double>(s.straggler_wait_seconds);
   put_perf(w, s.permute);
   put_perf(w, s.gemm);
   put_perf(w, s.reduce);
@@ -161,6 +190,9 @@ runtime::ExecutorSnapshot get_snapshot(ByteReader& r) {
   s.running = int(r.get<int32_t>());
   s.waiting = int(r.get<int32_t>());
   s.ema_utilization = r.get<double>();
+  s.ranges_stolen = r.get<uint64_t>();
+  s.ranges_reissued = r.get<uint64_t>();
+  s.straggler_wait_seconds = r.get<double>();
   s.permute = get_perf(r);
   s.gemm = get_perf(r);
   s.reduce = get_perf(r);
@@ -195,6 +227,7 @@ void put_telemetry(ByteWriter& w, const ShardTelemetry& t) {
   w.put<uint64_t>(t.first);
   w.put<uint64_t>(t.count);
   w.put<uint64_t>(t.tasks_run);
+  w.put<uint64_t>(t.leases);
   w.put<uint64_t>(t.reduce_merges);
   w.put<double>(t.wall_seconds);
   put_snapshot(w, t.executor);
@@ -208,6 +241,7 @@ ShardTelemetry get_telemetry(ByteReader& r) {
   t.first = r.get<uint64_t>();
   t.count = r.get<uint64_t>();
   t.tasks_run = r.get<uint64_t>();
+  t.leases = r.get<uint64_t>();
   t.reduce_merges = r.get<uint64_t>();
   t.wall_seconds = r.get<double>();
   t.executor = get_snapshot(r);

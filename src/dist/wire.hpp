@@ -1,14 +1,14 @@
 // Length-prefixed wire protocol for the multi-process shard driver.
 //
-// Every message is one frame: a fixed header {magic, version, type,
-// payload_len} followed by payload_len bytes. Payloads are built with
+// Every message is one frame: a fixed header {magic, version, endianness,
+// type, payload_len} followed by payload_len bytes. Payloads are built with
 // ByteWriter/ByteReader, which memcpy PODs field by field — floats and
 // doubles travel as their raw bit patterns, so a tensor or telemetry block
 // round-trips BIT-EXACTLY (the property the cross-process reduction relies
-// on). Endianness/width must match across peers; the driver targets
-// same-binary same-arch deployments (fork on one host, or the same
-// executable on homogeneous nodes) and the Hello exchange rejects mismatched
-// protocol versions.
+// on). That makes the format arch-specific by design; the header's
+// endianness byte turns a heterogeneous-fleet mistake into a clean
+// "endianness mismatch" error instead of silently garbled floats, and the
+// version field rejects skewed binaries.
 //
 // Reader behaviour on a dead peer: read_frame returns false on a clean EOF
 // at a frame boundary and throws std::runtime_error on a truncated frame or
@@ -31,15 +31,38 @@
 namespace ltns::dist {
 
 inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
-inline constexpr uint32_t kWireVersion = 1;
+// v2: endian-tagged header + the elastic lease/heartbeat frame vocabulary.
+inline constexpr uint16_t kWireVersion = 2;
 
-enum class FrameType : uint32_t {
+// Header endianness markers; read_frame rejects a frame whose marker does
+// not match the host's.
+inline constexpr uint8_t kWireEndianLittle = 1;
+inline constexpr uint8_t kWireEndianBig = 2;
+
+inline uint8_t host_endian() {
+  const uint32_t probe = 1;
+  uint8_t low = 0;
+  std::memcpy(&low, &probe, 1);
+  return low == 1 ? kWireEndianLittle : kWireEndianBig;
+}
+
+enum class FrameType : uint8_t {
   kHello = 1,      // worker -> coordinator: protocol version
   kJob = 2,        // coordinator -> worker: circuit + plan options + window
   kBlock = 3,      // worker -> coordinator: one aligned-block partial tensor
   kTelemetry = 4,  // worker -> coordinator: per-shard telemetry
   kDone = 5,       // worker -> coordinator: shard finished cleanly
   kError = 6,      // either direction: human-readable failure
+  // Elastic mode (see dist/elastic.hpp): workers lease bounded task ranges
+  // instead of receiving one fixed window.
+  kLeaseRequest = 7,   // worker -> coordinator: idle, wants a range
+  kLease = 8,          // coordinator -> worker: {lease id, first, count}
+  kLeaseBlock = 9,     // worker -> coordinator: kBlock + the lease id tag
+  kRangeDone = 10,     // worker -> coordinator: lease's blocks all shipped
+  kHeartbeat = 11,     // worker -> coordinator: liveness while computing
+  kDrain = 12,         // coordinator -> worker: no work left; report + exit
+  kStatusRequest = 13, // status probe -> coordinator: dump live state
+  kStatus = 14,        // coordinator -> status probe: JSON snapshot
 };
 
 // --- payload (de)serialization -------------------------------------------
@@ -49,12 +72,13 @@ class ByteWriter {
   template <typename T>
   void put(T v) {
     static_assert(std::is_trivially_copyable<T>::value, "POD only");
-    const auto* p = reinterpret_cast<const uint8_t*>(&v);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    put_bytes(&v, sizeof(T));
   }
   void put_bytes(const void* p, size_t n) {
-    const auto* b = static_cast<const uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    if (n == 0) return;  // empty payload: nothing to copy (and p may be null)
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
   }
   void put_string(const std::string& s) {
     put<uint64_t>(s.size());
@@ -104,8 +128,9 @@ class ByteReader {
 struct ShardTelemetry {
   int32_t shard = 0;
   uint64_t first = 0;
-  uint64_t count = 0;
+  uint64_t count = 0;  // static window size; 0 under the elastic driver
   uint64_t tasks_run = 0;
+  uint64_t leases = 0;         // ranges this worker completed (elastic mode)
   uint64_t reduce_merges = 0;  // worker-local tournament merges
   double wall_seconds = 0;
   runtime::ExecutorSnapshot executor;

@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_stream.hpp"
@@ -46,7 +47,16 @@ int workers_for(const ShardRunOptions& opt) {
     so.pool = &pool;
     so.scheduler = &sched;
     so.fused = opt.fused;
-    dist::stream_shard_window(fd, shard_id, shard.first, shard.count, tree, leaves, slices, so);
+    if (opt.elastic) {
+      dist::ElasticWorkerOptions eo;
+      eo.stream = so;
+      eo.worker_id = shard_id;
+      eo.heartbeat_seconds = opt.heartbeat_seconds;
+      dist::serve_elastic_shard(fd, tree, leaves, slices, eo);
+    } else {
+      dist::stream_shard_window(fd, shard_id, shard.first, shard.count, tree, leaves, slices,
+                                so);
+    }
     ::close(fd);
     std::_Exit(0);
   } catch (const std::exception& e) {
@@ -111,17 +121,47 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     kids[size_t(p)] = {pid, sv[0]};
   }
 
-  // Drain every worker's frame stream; a worker that dies mid-run closes
-  // its socket, so the read loop ends in EOF and reports instead of hanging.
   dist::ShardMerger merger(total);
   res.shards.assign(size_t(processes), {});
-  for (int p = 0; p < processes; ++p) {
-    Child& kid = kids[size_t(p)];
-    if (kid.fd < 0) continue;
-    auto err = dist::drain_shard_stream(kid.fd, &merger, &res.shards[size_t(p)]);
-    if (!err.empty()) append_error(&res.error, "shard " + std::to_string(p) + ": " + err);
-    ::close(kid.fd);
-    kid.fd = -1;
+  for (int p = 0; p < processes; ++p) res.shards[size_t(p)].shard = p;
+  if (opt.elastic) {
+    // Elastic: one poll loop leases bounded ranges to whichever worker is
+    // idle, revokes and requeues on death or stall, and keeps the
+    // tournament bookkeeping range-granular — losing a worker costs a
+    // lease of recomputation, not the run.
+    dist::ElasticOptions eo;
+    eo.lease_size = opt.lease_size;
+    eo.heartbeat_seconds = opt.heartbeat_seconds;
+    eo.stall_timeout_seconds = opt.stall_timeout_seconds;
+    // Fork mode has no listener, so nobody can rejoin — but a fleet where
+    // every worker is stalled (wedged, not dead) must still end in an
+    // error rather than a hang, and this timeout is what bounds that wait.
+    eo.accept_timeout_seconds =
+        std::max(60, int(opt.stall_timeout_seconds * 2));
+    dist::ElasticCoordinator coord(total, processes, eo);
+    for (int p = 0; p < processes; ++p) {
+      if (kids[size_t(p)].fd >= 0) {
+        coord.add_worker(kids[size_t(p)].fd, p);
+        kids[size_t(p)].fd = -1;  // the coordinator owns it now
+      }
+    }
+    auto err = coord.run(&merger);
+    if (!err.empty()) append_error(&res.error, err);
+    for (const auto& t : coord.telemetry())
+      if (t.shard >= 0 && t.shard < processes) res.shards[size_t(t.shard)] = t;
+    res.rebalance = coord.ledger().stats();
+  } else {
+    // Static: drain every worker's fixed-window frame stream; a worker
+    // that dies mid-run closes its socket, so the read loop ends in EOF
+    // and reports instead of hanging.
+    for (int p = 0; p < processes; ++p) {
+      Child& kid = kids[size_t(p)];
+      if (kid.fd < 0) continue;
+      auto err = dist::drain_shard_stream(kid.fd, &merger, &res.shards[size_t(p)]);
+      if (!err.empty()) append_error(&res.error, "shard " + std::to_string(p) + ": " + err);
+      ::close(kid.fd);
+      kid.fd = -1;
+    }
   }
 
   for (int p = 0; p < processes; ++p) {
@@ -129,8 +169,11 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     int st = 0;
     ::waitpid(kids[size_t(p)].pid, &st, 0);
     if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
-      // Only worth reporting when the worker didn't already explain itself.
-      if (res.error.empty())
+      // An elastic run absorbs worker deaths by design (the requeue is the
+      // feature under test in the chaos job); only report an abnormal exit
+      // when it actually cost us the run, and only when the worker didn't
+      // already explain itself.
+      if (res.error.empty() && !opt.elastic)
         append_error(&res.error, "shard " + std::to_string(p) + " exited abnormally (status " +
                                      std::to_string(st) + ")");
     }
@@ -143,6 +186,11 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     res.memory.merge(t.memory);
     res.executor_stats.merge(t.executor);
   }
+  // Surface the lease telemetry through the aggregated snapshot, so the
+  // rebalance counters ride every existing telemetry path (API + CLI).
+  res.executor_stats.ranges_stolen += res.rebalance.ranges_stolen;
+  res.executor_stats.ranges_reissued += res.rebalance.ranges_reissued;
+  res.executor_stats.straggler_wait_seconds += res.rebalance.straggler_wait_seconds;
   res.wall_seconds = wall.seconds();
   if (!res.error.empty()) return res;
   if (!merger.complete()) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/lease.hpp"
 #include "dist/wire.hpp"
 #include "exec/slice_runner.hpp"
 
@@ -38,8 +39,21 @@ struct ShardRunOptions {
   SliceExecutor executor = SliceExecutor::kWorkStealing;
   uint64_t grain = 1;          // tasks per deque pop under work stealing
   const FusedPlan* fused = nullptr;
+  // Elastic mode: instead of one fixed window per process, workers lease
+  // bounded task ranges from a coordinator-owned queue (dist/elastic.hpp);
+  // a straggler's untouched ranges are stolen by idle peers and a dead
+  // worker's leases are revoked and re-issued, so the run survives losing
+  // processes — and stays bitwise identical to a single-process run. The
+  // static one-shot driver remains the default.
+  bool elastic = false;
+  uint64_t lease_size = 0;            // tasks per lease; 0 = auto
+  double heartbeat_seconds = 0.2;     // worker liveness period
+  double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
   // Test hook: the worker for this shard index exits without reporting, so
-  // the failure path (clean error, no hang) can be exercised. -1 = off.
+  // the failure path (static: clean error; elastic: requeue + completion)
+  // can be exercised. -1 = off. The elastic chaos hooks (mid-run SIGKILL,
+  // per-task straggler sleep) come from the LTNS_CHAOS_* env instead — see
+  // dist::chaos_from_env.
   int fault_shard = -1;
 };
 
@@ -56,6 +70,7 @@ struct ShardRunResult {
   runtime::MemoryStats memory;
   uint64_t reduce_merges = 0;                // worker + coordinator merges
   std::vector<dist::ShardTelemetry> shards;  // one record per process
+  dist::RebalanceStats rebalance;            // elastic-mode lease telemetry
 };
 
 ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& leaves,

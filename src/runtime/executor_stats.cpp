@@ -11,6 +11,9 @@ ExecutorSnapshot ExecutorSnapshot::since(const ExecutorSnapshot& begin) const {
   d.stolen -= begin.stolen;
   d.finished -= begin.finished;
   d.cancelled -= begin.cancelled;
+  d.ranges_stolen -= begin.ranges_stolen;
+  d.ranges_reissued -= begin.ranges_reissued;
+  d.straggler_wait_seconds -= begin.straggler_wait_seconds;
   d.permute.count -= begin.permute.count;
   d.permute.seconds -= begin.permute.seconds;
   d.gemm.count -= begin.gemm.count;
@@ -31,6 +34,9 @@ void ExecutorSnapshot::merge(const ExecutorSnapshot& o) {
   stolen += o.stolen;
   finished += o.finished;
   cancelled += o.cancelled;
+  ranges_stolen += o.ranges_stolen;
+  ranges_reissued += o.ranges_reissued;
+  straggler_wait_seconds += o.straggler_wait_seconds;
   running += o.running;
   waiting += o.waiting;
   permute.count += o.permute.count;

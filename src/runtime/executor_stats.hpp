@@ -51,6 +51,13 @@ struct ExecutorSnapshot {
   int running = 0;         // gauge: tasks executing right now
   int waiting = 0;         // gauge: workers idle-scanning for work
   double ema_utilization = 0;  // EMA of busy-fraction across workers, [0, 1]
+  // Process-level rebalance counters (elastic shard driver): leases issued
+  // off another worker's notional home window, ranges re-issued after a
+  // revoke or worker death, and the cumulative time idle workers spent
+  // parked waiting on straggler-held ranges. Zero for in-process runs.
+  uint64_t ranges_stolen = 0;
+  uint64_t ranges_reissued = 0;
+  double straggler_wait_seconds = 0;
   PerfSnapshot permute, gemm, reduce, memory;
 
   ExecutorSnapshot since(const ExecutorSnapshot& begin) const;

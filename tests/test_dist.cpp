@@ -2,23 +2,35 @@
 //   1. the shard plan partitions [0, 2^|S|) exactly — no gaps, no overlaps,
 //      any process count — and windows decompose into tournament-aligned
 //      blocks that tile them;
-//   2. the wire protocol round-trips tensors and telemetry BIT-exactly, and
-//      a dead peer surfaces as EOF/error, never a hang;
+//   2. the wire protocol round-trips tensors and telemetry BIT-exactly,
+//      rejects version/endianness skew with a clean error, and a dead peer
+//      surfaces as EOF/error, never a hang;
 //   3. the cross-process reduction is bitwise identical to the in-process
 //      ReductionTree for any shard count (the ISSUE acceptance criterion);
-//   4. a killed worker produces a clean error from run_sharded.
+//   4. a killed worker produces a clean error from the static run_sharded —
+//      and under the ELASTIC driver a killed or straggling worker does NOT
+//      fail the run: its leases are revoked/requeued, late results are
+//      dropped (never double-merged), and the output stays bitwise
+//      identical to a 1-process run.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <complex>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "api/simulator.hpp"
 #include "core/greedy_slicer.hpp"
+#include "dist/elastic.hpp"
+#include "dist/lease.hpp"
 #include "dist/service.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
@@ -136,12 +148,16 @@ TEST(Wire, TelemetryRoundTripsExactly) {
   t.first = 1024;
   t.count = 512;
   t.tasks_run = 512;
+  t.leases = 9;
   t.reduce_merges = 511;
   t.wall_seconds = 0.123456789;
   t.executor.scheduled = 512;
   t.executor.stolen = 17;
   t.executor.finished = 512;
   t.executor.ema_utilization = 0.876543;
+  t.executor.ranges_stolen = 3;
+  t.executor.ranges_reissued = 2;
+  t.executor.straggler_wait_seconds = 0.375;
   t.executor.gemm = {512, 1.5};
   t.executor.reduce = {511, 0.25};
   t.memory.main_bytes = 1e9 + 0.5;
@@ -160,8 +176,12 @@ TEST(Wire, TelemetryRoundTripsExactly) {
   EXPECT_EQ(b.tasks_run, t.tasks_run);
   EXPECT_EQ(b.reduce_merges, t.reduce_merges);
   EXPECT_EQ(b.wall_seconds, t.wall_seconds);  // exact: raw bit pattern
+  EXPECT_EQ(b.leases, t.leases);
   EXPECT_EQ(b.executor.stolen, t.executor.stolen);
   EXPECT_EQ(b.executor.ema_utilization, t.executor.ema_utilization);
+  EXPECT_EQ(b.executor.ranges_stolen, t.executor.ranges_stolen);
+  EXPECT_EQ(b.executor.ranges_reissued, t.executor.ranges_reissued);
+  EXPECT_EQ(b.executor.straggler_wait_seconds, t.executor.straggler_wait_seconds);
   EXPECT_EQ(b.executor.gemm.count, t.executor.gemm.count);
   EXPECT_EQ(b.executor.gemm.seconds, t.executor.gemm.seconds);
   EXPECT_EQ(b.memory.main_bytes, t.memory.main_bytes);
@@ -192,39 +212,256 @@ TEST(Wire, FramesRoundTripOverSocketpairAndEofIsClean) {
   ::close(sv[1]);
 }
 
-TEST(Wire, TruncatedFrameThrows) {
-  int sv[2];
-  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
-  // A hand-built header (pinning the wire layout) promising 100 payload
-  // bytes, followed by only 3 — then death.
+// Hand-builds one v2 header (pinning the wire layout: magic u32, version
+// u16, endianness u8, type u8, payload_len u64 = 16 bytes).
+ByteWriter make_header(uint32_t magic, uint16_t version, uint8_t endian, FrameType type,
+                       uint64_t payload_len) {
   ByteWriter h;
-  h.put<uint32_t>(kWireMagic);
-  h.put<uint32_t>(kWireVersion);
-  h.put<uint32_t>(uint32_t(FrameType::kBlock));
-  h.put<uint32_t>(0);  // header padding
-  h.put<uint64_t>(100);
-  ASSERT_EQ(::write(sv[0], h.buffer().data(), h.buffer().size()), ssize_t(h.buffer().size()));
-  ASSERT_EQ(::write(sv[0], "abc", 3), 3);
+  h.put<uint32_t>(magic);
+  h.put<uint16_t>(version);
+  h.put<uint8_t>(endian);
+  h.put<uint8_t>(uint8_t(type));
+  h.put<uint64_t>(payload_len);
+  return h;
+}
+
+std::string read_frame_error(ByteWriter header, const void* payload = nullptr,
+                             size_t payload_len = 0) {
+  int sv[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  EXPECT_EQ(::write(sv[0], header.buffer().data(), header.buffer().size()),
+            ssize_t(header.buffer().size()));
+  if (payload_len > 0) {
+    EXPECT_EQ(::write(sv[0], payload, payload_len), ssize_t(payload_len));
+  }
   ::close(sv[0]);
+  std::string what;
   Frame f;
-  EXPECT_THROW(read_frame(sv[1], &f), std::runtime_error);
+  try {
+    read_frame(sv[1], &f);
+  } catch (const std::exception& e) {
+    what = e.what();
+  }
   ::close(sv[1]);
+  return what;
+}
+
+TEST(Wire, TruncatedFrameThrows) {
+  // A header promising 100 payload bytes, followed by only 3 — then death.
+  auto err = read_frame_error(
+      make_header(kWireMagic, kWireVersion, host_endian(), FrameType::kBlock, 100), "abc", 3);
+  EXPECT_NE(err.find("mid-frame"), std::string::npos) << err;
 }
 
 TEST(Wire, BadMagicThrows) {
-  int sv[2];
-  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto err =
+      read_frame_error(make_header(0xDEADBEEFu, kWireVersion, host_endian(), FrameType::kDone, 0));
+  EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+}
+
+// The ROADMAP follow-up to PR 2: version skew between peers must be a clean
+// protocol error naming both versions, never silently misparsed frames.
+TEST(Wire, WrongVersionFrameRejected) {
+  auto err = read_frame_error(
+      make_header(kWireMagic, uint16_t(kWireVersion + 1), host_endian(), FrameType::kDone, 0));
+  EXPECT_NE(err.find("version mismatch"), std::string::npos) << err;
+  EXPECT_NE(err.find("v" + std::to_string(kWireVersion + 1)), std::string::npos) << err;
+  auto v1 = read_frame_error(make_header(kWireMagic, 1, host_endian(), FrameType::kDone, 0));
+  EXPECT_NE(v1.find("version mismatch"), std::string::npos) << v1;
+}
+
+// The payload ships raw IEEE bit patterns, so a heterogeneous-endian fleet
+// must be rejected up front with the precise error — covering both the
+// tag-only case and what a REAL foreign peer sends (every multi-byte
+// field byte-swapped, magic included).
+TEST(Wire, WrongEndianFrameRejected) {
+  const uint8_t foreign =
+      host_endian() == kWireEndianLittle ? kWireEndianBig : kWireEndianLittle;
+  auto err = read_frame_error(make_header(kWireMagic, kWireVersion, foreign, FrameType::kDone, 0));
+  EXPECT_NE(err.find("endianness mismatch"), std::string::npos) << err;
+
+  // A genuine foreign-endian peer: swapped magic and version, its own
+  // endianness tag. The swapped magic is the detection signal.
+  auto real = read_frame_error(make_header(__builtin_bswap32(kWireMagic),
+                                           __builtin_bswap16(kWireVersion), foreign,
+                                           FrameType::kDone, 0));
+  EXPECT_NE(real.find("endianness mismatch"), std::string::npos) << real;
+  EXPECT_NE(real.find("byte-swapped"), std::string::npos) << real;
+}
+
+// A peer still running PR 2's v1 binary sends the OLD 24-byte header
+// {magic u32, version u32, type u32, pad u32, len u64}; its first 16
+// bytes must parse into the precise version error, not endian nonsense.
+TEST(Wire, RealV1HeaderReportsVersionMismatch) {
   ByteWriter h;
-  h.put<uint32_t>(0xDEADBEEFu);
-  h.put<uint32_t>(kWireVersion);
-  h.put<uint32_t>(uint32_t(FrameType::kDone));
-  h.put<uint32_t>(0);
+  h.put<uint32_t>(kWireMagic);
+  h.put<uint32_t>(1);  // v1's u32 version field
+  h.put<uint32_t>(5);  // v1 kDone
+  h.put<uint32_t>(0);  // v1 header padding
   h.put<uint64_t>(0);
-  ASSERT_EQ(::write(sv[0], h.buffer().data(), h.buffer().size()), ssize_t(h.buffer().size()));
-  ::close(sv[0]);
-  Frame f;
-  EXPECT_THROW(read_frame(sv[1], &f), std::runtime_error);
-  ::close(sv[1]);
+  auto err = read_frame_error(h);
+  EXPECT_NE(err.find("version mismatch"), std::string::npos) << err;
+  EXPECT_NE(err.find("peer v1"), std::string::npos) << err;
+}
+
+// --- elastic lease bookkeeping -------------------------------------------
+
+// Reduces [first, first+count) the way a worker does (aligned blocks, each
+// through a local ReductionTree) and ships the partials into the ledger.
+void compute_lease(LeaseLedger& ledger, int worker, const Lease& l,
+                   const std::function<double(uint64_t)>& value) {
+  for (const auto& b : aligned_blocks(l.first, l.count)) {
+    runtime::ReductionTree local(b.first(), b.count());
+    for (uint64_t t = b.first(); t < b.first() + b.count(); ++t)
+      local.add(t, scalar_tensor(value(t)));
+    ASSERT_TRUE(local.complete());
+    ledger.add_block(worker, l.id, b.level, b.index, local.take_root());
+  }
+}
+
+TEST(LeaseLedger, TilesTheRangeAndPrefersHomeWindows) {
+  const uint64_t total = 100;
+  LeaseLedger ledger(total, /*home_workers=*/3, /*lease_size=*/7);
+  // Every range a worker acquires from its own home window lies inside the
+  // static shard plan's window for that worker, in task order.
+  auto plan = make_shard_plan(total, 3);
+  ShardMerger merger(total);
+  auto value = [](uint64_t t) { return std::cos(double(t)) / 3.0; };
+  uint64_t covered = 0;
+  uint64_t expect_next[3] = {plan[0].first, plan[1].first, plan[2].first};
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < 3; ++w) {  // round-robin: all windows drain evenly
+      Lease l;
+      if (!ledger.acquire(w, &l)) continue;
+      progress = true;
+      // Own home window, walked in task order — with balanced demand
+      // nobody needs to steal.
+      EXPECT_EQ(l.first, expect_next[size_t(w)]);
+      EXPECT_LE(l.first + l.count, plan[size_t(w)].first + plan[size_t(w)].count);
+      expect_next[size_t(w)] = l.first + l.count;
+      compute_lease(ledger, w, l, value);
+      EXPECT_TRUE(ledger.complete(w, l.id, &merger));
+      covered += l.count;
+    }
+  }
+  EXPECT_EQ(covered, total);
+  EXPECT_TRUE(ledger.done());
+  EXPECT_TRUE(merger.complete());
+  EXPECT_EQ(ledger.stats().leases_issued, ledger.stats().leases_completed);
+  EXPECT_EQ(ledger.stats().ranges_stolen, 0u);
+
+  // Same range, but one worker does everything: it must steal every range
+  // outside its home window, and the merged root must be bit-identical.
+  runtime::ReductionTree ref(0, total);
+  for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+  auto expect = ref.take_root();
+
+  LeaseLedger solo(total, 3, 7);
+  ShardMerger merger2(total);
+  Lease l;
+  uint64_t stolen_tasks = 0;
+  while (solo.acquire(0, &l)) {
+    if (l.first >= plan[0].first + plan[0].count) stolen_tasks += l.count;
+    compute_lease(solo, 0, l, value);
+    EXPECT_TRUE(solo.complete(0, l.id, &merger2));
+  }
+  EXPECT_TRUE(solo.done());
+  EXPECT_GT(solo.stats().ranges_stolen, 0u);
+  EXPECT_EQ(stolen_tasks, total - plan[0].count);
+  auto got = merger2.take_root();
+  EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
+}
+
+// The ISSUE edge case: a lease is revoked while its result frames are
+// already in flight. The late blocks AND the late kRangeDone must be
+// dropped — the range was re-issued to a peer and merging both copies
+// would double-count it.
+TEST(LeaseLedger, LateResultAfterRevokeIsDroppedNotDoubleMerged) {
+  const uint64_t total = 16;
+  auto value = [](uint64_t t) { return std::sin(double(t) + 0.5); };
+  runtime::ReductionTree ref(0, total);
+  for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+  auto expect = ref.take_root();
+
+  LeaseLedger ledger(total, 2, 4);
+  ShardMerger merger(total);
+  Lease slow;
+  ASSERT_TRUE(ledger.acquire(0, &slow));  // worker 0 takes [0, 4)
+  // Worker 0 ships its blocks... and then stalls: the coordinator revokes.
+  compute_lease(ledger, 0, slow, value);
+  ledger.revoke_worker(0, /*lost=*/false);
+  EXPECT_EQ(ledger.stats().ranges_requeued, 1u);
+
+  // Worker 1 picks the requeued range back up (a re-issue) and completes it.
+  Lease reissued;
+  ASSERT_TRUE(ledger.acquire(1, &reissued));
+  EXPECT_EQ(reissued.first, slow.first);
+  EXPECT_EQ(reissued.count, slow.count);
+  EXPECT_EQ(ledger.stats().ranges_reissued, 1u);
+  compute_lease(ledger, 1, reissued, value);
+  EXPECT_TRUE(ledger.complete(1, reissued.id, &merger));
+
+  // Worker 0 wakes up: its kRangeDone (and any stray block) for the
+  // revoked lease must be dropped, not merged a second time.
+  EXPECT_FALSE(ledger.complete(0, slow.id, &merger));
+  EXPECT_FALSE(ledger.add_block(0, slow.id, 2, 0, scalar_tensor(99)));
+  EXPECT_GE(ledger.stats().late_results_dropped, 2u);
+
+  // Drain the rest of the range and check the root is still bit-identical.
+  Lease l;
+  for (int w : {0, 1}) {
+    while (ledger.acquire(w, &l)) {
+      compute_lease(ledger, w, l, value);
+      EXPECT_TRUE(ledger.complete(w, l.id, &merger));
+    }
+  }
+  ASSERT_TRUE(ledger.done());
+  ASSERT_TRUE(merger.complete());
+  auto got = merger.take_root();
+  EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
+}
+
+// The other ISSUE edge case: the worker holding the FINAL outstanding
+// range dies. Its lease must be requeued and completable by a peer — the
+// run must not deadlock on a range nobody owns.
+TEST(LeaseLedger, DeadWorkerHoldingFinalRangeIsRequeued) {
+  const uint64_t total = 12;
+  auto value = [](uint64_t t) { return double(t) * 0.125 - 0.4; };
+  LeaseLedger ledger(total, 2, 3);
+  ShardMerger merger(total);
+
+  // Worker 0 does everything except the last range, which worker 1 holds.
+  Lease last;
+  ASSERT_TRUE(ledger.acquire(1, &last));
+  Lease l;
+  while (ledger.acquire(0, &l)) {
+    compute_lease(ledger, 0, l, value);
+    ASSERT_TRUE(ledger.complete(0, l.id, &merger));
+  }
+  ASSERT_FALSE(ledger.done());  // one range outstanding, queue empty
+  EXPECT_EQ(ledger.pending_ranges(), 0u);
+  EXPECT_EQ(ledger.active_leases(), 1u);
+
+  // Worker 1 dies holding it.
+  ledger.revoke_worker(1, /*lost=*/true);
+  EXPECT_EQ(ledger.stats().workers_lost, 1u);
+  ASSERT_EQ(ledger.pending_ranges(), 1u);
+
+  ASSERT_TRUE(ledger.acquire(0, &l));
+  EXPECT_EQ(l.first, last.first);
+  EXPECT_EQ(l.count, last.count);
+  compute_lease(ledger, 0, l, value);
+  ASSERT_TRUE(ledger.complete(0, l.id, &merger));
+  EXPECT_TRUE(ledger.done());
+  EXPECT_TRUE(merger.complete());
+
+  runtime::ReductionTree ref(0, total);
+  for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+  auto expect = ref.take_root();
+  auto got = merger.take_root();
+  EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
 }
 
 // --- run_sharded over a real sliced contraction --------------------------
@@ -352,6 +589,149 @@ TEST(RunSharded, KilledWorkerSurfacesCleanError) {
   EXPECT_GT(r.shards[2].tasks_run, 0u);
 }
 
+// --- elastic driver: steal, requeue, chaos --------------------------------
+
+// Scoped env setter for the chaos hooks (inherited by forked workers).
+struct ScopedEnv {
+  std::string key;
+  ScopedEnv(const std::string& k, const std::string& v) : key(k) {
+    ::setenv(k.c_str(), v.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(key.c_str()); }
+};
+
+TEST(RunShardedElastic, BitwiseIdenticalToRunSlicedForAnyProcessCount) {
+  auto f = make_sliced_fixture();
+  const uint64_t all = uint64_t(1) << f.slices.size();
+
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+  ASSERT_TRUE(ref.completed);
+
+  for (int procs : {1, 2, 3, int(all) + 2}) {
+    exec::ShardRunOptions so;
+    so.processes = procs;
+    so.workers_per_process = 1;
+    so.elastic = true;
+    so.lease_size = 1;  // max re-balancing granularity
+    auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+    ASSERT_TRUE(r.completed) << "procs=" << procs << ": " << r.error;
+    EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated))
+        << "elastic run diverged at " << procs << " processes";
+    // Exactly-once accounting: no worker died, so no range ran twice.
+    EXPECT_EQ(r.tasks_run, all);
+    EXPECT_EQ(r.reduce_merges, all - 1);
+    EXPECT_EQ(r.rebalance.leases_issued, r.rebalance.leases_completed);
+    EXPECT_EQ(r.rebalance.leases_completed, all);  // lease_size 1
+    EXPECT_EQ(r.rebalance.ranges_reissued, 0u);
+    EXPECT_EQ(r.rebalance.workers_lost, 0u);
+    ASSERT_EQ(r.shards.size(), size_t(procs));
+    uint64_t leases = 0;
+    for (const auto& s : r.shards) leases += s.leases;
+    EXPECT_EQ(leases, all);
+  }
+}
+
+// A worker SIGKILLed while HOLDING a lease (the chaos hook dies on its
+// second lease receipt): the lease is revoked, requeued and re-issued, and
+// the run still completes bitwise identical — the acceptance criterion.
+TEST(RunShardedElastic, SigkilledWorkerIsRequeuedAndRunStaysBitwise) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  ScopedEnv kill("LTNS_CHAOS_KILL_SHARD", "1");
+  // Fire on the FIRST lease receipt: every worker's first request is
+  // served from its own untouched home window, so the kill (and therefore
+  // the requeue under test) happens on every run, not just lucky timings.
+  ScopedEnv after("LTNS_CHAOS_KILL_AFTER_RANGES", "0");
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 2;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  EXPECT_EQ(r.rebalance.workers_lost, 1u);
+  EXPECT_GE(r.rebalance.ranges_requeued, 1u);
+  EXPECT_GE(r.rebalance.ranges_reissued, 1u);
+  // The requeue telemetry also rides the aggregated executor snapshot.
+  EXPECT_EQ(r.executor_stats.ranges_reissued, r.rebalance.ranges_reissued);
+}
+
+// An artificial straggler (env-driven per-task sleep in one worker): the
+// run completes, idle peers steal the straggler's untouched home ranges,
+// and the result is still bitwise identical.
+TEST(RunShardedElastic, StragglerIsStolenFromAndRunStaysBitwise) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  ScopedEnv slow_shard("LTNS_CHAOS_SLEEP_SHARD", "0");
+  ScopedEnv slow_ms("LTNS_CHAOS_SLEEP_MS", "150");
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  // The straggler held each lease ~150ms while its peers finished in
+  // microseconds: they must have stolen from its home window.
+  EXPECT_GT(r.rebalance.ranges_stolen, 0u);
+  EXPECT_EQ(r.rebalance.workers_lost, 0u);
+  EXPECT_EQ(r.executor_stats.ranges_stolen, r.rebalance.ranges_stolen);
+}
+
+// The fork-time fault hook (dies before its first lease request): the
+// elastic driver absorbs it where the static driver fails the run.
+TEST(RunShardedElastic, WorkerDeadAtStartupIsAbsorbed) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.fault_shard = 1;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  EXPECT_EQ(r.rebalance.workers_lost, 1u);
+}
+
+// Losing EVERY worker must be a clean error, not a hang: with one process
+// and the kill hook armed, nobody remains to take the requeued lease.
+TEST(RunShardedElastic, AllWorkersDeadSurfacesCleanError) {
+  auto f = make_sliced_fixture();
+  ScopedEnv kill("LTNS_CHAOS_KILL_SHARD", "0");
+  exec::ShardRunOptions so;
+  so.processes = 1;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("workers died"), std::string::npos) << r.error;
+  EXPECT_EQ(r.accumulated.size(), 0u);
+}
+
 // --- TCP coordinator/worker service --------------------------------------
 
 TEST(Service, CoordinatorAndWorkersMatchSimulatorBitwise) {
@@ -388,6 +768,168 @@ TEST(Service, CoordinatorAndWorkersMatchSimulatorBitwise) {
   uint64_t tasks = 0;
   for (const auto& s : res.shards) tasks += s.tasks_run;
   EXPECT_EQ(tasks, res.tasks_run);
+}
+
+TEST(Service, ElasticCoordinatorMatchesSimulatorBitwise) {
+  auto circ = test::small_rqc(3, 4, 6);
+  auto bits = test::zero_bits(circ.num_qubits);
+
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 10;
+  api::Simulator sim(circ, sopt);
+  auto expect = sim.amplitude(bits);
+  ASSERT_TRUE(expect.completed);
+
+  CoordinatorServer server{0};
+  std::vector<std::thread> workers;
+  std::atomic<int> worker_rc{0};
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back(
+        [&server, &worker_rc] { worker_rc += serve_worker("127.0.0.1", server.port()); });
+  ServiceOptions so;
+  so.target_log2size = 10;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  auto res = server.run_amplitude(2, circ, bits, so);
+  for (auto& w : workers) w.join();
+
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(worker_rc.load(), 0);
+  EXPECT_EQ(res.amplitude.real(), expect.amplitude.real());
+  EXPECT_EQ(res.amplitude.imag(), expect.amplitude.imag());
+  EXPECT_GT(res.rebalance.leases_completed, 0u);
+  EXPECT_EQ(res.rebalance.workers_lost, 0u);
+  ASSERT_EQ(res.shards.size(), 2u);
+  uint64_t tasks = 0;
+  for (const auto& s : res.shards) tasks += s.tasks_run;
+  EXPECT_EQ(tasks, res.tasks_run);
+}
+
+// A killed TCP worker must not fail an elastic run: its leases requeue to
+// the surviving worker and the amplitude stays bitwise identical. The
+// doomed worker is a forked process so the SIGKILL chaos hook cannot take
+// the test runner down with it.
+TEST(Service, ElasticSurvivesKilledTcpWorker) {
+  auto circ = test::small_rqc(3, 4, 6);
+  auto bits = test::zero_bits(circ.num_qubits);
+
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 10;
+  api::Simulator sim(circ, sopt);
+  auto expect = sim.amplitude(bits);
+  ASSERT_TRUE(expect.completed);
+
+  CoordinatorServer server{0};
+  const uint16_t port = server.port();
+  pid_t doomed = ::fork();
+  ASSERT_GE(doomed, 0);
+  if (doomed == 0) {
+    // Chaos worker: SIGKILLs itself on its FIRST lease receipt while
+    // holding it ("any" is safe — the env lives only in this process).
+    ::setenv("LTNS_CHAOS_KILL_SHARD", "any", 1);
+    ::setenv("LTNS_CHAOS_KILL_AFTER_RANGES", "0", 1);
+    serve_worker("127.0.0.1", port);
+    std::_Exit(0);  // unreachable when the kill fires; harmless otherwise
+  }
+
+  ServiceOptions so;
+  so.target_log2size = 10;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  CoordinatorResult res;
+  std::thread coord([&] { res = server.run_amplitude(2, circ, bits, so); });
+
+  // Deterministic sequencing: wait for the SIGKILL to actually land before
+  // the survivor joins, so the doomed worker always held a lease first
+  // (late joins are an elastic feature, exercised here on purpose).
+  int st = 0;
+  ::waitpid(doomed, &st, 0);
+  ASSERT_TRUE(WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) << st;
+  std::thread survivor([port] { serve_worker("127.0.0.1", port); });
+  survivor.join();
+  coord.join();
+
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.amplitude.real(), expect.amplitude.real());
+  EXPECT_EQ(res.amplitude.imag(), expect.amplitude.imag());
+  EXPECT_GE(res.rebalance.workers_lost, 1u);
+}
+
+// The status probe answers mid-run with live ledger state, and a worker
+// may join AFTER the run started (elastic width) — exercised together: an
+// idle elastic coordinator is probed, then a late worker finishes the job.
+TEST(Service, StatusProbeAndLateJoiningWorker) {
+  auto circ = test::small_rqc(3, 3, 4);
+  auto bits = test::zero_bits(circ.num_qubits);
+
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 8;
+  api::Simulator sim(circ, sopt);
+  auto expect = sim.amplitude(bits);
+
+  CoordinatorServer server{0};
+  const uint16_t port = server.port();
+  ServiceOptions so;
+  so.target_log2size = 8;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.accept_timeout_seconds = 60;
+  CoordinatorResult res;
+  std::thread coord([&] { res = server.run_amplitude(1, circ, bits, so); });
+
+  // Probe while no worker has joined: the ledger is untouched.
+  std::string json;
+  for (int attempt = 0; attempt < 100 && json.empty(); ++attempt) {
+    try {
+      json = query_status("127.0.0.1", port);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"tasks_done\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"active_leases\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rebalance\""), std::string::npos) << json;
+
+  // Now the (late) worker joins and the run completes bitwise identical.
+  std::thread worker([port] { serve_worker("127.0.0.1", port); });
+  worker.join();
+  coord.join();
+  ASSERT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.amplitude.real(), expect.amplitude.real());
+  EXPECT_EQ(res.amplitude.imag(), expect.amplitude.imag());
+}
+
+// A monitoring probe against a STATIC coordinator must get a clean error
+// and must NOT consume a worker slot or abort the fleet's run.
+TEST(Service, StatusProbeDoesNotKillStaticRun) {
+  auto circ = test::small_rqc(3, 3, 4);
+  auto bits = test::zero_bits(circ.num_qubits);
+  CoordinatorServer server{0};
+  const uint16_t port = server.port();
+  ServiceOptions so;
+  so.target_log2size = 8;
+  so.workers_per_process = 1;
+  CoordinatorResult res;
+  std::thread coord([&] { res = server.run_amplitude(1, circ, bits, so); });
+
+  // Probe before any worker exists: the listener queues the connection and
+  // the accept loop answers it without burning the worker slot.
+  std::string err;
+  try {
+    auto json = query_status("127.0.0.1", port);
+    ADD_FAILURE() << "static coordinator answered a status probe: " << json;
+  } catch (const std::exception& e) {
+    err = e.what();
+  }
+  EXPECT_NE(err.find("static driver"), std::string::npos) << err;
+
+  std::thread worker([port] { serve_worker("127.0.0.1", port); });
+  worker.join();
+  coord.join();
+  EXPECT_TRUE(res.completed) << res.error;
 }
 
 TEST(Service, MissingWorkerTimesOutInsteadOfHanging) {
