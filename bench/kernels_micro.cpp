@@ -1,13 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the execution kernels: complex
 // GEMM across square and narrow shapes (§5.1: narrow GEMM collapses to a
-// bandwidth problem), permutation strategies (§5.3.1 map reduction), and
-// the gather/scatter slice primitives.
+// bandwidth problem), permutation strategies (§5.3.1 map reduction), the
+// gather/scatter slice primitives, and the device backends (host vs
+// blocked) behind the src/device/ registry.
+//
+// `--device-compare=PATH` skips the google-benchmark suite and instead
+// emits a fig12-style JSON comparison of the host and blocked backends
+// over gemm/permute shapes, asserting bitwise equality of every output
+// (the CI bench-smoke job validates the emitted flags).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+#include "device/backend.hpp"
 #include "exec/contract.hpp"
 #include "exec/gemm.hpp"
 #include "exec/permute.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 using namespace ltns;
 using exec::cfloat;
@@ -112,6 +125,22 @@ void BM_SliceGather(benchmark::State& state) {
 }
 BENCHMARK(BM_SliceGather)->Arg(12)->Arg(16)->Arg(20);
 
+// Device-backend GEMM: same shapes as BM_GemmSquare through the registry's
+// blocked backend (packed panels + L2 column blocking).
+void BM_GemmBlockedBackend(benchmark::State& state) {
+  const int n = int(state.range(0));
+  auto backend = device::make_backend("blocked");
+  auto a = random_buf(size_t(n) * n, 1), b = random_buf(size_t(n) * n, 2);
+  std::vector<cfloat> c(size_t(n) * n);
+  for (auto _ : state) {
+    backend->gemm(n, n, n, a.data(), b.data(), c.data(), nullptr, nullptr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(exec::gemm_flops(n, n, n),
+                                               benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmBlockedBackend)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_ContractTTGT(benchmark::State& state) {
   // A typical stem step: rank-r tensor absorbs a rank-4 branch over 2 axes.
   const int r = int(state.range(0));
@@ -129,6 +158,85 @@ void BM_ContractTTGT(benchmark::State& state) {
 }
 BENCHMARK(BM_ContractTTGT)->Arg(10)->Arg(14)->Arg(18);
 
+// --- host-vs-blocked device comparison (fig12-style JSON) ------------------
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+int run_device_compare(const char* path) {
+  auto host = device::make_backend("host");
+  auto blocked = device::make_backend("blocked");
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", path);
+    return 1;
+  }
+  bool all_bitwise = true;
+  std::fprintf(f, "{\n  \"figure\": \"kernels_micro device comparison (fig12-style)\",\n"
+                  "  \"backends\": [\"host\", \"blocked\"],\n  \"gemm\": [");
+  const struct { int m, n, k; } shapes[] = {
+      {64, 64, 64}, {128, 128, 128}, {256, 256, 256}, {4096, 4, 4}, {33, 65, 300},
+  };
+  bool first = true;
+  for (const auto& s : shapes) {
+    auto a = random_buf(size_t(s.m) * s.k, 1), b = random_buf(size_t(s.k) * s.n, 2);
+    std::vector<cfloat> c1(size_t(s.m) * s.n), c2(size_t(s.m) * s.n);
+    const double th = best_of(5, [&] { host->gemm(s.m, s.n, s.k, a.data(), b.data(), c1.data(),
+                                                  nullptr, nullptr); });
+    const double tb = best_of(5, [&] { blocked->gemm(s.m, s.n, s.k, a.data(), b.data(),
+                                                     c2.data(), nullptr, nullptr); });
+    const bool eq = std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(cfloat)) == 0;
+    all_bitwise = all_bitwise && eq;
+    std::fprintf(f,
+                 "%s\n    {\"m\": %d, \"n\": %d, \"k\": %d, \"host_seconds\": %.9g, "
+                 "\"blocked_seconds\": %.9g, \"speedup\": %.4g, \"bitwise_equal\": %s}",
+                 first ? "" : ",", s.m, s.n, s.k, th, tb, th / tb, eq ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"permute\": [");
+  first = true;
+  for (int rank : {10, 14, 18}) {
+    std::vector<int> ixs, order;
+    for (int i = 0; i < rank; ++i) ixs.push_back(i);
+    order = ixs;
+    std::reverse(order.begin(), order.end());
+    auto t = exec::random_tensor(ixs, 5);
+    exec::Tensor p1, p2;
+    const double th = best_of(5, [&] { p1 = host->permute(t, order, nullptr); });
+    const double tb = best_of(5, [&] { p2 = blocked->permute(t, order, nullptr); });
+    const bool eq = p1.ixs() == p2.ixs() &&
+                    std::memcmp(p1.raw(), p2.raw(), p1.size() * sizeof(cfloat)) == 0;
+    all_bitwise = all_bitwise && eq;
+    std::fprintf(f,
+                 "%s\n    {\"rank\": %d, \"host_seconds\": %.9g, \"blocked_seconds\": %.9g, "
+                 "\"speedup\": %.4g, \"bitwise_equal\": %s}",
+                 first ? "" : ",", rank, th, tb, th / tb, eq ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"all_bitwise_equal\": %s\n}\n", all_bitwise ? "true" : "false");
+  std::fclose(f);
+  std::printf("device comparison written to %s (all_bitwise_equal=%s)\n", path,
+              all_bitwise ? "true" : "false");
+  return all_bitwise ? 0 : 1;  // a parity break fails the bench job
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--device-compare=", 17) == 0)
+      return run_device_compare(argv[i] + 17);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

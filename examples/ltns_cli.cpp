@@ -15,6 +15,9 @@
 //   --grain=N                    scheduler chunk size (tasks per deque pop)
 //   --processes=N                fork N shard processes (amp/sample; default 1)
 //   --workers=N                  scheduler width per process (default: hw/N)
+//   --backend=NAME               device backend (host|blocked|cuda; default
+//                                host; `--backend=help` lists them with
+//                                capabilities; bitwise identical by contract)
 //   --elastic                    lease-based elastic sharding (straggler steal,
 //                                dead-worker requeue; amp/sample/coordinate)
 //   --lease=N                    tasks per lease (default: auto)
@@ -34,6 +37,7 @@
 #include "api/simulator.hpp"
 #include "circuit/io.hpp"
 #include "core/planner.hpp"
+#include "device/backend.hpp"
 #include "dist/service.hpp"
 #include "sv/statevector.hpp"
 
@@ -51,6 +55,8 @@ struct RuntimeFlags {
   uint64_t lease = 0;
   double heartbeat = 0.2;
   double stall_timeout = 30;
+  std::string backend = "host";
+  bool backend_set = false;  // --backend given explicitly (worker override)
 };
 
 RuntimeFlags g_flags;
@@ -87,6 +93,24 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       g_flags.workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      g_flags.backend = argv[i] + 10;
+      g_flags.backend_set = true;
+      // `--backend=help` (or any unknown name) prints the full backend
+      // listing — capabilities, alignment, availability — instead of a
+      // bare error from deep inside the run.
+      if (g_flags.backend == "help" || g_flags.backend == "list") {
+        std::fputs(device::backend_help().c_str(), stdout);
+        std::exit(0);
+      }
+      bool known_and_available = false;
+      for (const auto& b : device::available_backends())
+        if (b.name == g_flags.backend) known_and_available = b.caps.available;
+      if (!known_and_available) {
+        std::fprintf(stderr, "unknown or unavailable --backend '%s'\n\n%s",
+                     g_flags.backend.c_str(), device::backend_help().c_str());
+        std::exit(64);
+      }
     } else if (std::strcmp(argv[i], "--elastic") == 0) {
       g_flags.elastic = true;
     } else if (std::strncmp(argv[i], "--lease=", 8) == 0) {
@@ -115,20 +139,22 @@ api::SimulatorOptions make_sim_options() {
   opt.lease_size = g_flags.lease;
   opt.heartbeat_seconds = g_flags.heartbeat;
   opt.stall_timeout_seconds = g_flags.stall_timeout;
+  opt.backend = g_flags.backend;
   return opt;
 }
 
 void print_shards(const std::vector<dist::ShardTelemetry>& shards) {
   if (!g_flags.telemetry || shards.empty()) return;
   for (const auto& s : shards) {
+    const char* backend = s.backend.empty() ? "host" : s.backend.c_str();
     if (s.count > 0)
-      std::printf("  shard %d: tasks %llu of [%llu, %llu), %llu stolen, wall %.3fs\n",
-                  int(s.shard), (unsigned long long)s.tasks_run, (unsigned long long)s.first,
-                  (unsigned long long)(s.first + s.count), (unsigned long long)s.executor.stolen,
-                  s.wall_seconds);
+      std::printf("  shard %d [%s]: tasks %llu of [%llu, %llu), %llu stolen, wall %.3fs\n",
+                  int(s.shard), backend, (unsigned long long)s.tasks_run,
+                  (unsigned long long)s.first, (unsigned long long)(s.first + s.count),
+                  (unsigned long long)s.executor.stolen, s.wall_seconds);
     else
-      std::printf("  shard %d: tasks %llu over %llu leases, wall %.3fs\n", int(s.shard),
-                  (unsigned long long)s.tasks_run, (unsigned long long)s.leases,
+      std::printf("  shard %d [%s]: tasks %llu over %llu leases, wall %.3fs\n", int(s.shard),
+                  backend, (unsigned long long)s.tasks_run, (unsigned long long)s.leases,
                   s.wall_seconds);
   }
 }
@@ -157,6 +183,13 @@ void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryS
               "LDM peak %zu elems, host peak %zu elems\n",
               mem.main_bytes, mem.scratch_bytes_get, mem.scratch_bytes_put, mem.rma_bytes,
               mem.ldm_peak_elems, mem.host_peak_elems);
+  const auto& d = rt.device;
+  if (d.kernel_calls() > 0 || d.stem_steps > 0)
+    std::printf("  device [%s]: gemm %llu, permute %llu, stem steps %llu, "
+                "to-device %.3g B / %.3g ms, to-host %.3g B / %.3g ms\n",
+                g_flags.backend.c_str(), (unsigned long long)d.gemm_calls,
+                (unsigned long long)d.permute_calls, (unsigned long long)d.stem_steps,
+                d.bytes_to_device, d.ns_to_device / 1e6, d.bytes_to_host, d.ns_to_host / 1e6);
 }
 
 circuit::Circuit load_circuit(const char* path) {
@@ -316,6 +349,7 @@ int cmd_coordinate(int argc, char** argv) {
   so.executor = g_flags.executor;
   so.grain = g_flags.grain;
   so.workers_per_process = g_flags.workers;
+  so.backend = g_flags.backend;
   so.elastic = g_flags.elastic;
   so.lease_size = g_flags.lease;
   so.heartbeat_seconds = g_flags.heartbeat;
@@ -345,7 +379,11 @@ int cmd_worker(int argc, char** argv) {
   if (argc < 4) return 64;
   const int port = std::atoi(argv[3]);
   if (port <= 0 || port > 65535) return 64;
-  return dist::serve_worker(argv[2], uint16_t(port));
+  // An EXPLICIT --backend on a worker overrides the job's default: each
+  // node runs the backend its hardware has (the heterogeneous-fleet knob).
+  // Without the flag the worker follows the coordinator's job.
+  return dist::serve_worker(argv[2], uint16_t(port),
+                            g_flags.backend_set ? g_flags.backend : std::string{});
 }
 
 }  // namespace
@@ -365,7 +403,8 @@ int main(int raw_argc, char** raw_argv) {
                  "       ltns_cli coordinate --status <host> <port>\n"
                  "       ltns_cli worker <host> <port>\n"
                  "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
-                 "       --elastic --lease=N --heartbeat=S --stall-timeout=S --no-telemetry\n");
+                 "       --backend=host|blocked|cuda|help --elastic --lease=N --heartbeat=S\n"
+                 "       --stall-timeout=S --no-telemetry\n");
     return 64;
   }
   std::string cmd = argv[1];

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "device/backend.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -63,6 +64,7 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     so.lease_size = opt.lease_size;
     so.heartbeat_seconds = opt.heartbeat_seconds;
     so.stall_timeout_seconds = opt.stall_timeout_seconds;
+    so.backend = opt.backend;  // each worker constructs it after the fork
     auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
     out.r.completed = sr.completed;
@@ -78,12 +80,15 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     return out;
   }
 
+  // In-process run: the Simulator owns one backend instance for the run.
+  auto backend = device::make_backend(opt.backend.empty() ? "host" : opt.backend);
   exec::SliceRunOptions ro;
   ro.executor = opt.executor;
   ro.scheduler = opt.scheduler;
   ro.grain = opt.grain;
   ro.pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
   ro.fused = fused;
+  ro.backend = backend.get();
   out.r = exec::run_sliced(*p.plan.tree, leaves, p.plan.slices, ro);
   return out;
 }

@@ -46,6 +46,13 @@ struct SimulatorOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Device backend the kernels run on: "host" (reference), "blocked"
+  // (cache-blocked/SIMD host device) or "cuda" (compile-gated). Every
+  // conforming backend is bitwise identical, so results never depend on
+  // this choice; device::make_backend throws std::invalid_argument for
+  // unknown or compiled-out names. In sharded runs each worker process
+  // constructs its own instance of this backend after the fork.
+  std::string backend = "host";
 };
 
 struct AmplitudeResult {

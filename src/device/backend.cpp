@@ -1,0 +1,144 @@
+#include "device/backend.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/aligned_alloc.hpp"
+#include "util/timer.hpp"
+
+namespace ltns::device {
+
+namespace {
+
+constexpr double kBytesPerElem = sizeof(exec::cfloat);
+
+}  // namespace
+
+exec::cfloat* DeviceBackend::alloc_elems(size_t n) {
+  util::AlignedAllocator<exec::cfloat, exec::kTensorAlignment> a;
+  return a.allocate(n);
+}
+
+void DeviceBackend::free_elems(exec::cfloat* p, size_t n) {
+  util::AlignedAllocator<exec::cfloat, exec::kTensorAlignment> a;
+  a.deallocate(p, n);
+}
+
+void DeviceBackend::upload(exec::cfloat* dst, const exec::cfloat* src, size_t n,
+                           DeviceStats* stats) {
+  Timer t;
+  std::copy(src, src + n, dst);
+  if (stats) {
+    stats->bytes_to_device += double(n) * kBytesPerElem;
+    stats->ns_to_device += t.seconds() * 1e9;
+    stats->uploads += 1;
+  }
+}
+
+void DeviceBackend::download(exec::cfloat* dst, const exec::cfloat* src, size_t n,
+                             DeviceStats* stats) {
+  Timer t;
+  std::copy(src, src + n, dst);
+  if (stats) {
+    stats->bytes_to_host += double(n) * kBytesPerElem;
+    stats->ns_to_host += t.seconds() * 1e9;
+    stats->downloads += 1;
+  }
+}
+
+exec::Tensor DeviceBackend::contract(const exec::Tensor& a, const exec::Tensor& b,
+                                     ThreadPool* pool, exec::ContractStats* cs,
+                                     DeviceStats* stats) {
+  return exec::contract(a, b, pool, cs, this, stats);
+}
+
+namespace {
+
+// Staging copy for host-class non-unified backends: a single timed
+// copy-construction (fresh aligned storage) IS the transfer — no separate
+// zero-fill + memcpy round trip on the hot path.
+exec::Tensor staged_copy(const exec::Tensor& t, double* bytes, double* ns, uint64_t* ops) {
+  Timer timer;
+  exec::Tensor out = t;
+  *ns += timer.seconds() * 1e9;
+  *bytes += double(t.size()) * kBytesPerElem;
+  *ops += 1;
+  return out;
+}
+
+}  // namespace
+
+exec::Tensor DeviceBackend::run_stem_window(exec::Tensor w, const exec::Tensor* branches,
+                                            int n_steps, exec::ContractStats* cs,
+                                            DeviceStats* stats, size_t* peak_elems) {
+  // Host-class staging only: the aligned Tensor doubles as the device
+  // buffer, so each transfer is one copy. A discrete device (real CUDA)
+  // must override run_stem_window outright — its kernels consume device
+  // pointers, not host Tensors — and route its copies through
+  // upload/download for the same accounting.
+  const bool staged = !capabilities().unified_memory;
+  DeviceStats local;  // transfer accounting when the caller passed none
+  DeviceStats* st = stats != nullptr ? stats : &local;
+  if (staged && w.size() > 0)
+    w = staged_copy(w, &st->bytes_to_device, &st->ns_to_device, &st->uploads);
+  size_t peak = w.size();
+  for (int k = 0; k < n_steps; ++k) {
+    const exec::Tensor* b = &branches[k];
+    exec::Tensor staged_b;
+    if (staged) {
+      staged_b = staged_copy(*b, &st->bytes_to_device, &st->ns_to_device, &st->uploads);
+      b = &staged_b;
+    }
+    exec::Tensor wn = contract(w, *b, /*pool=*/nullptr, cs, stats);  // serial: one CPE/SM
+    peak = std::max(peak, w.size() + b->size() + wn.size());
+    w = std::move(wn);
+    st->stem_steps += 1;
+  }
+  if (staged && w.size() > 0)
+    w = staged_copy(w, &st->bytes_to_host, &st->ns_to_host, &st->downloads);
+  if (peak_elems) *peak_elems = peak;
+  return w;
+}
+
+// --- registry --------------------------------------------------------------
+
+// Factories live in their backend's translation unit; the explicit list
+// (rather than static self-registration) keeps construction order trivial.
+std::unique_ptr<DeviceBackend> make_host_backend();
+std::unique_ptr<DeviceBackend> make_blocked_backend();
+std::unique_ptr<DeviceBackend> make_cuda_backend();  // throws when compiled out
+DeviceCaps cuda_backend_caps();
+
+std::vector<BackendInfo> available_backends() {
+  std::vector<BackendInfo> out;
+  out.push_back({"host", make_host_backend()->capabilities()});
+  out.push_back({"blocked", make_blocked_backend()->capabilities()});
+  out.push_back({"cuda", cuda_backend_caps()});
+  return out;
+}
+
+std::unique_ptr<DeviceBackend> make_backend(const std::string& name) {
+  if (name.empty() || name == "host") return make_host_backend();
+  if (name == "blocked") return make_blocked_backend();
+  if (name == "cuda") return make_cuda_backend();
+  std::ostringstream msg;
+  msg << "unknown device backend '" << name << "'; known backends:";
+  for (const auto& b : available_backends())
+    msg << " " << b.name << (b.caps.available ? "" : " (unavailable)");
+  throw std::invalid_argument(msg.str());
+}
+
+std::string backend_help() {
+  std::ostringstream o;
+  o << "device backends:\n";
+  for (const auto& b : available_backends()) {
+    o << "  " << b.name << (b.caps.available ? "" : "  [unavailable in this build]") << "\n"
+      << "      " << b.caps.description << "\n"
+      << "      unified_memory=" << (b.caps.unified_memory ? "yes" : "no")
+      << " alignment=" << b.caps.alignment << "B simd_lanes=" << b.caps.simd_lanes << "\n";
+  }
+  return o.str();
+}
+
+}  // namespace ltns::device

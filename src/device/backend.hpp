@@ -1,0 +1,103 @@
+// Pluggable device backends: the accelerator seam of the contraction engine.
+//
+// A DeviceBackend owns the three kernels every executor needs — permute,
+// GEMM, and the fused stem step — plus aligned scratch management and
+// explicit upload/download with DeviceStats accounting. The executors
+// (execute_tree / execute_fused / run_sliced) take a backend pointer and
+// route every kernel through it; a null backend means the raw host path
+// (identical to the "host" backend by construction).
+//
+// The contract every implementation must honor: for the same inputs the
+// output is BITWISE identical to the host kernels. Backends are free to
+// block, pack, vectorize and stage however they like, but the per-element
+// floating-point reduction order is part of the interface — the
+// distributed drivers merge partials from heterogeneous fleets, and the
+// bitwise-stability guarantee of the whole system (tests/test_device,
+// tests/test_dist, the CI byte-diff jobs) rests on this.
+//
+// Registry: make_backend("host" | "blocked" | "cuda"). "host" delegates to
+// exec::cgemm / exec::permute unchanged; "blocked" runs cache-blocked,
+// alignment-aware, compiler-vectorizable kernels with the identical
+// reduction order; "cuda" is compile-gated behind LTNS_ENABLE_CUDA (listed
+// as unavailable otherwise) so real hardware is a drop-in later.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/stats.hpp"
+#include "exec/contract.hpp"
+#include "exec/tensor.hpp"
+#include "util/parallel.hpp"
+
+namespace ltns::device {
+
+struct DeviceCaps {
+  bool available = true;       // constructible in this build
+  bool unified_memory = true;  // kernels read host tensors in place
+  size_t alignment = exec::kTensorAlignment;  // required/guaranteed buffer alignment
+  size_t simd_lanes = 8;       // float lanes the kernels target
+  std::string description;
+};
+
+class DeviceBackend {
+ public:
+  virtual ~DeviceBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual DeviceCaps capabilities() const = 0;
+
+  // --- aligned scratch + transfers ---------------------------------------
+  // Host-class backends hand out host pointers (unified memory); transfers
+  // are still real copies with bytes/ns accounting, so the upload/download
+  // seam behaves identically when a discrete device replaces them.
+  virtual exec::cfloat* alloc_elems(size_t n);
+  virtual void free_elems(exec::cfloat* p, size_t n);
+  virtual void upload(exec::cfloat* dst, const exec::cfloat* src, size_t n, DeviceStats* stats);
+  virtual void download(exec::cfloat* dst, const exec::cfloat* src, size_t n,
+                        DeviceStats* stats);
+
+  // --- kernels ------------------------------------------------------------
+  // C = A · B, row-major complex float, C overwritten (exec::cgemm shape).
+  virtual void gemm(int m, int n, int k, const exec::cfloat* a, const exec::cfloat* b,
+                    exec::cfloat* c, ThreadPool* pool, DeviceStats* stats) = 0;
+  virtual exec::Tensor permute(const exec::Tensor& t, const std::vector<int>& new_ixs,
+                               DeviceStats* stats) = 0;
+
+  // One TTGT pairwise contraction through this backend's kernels (the
+  // canonical implementation lives in exec::contract, which dispatches back
+  // into gemm/permute above).
+  exec::Tensor contract(const exec::Tensor& a, const exec::Tensor& b, ThreadPool* pool,
+                        exec::ContractStats* cs, DeviceStats* stats);
+
+  // Batched stem-step execution: the whole fused window of one secondary
+  // subtask — n_steps contractions of the working tensor against
+  // consecutive branches, serial (one subtask IS one CPE/SM). Staged
+  // (non-unified) backends upload the working tensor once, run the steps in
+  // device scratch, and download the result once; `peak_elems` (optional)
+  // receives the max live elements across the steps (the LDM model check).
+  virtual exec::Tensor run_stem_window(exec::Tensor w, const exec::Tensor* branches,
+                                       int n_steps, exec::ContractStats* cs,
+                                       DeviceStats* stats, size_t* peak_elems = nullptr);
+};
+
+// --- registry -------------------------------------------------------------
+
+struct BackendInfo {
+  std::string name;
+  DeviceCaps caps;
+};
+
+// Every registered backend, available or not (the CLI's `--backend=help`).
+std::vector<BackendInfo> available_backends();
+
+// Constructs a backend by name; throws std::invalid_argument for unknown
+// names and for backends compiled out of this build, with a message that
+// lists what IS available.
+std::unique_ptr<DeviceBackend> make_backend(const std::string& name);
+
+// Human-readable listing of every backend with capability/alignment info.
+std::string backend_help();
+
+}  // namespace ltns::device

@@ -1,0 +1,81 @@
+// "cuda" backend: compile-gated scaffolding for a real GPU.
+//
+// The interface is fully implemented behind LTNS_ENABLE_CUDA so a CUDA
+// runtime integration is a drop-in: replace the staged-host kernel bodies
+// below with cudaMalloc/cudaMemcpy + cuBLAS/cuTENSOR launches and the rest
+// of the system — executors, shard drivers, telemetry, the CI byte-diff
+// jobs — already speaks the seam. Until then the gated build runs the host
+// kernels through the staged (non-unified) path, which exercises the
+// upload/download accounting a discrete device produces.
+//
+// Without LTNS_ENABLE_CUDA the backend is registered as unavailable:
+// make_backend("cuda") fails with a message naming the gate, and the CLI's
+// `--backend=help` lists it as such.
+#include <memory>
+#include <stdexcept>
+
+#include "device/backend.hpp"
+#include "exec/gemm.hpp"
+#include "exec/permute.hpp"
+
+namespace ltns::device {
+
+namespace {
+
+DeviceCaps cuda_caps(bool available) {
+  DeviceCaps c;
+  c.available = available;
+  c.unified_memory = false;
+  c.alignment = 256;  // cudaMalloc guarantees 256-byte alignment
+  c.simd_lanes = 32;  // warp width
+  c.description = available
+                      ? "CUDA scaffolding (staged host kernels; hardware launch TODO)"
+                      : "compiled out — configure with -DLTNS_ENABLE_CUDA=ON";
+  return c;
+}
+
+#ifdef LTNS_ENABLE_CUDA
+
+class CudaBackend final : public DeviceBackend {
+ public:
+  const char* name() const override { return "cuda"; }
+  DeviceCaps capabilities() const override { return cuda_caps(true); }
+
+  void gemm(int m, int n, int k, const exec::cfloat* a, const exec::cfloat* b, exec::cfloat* c,
+            ThreadPool* pool, DeviceStats* stats) override {
+    // TODO(hardware): device buffers + cublasCgemm. The host kernel keeps
+    // the staged path runnable (and bitwise identical) until then.
+    exec::cgemm(m, n, k, a, b, c, pool);
+    if (stats) stats->gemm_calls += 1;
+  }
+
+  exec::Tensor permute(const exec::Tensor& t, const std::vector<int>& new_ixs,
+                       DeviceStats* stats) override {
+    if (stats) stats->permute_calls += 1;
+    return exec::permute(t, new_ixs);
+  }
+};
+
+#endif  // LTNS_ENABLE_CUDA
+
+}  // namespace
+
+DeviceCaps cuda_backend_caps() {
+#ifdef LTNS_ENABLE_CUDA
+  return cuda_caps(true);
+#else
+  return cuda_caps(false);
+#endif
+}
+
+std::unique_ptr<DeviceBackend> make_cuda_backend() {
+#ifdef LTNS_ENABLE_CUDA
+  return std::make_unique<CudaBackend>();
+#else
+  throw std::invalid_argument(
+      "device backend 'cuda' is compiled out of this build (configure with "
+      "-DLTNS_ENABLE_CUDA=ON); available backends: host, blocked");
+#endif
+}
+
+}  // namespace ltns::device

@@ -1,0 +1,49 @@
+// "host" backend: the reference device.
+//
+// Delegates straight to exec::cgemm / exec::permute, so its output is the
+// host path's output by definition — this is the backend every other
+// implementation is byte-compared against, and the default the Simulator
+// and CLI run on.
+#include <memory>
+
+#include "device/backend.hpp"
+#include "exec/gemm.hpp"
+#include "exec/permute.hpp"
+
+namespace ltns::device {
+
+namespace {
+
+class HostBackend final : public DeviceBackend {
+ public:
+  const char* name() const override { return "host"; }
+
+  DeviceCaps capabilities() const override {
+    DeviceCaps c;
+    c.available = true;
+    c.unified_memory = true;
+    c.alignment = exec::kTensorAlignment;
+    c.simd_lanes = 4;  // whatever the 4x4 micro-kernel auto-vectorizes to
+    c.description = "reference host kernels (exec::cgemm 4x4 micro-kernel, "
+                    "exec::permute reduced map)";
+    return c;
+  }
+
+  void gemm(int m, int n, int k, const exec::cfloat* a, const exec::cfloat* b, exec::cfloat* c,
+            ThreadPool* pool, DeviceStats* stats) override {
+    exec::cgemm(m, n, k, a, b, c, pool);
+    if (stats) stats->gemm_calls += 1;
+  }
+
+  exec::Tensor permute(const exec::Tensor& t, const std::vector<int>& new_ixs,
+                       DeviceStats* stats) override {
+    if (stats) stats->permute_calls += 1;
+    return exec::permute(t, new_ixs);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DeviceBackend> make_host_backend() { return std::make_unique<HostBackend>(); }
+
+}  // namespace ltns::device

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
@@ -18,6 +19,27 @@
 namespace ltns::dist {
 
 namespace {
+
+// Minimal JSON string escaping for worker-supplied text (backend names
+// arrive verbatim from heartbeat payloads; a quote or control byte must
+// not make the --status snapshot unparseable).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (uint8_t(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", unsigned(uint8_t(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 // Guards a blocking read_frame against a peer that wedges MID-frame (poll
 // only proves the first byte arrived): the read times out, surfaces as an
@@ -192,8 +214,15 @@ void ElasticCoordinator::handle_frame(Peer& p, const Frame& f, ShardMerger* merg
       if (ledger_.complete(p.id, r.get<uint64_t>(), merger)) ++p.leases_completed;
       break;
     }
-    case FrameType::kHeartbeat:
-      break;  // last_seen was already reset by the caller
+    case FrameType::kHeartbeat: {
+      // last_seen was already reset by the caller; the payload (optional)
+      // advertises the worker's device backend for status probes.
+      if (!f.payload.empty()) {
+        ByteReader r(f.payload);
+        p.backend = r.get_string();
+      }
+      break;
+    }
     case FrameType::kTelemetry: {
       ByteReader r(f.payload);
       auto tel = get_telemetry(r);
@@ -367,7 +396,8 @@ std::string ElasticCoordinator::status_json() const {
   first = true;
   for (const auto& p : peers_) {
     if (p.id < 0) continue;
-    o << (first ? "" : ",") << "{\"id\":" << p.id << ",\"alive\":"
+    o << (first ? "" : ",") << "{\"id\":" << p.id << ",\"backend\":\""
+      << (p.backend.empty() ? "?" : json_escape(p.backend)) << "\",\"alive\":"
       << (p.fd >= 0 ? "true" : "false") << ",\"stalled\":" << (p.stalled ? "true" : "false")
       << ",\"parked\":" << (p.is_parked ? "true" : "false")
       << ",\"draining\":" << (p.draining ? "true" : "false")
@@ -411,6 +441,7 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
   const ChaosHooks chaos = chaos_from_env(opt.worker_id);
   ShardTelemetry tel;
   tel.shard = opt.worker_id;
+  tel.backend = opt.stream.backend_name;
   Timer wall;
 
   // The compute thread and the heartbeat thread share the socket: one
@@ -429,7 +460,11 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
       if (since.seconds() < opt.heartbeat_seconds) continue;
       since.reset();
       try {
-        send(FrameType::kHeartbeat, ByteWriter{});
+        // Heartbeats advertise the device backend this worker runs on, so
+        // a status probe can see the fleet's device mix live.
+        ByteWriter hb;
+        hb.put_string(opt.stream.backend_name);
+        send(FrameType::kHeartbeat, hb);
       } catch (...) {
         return;  // coordinator gone; the compute thread will notice too
       }

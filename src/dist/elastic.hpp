@@ -87,6 +87,7 @@ class ElasticCoordinator {
     bool draining = false;  // kDrain sent, waiting for kTelemetry/kDone
     bool finished = false;  // kDone received (or peer gone)
     bool stalled = false;   // quarantined by the stall timeout
+    std::string backend;    // device backend advertised in heartbeats
     uint64_t leases_completed = 0;
     Timer last_seen;
     Timer parked;       // set when a lease request is parked on an empty queue

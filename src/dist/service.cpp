@@ -17,6 +17,7 @@
 #include "circuit/io.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
+#include "device/backend.hpp"
 #include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
@@ -46,6 +47,7 @@ struct Job {
   uint64_t ldm_elems = 32768;
   uint32_t elastic = 0;
   double heartbeat_seconds = 0.2;
+  std::string backend = "host";  // default device backend; workers may override
 };
 
 void put_job(ByteWriter& w, const Job& j) {
@@ -64,6 +66,7 @@ void put_job(ByteWriter& w, const Job& j) {
   w.put<uint64_t>(j.ldm_elems);
   w.put<uint32_t>(j.elastic);
   w.put<double>(j.heartbeat_seconds);
+  w.put_string(j.backend);
 }
 
 Job get_job(ByteReader& r) {
@@ -83,6 +86,7 @@ Job get_job(ByteReader& r) {
   j.ldm_elems = r.get<uint64_t>();
   j.elastic = r.get<uint32_t>();
   j.heartbeat_seconds = r.get<double>();
+  j.backend = r.get_string();
   return j;
 }
 
@@ -200,6 +204,7 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
   base.num_slices = int32_t(p.plan.num_slices());
   base.fused = opt.fused ? 1 : 0;
   base.ldm_elems = opt.ldm_elems;
+  base.backend = opt.backend.empty() ? "host" : opt.backend;
 
   // Shared tail of both drivers: fold the merged root into the amplitude.
   auto finish_amplitude = [&p, &res](ShardMerger& merger) {
@@ -320,7 +325,7 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
   return res;
 }
 
-int serve_worker(const std::string& host, uint16_t port) {
+int serve_worker(const std::string& host, uint16_t port, const std::string& backend_override) {
   std::signal(SIGPIPE, SIG_IGN);
   // ~10s of connect retries: workers may be launched before (or alongside)
   // the coordinator.
@@ -352,6 +357,13 @@ int serve_worker(const std::string& host, uint16_t port) {
     const int workers = job.workers > 0 ? job.workers : 0;  // 0 = hardware
     ThreadPool pool(workers);
     runtime::SliceScheduler sched(workers);
+    // This worker's hardware decides the backend: the CLI override wins,
+    // then the job's default. Bitwise identity across conforming backends
+    // is what lets a heterogeneous fleet share one reduction.
+    const std::string backend_name =
+        !backend_override.empty() ? backend_override
+                                  : (job.backend.empty() ? "host" : job.backend);
+    auto backend = device::make_backend(backend_name);
     auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
       return ln.tensors[size_t(v)];
     };
@@ -369,6 +381,8 @@ int serve_worker(const std::string& host, uint16_t port) {
     so.pool = &pool;
     so.scheduler = &sched;
     so.fused = fused;
+    so.backend = backend.get();
+    so.backend_name = backend_name;
     if (job.elastic != 0) {
       ElasticWorkerOptions eo;
       eo.stream = so;

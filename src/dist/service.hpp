@@ -50,6 +50,11 @@ struct ServiceOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Default device backend the job asks workers to run on; each worker may
+  // override it for its own hardware (`ltns_cli worker --backend=...`) —
+  // conforming backends are bitwise identical, so a mixed fleet still
+  // produces the byte-exact amplitude.
+  std::string backend = "host";
 };
 
 struct CoordinatorResult {
@@ -88,7 +93,10 @@ class CoordinatorServer {
 // Connects to a coordinator, executes the job it is handed (one fixed
 // window, or the elastic lease loop when the job says so), streams the
 // partials back, and returns 0 on success (non-zero on any failure).
-int serve_worker(const std::string& host, uint16_t port);
+// `backend_override` (optional) picks this worker's device backend instead
+// of the job's default — the heterogeneous-fleet knob.
+int serve_worker(const std::string& host, uint16_t port,
+                 const std::string& backend_override = "");
 
 // Status probe: connects to a running *elastic* coordinator and returns
 // its live lease/heartbeat state as a JSON string (`ltns_cli coordinate

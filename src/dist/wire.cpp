@@ -114,17 +114,54 @@ exec::Tensor get_tensor(ByteReader& r) {
   const auto rank = r.get<uint32_t>();
   if (size_t(rank) > r.remaining() / sizeof(int32_t))
     throw std::runtime_error("dist wire: tensor rank exceeds payload");
+  // Tensor's own bound (and a shift-safety bound): a corrupt rank must be
+  // rejected BEFORE the 2^rank allocation in Tensor's constructor, not by
+  // a debug-only assert inside it.
+  if (rank >= 48) throw std::runtime_error("dist wire: tensor rank out of range");
   std::vector<int> ixs(rank);
   for (auto& ix : ixs) ix = int(r.get<int32_t>());
   const auto n = size_t(r.get<uint64_t>());
-  // Validate the claimed element count against the bytes actually present
-  // BEFORE allocating — a corrupt length must not become an OOM.
+  // Validate the claimed element count against the rank and the bytes
+  // actually present BEFORE allocating — a corrupt length must not become
+  // an OOM.
+  if (n != size_t(1) << rank)
+    throw std::runtime_error("dist wire: tensor size disagrees with its rank");
   if (n > r.remaining() / sizeof(exec::cfloat))
     throw std::runtime_error("dist wire: tensor size exceeds payload");
-  std::vector<exec::cfloat> data(n, exec::cfloat{});
-  r.get_bytes(data.data(), n * sizeof(exec::cfloat));
-  return exec::Tensor(std::move(ixs), std::move(data));
+  exec::Tensor t(std::move(ixs));
+  r.get_bytes(t.raw(), n * sizeof(exec::cfloat));  // straight into aligned storage
+  return t;
 }
+
+namespace {
+
+void put_device_stats(ByteWriter& w, const device::DeviceStats& d) {
+  w.put<double>(d.bytes_to_device);
+  w.put<double>(d.bytes_to_host);
+  w.put<double>(d.ns_to_device);
+  w.put<double>(d.ns_to_host);
+  w.put<uint64_t>(d.uploads);
+  w.put<uint64_t>(d.downloads);
+  w.put<uint64_t>(d.gemm_calls);
+  w.put<uint64_t>(d.permute_calls);
+  w.put<uint64_t>(d.stem_steps);
+}
+
+device::DeviceStats get_device_stats(ByteReader& r) {
+  device::DeviceStats d;
+  d.bytes_to_device = r.get<double>();
+  d.bytes_to_host = r.get<double>();
+  d.ns_to_device = r.get<double>();
+  d.ns_to_host = r.get<double>();
+  d.uploads = r.get<uint64_t>();
+  d.downloads = r.get<uint64_t>();
+  d.gemm_calls = r.get<uint64_t>();
+  d.permute_calls = r.get<uint64_t>();
+  d.stem_steps = r.get<uint64_t>();
+  return d;
+}
+
+}  // namespace
 
 void put_exec_stats(ByteWriter& w, const exec::ExecStats& s) {
   w.put<double>(s.flops);
@@ -134,6 +171,7 @@ void put_exec_stats(ByteWriter& w, const exec::ExecStats& s) {
   w.put<double>(s.permute_seconds);
   w.put<double>(s.memory_seconds);
   w.put<uint64_t>(uint64_t(s.peak_live_elems));
+  put_device_stats(w, s.device);
 }
 
 exec::ExecStats get_exec_stats(ByteReader& r) {
@@ -145,6 +183,7 @@ exec::ExecStats get_exec_stats(ByteReader& r) {
   s.permute_seconds = r.get<double>();
   s.memory_seconds = r.get<double>();
   s.peak_live_elems = size_t(r.get<uint64_t>());
+  s.device = get_device_stats(r);
   return s;
 }
 
@@ -175,6 +214,7 @@ void put_snapshot(ByteWriter& w, const runtime::ExecutorSnapshot& s) {
   w.put<uint64_t>(s.ranges_stolen);
   w.put<uint64_t>(s.ranges_reissued);
   w.put<double>(s.straggler_wait_seconds);
+  put_device_stats(w, s.device);
   put_perf(w, s.permute);
   put_perf(w, s.gemm);
   put_perf(w, s.reduce);
@@ -193,6 +233,7 @@ runtime::ExecutorSnapshot get_snapshot(ByteReader& r) {
   s.ranges_stolen = r.get<uint64_t>();
   s.ranges_reissued = r.get<uint64_t>();
   s.straggler_wait_seconds = r.get<double>();
+  s.device = get_device_stats(r);
   s.permute = get_perf(r);
   s.gemm = get_perf(r);
   s.reduce = get_perf(r);
@@ -230,6 +271,7 @@ void put_telemetry(ByteWriter& w, const ShardTelemetry& t) {
   w.put<uint64_t>(t.leases);
   w.put<uint64_t>(t.reduce_merges);
   w.put<double>(t.wall_seconds);
+  w.put_string(t.backend);
   put_snapshot(w, t.executor);
   put_memory_stats(w, t.memory);
   put_exec_stats(w, t.exec);
@@ -244,6 +286,7 @@ ShardTelemetry get_telemetry(ByteReader& r) {
   t.leases = r.get<uint64_t>();
   t.reduce_merges = r.get<uint64_t>();
   t.wall_seconds = r.get<double>();
+  t.backend = r.get_string();
   t.executor = get_snapshot(r);
   t.memory = get_memory_stats(r);
   t.exec = get_exec_stats(r);

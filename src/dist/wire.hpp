@@ -32,7 +32,9 @@ namespace ltns::dist {
 
 inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
 // v2: endian-tagged header + the elastic lease/heartbeat frame vocabulary.
-inline constexpr uint16_t kWireVersion = 2;
+// v3: DeviceStats in exec-stats/snapshot payloads, backend name in
+//     telemetry and heartbeat frames (heterogeneous device fleets).
+inline constexpr uint16_t kWireVersion = 3;
 
 // Header endianness markers; read_frame rejects a frame whose marker does
 // not match the host's.
@@ -133,6 +135,7 @@ struct ShardTelemetry {
   uint64_t leases = 0;         // ranges this worker completed (elastic mode)
   uint64_t reduce_merges = 0;  // worker-local tournament merges
   double wall_seconds = 0;
+  std::string backend;         // device backend the worker ran on ("host", ...)
   runtime::ExecutorSnapshot executor;
   runtime::MemoryStats memory;
   exec::ExecStats exec;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "device/backend.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::exec {
@@ -31,7 +32,8 @@ ContractPlan plan_contract(const std::vector<int>& a_ixs, const std::vector<int>
   return p;
 }
 
-Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool, ContractStats* stats) {
+Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool, ContractStats* stats,
+                device::DeviceBackend* backend, device::DeviceStats* dstats) {
   ContractPlan p = plan_contract(a.ixs(), b.ixs());
 
   Timer t;
@@ -39,12 +41,12 @@ Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool, ContractStat
   const Tensor* bp = &b;
   Tensor a_tmp, b_tmp;
   if (!p.a_identity) {
-    a_tmp = permute(a, p.a_order);
+    a_tmp = backend != nullptr ? backend->permute(a, p.a_order, dstats) : permute(a, p.a_order);
     ap = &a_tmp;
     if (stats) stats->permute_elems += double(a.size());
   }
   if (!p.b_identity) {
-    b_tmp = permute(b, p.b_order);
+    b_tmp = backend != nullptr ? backend->permute(b, p.b_order, dstats) : permute(b, p.b_order);
     bp = &b_tmp;
     if (stats) stats->permute_elems += double(b.size());
   }
@@ -52,7 +54,11 @@ Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool, ContractStat
 
   t.reset();
   Tensor out(p.out_ixs);
-  cgemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool);
+  if (backend != nullptr) {
+    backend->gemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool, dstats);
+  } else {
+    cgemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool);
+  }
   if (stats) {
     stats->gemm_seconds += t.seconds();
     stats->flops += gemm_flops(p.m, p.n, p.k);

@@ -15,6 +15,11 @@
 #include "exec/tensor.hpp"
 #include "util/parallel.hpp"
 
+namespace ltns::device {
+class DeviceBackend;
+struct DeviceStats;
+}  // namespace ltns::device
+
 namespace ltns::exec {
 
 struct ContractPlan {
@@ -37,9 +42,13 @@ struct ContractStats {
 };
 
 // Contracts A with B over all shared edges. `pool` parallelizes the GEMM;
-// stats (optional) accumulate.
+// stats (optional) accumulate. When `backend` is set the permute and GEMM
+// kernels run through it (and `dstats`, optional, receives its transfer/
+// kernel accounting); a null backend is the raw host path, bitwise
+// identical to the "host" backend by construction.
 Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool = nullptr,
-                ContractStats* stats = nullptr);
+                ContractStats* stats = nullptr, device::DeviceBackend* backend = nullptr,
+                device::DeviceStats* dstats = nullptr);
 
 // Reference implementation: explicit loops over all index assignments.
 // Exponential; for tests on small tensors only.

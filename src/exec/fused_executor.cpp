@@ -4,6 +4,7 @@
 #include <cassert>
 #include <mutex>
 
+#include "device/backend.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::exec {
@@ -147,6 +148,7 @@ struct WindowExec {
   const FusedPlan& plan;
   ThreadPool* pool;
   FusedStats* stats;
+  device::DeviceBackend* backend;
 
   // Executes window `win` on current stem tensor `T` with pre-contracted
   // branch tensors; returns the new stem tensor.
@@ -198,17 +200,36 @@ struct WindowExec {
       ds.record_get(moved, g);
       size_t ldm_peak = w.size();
 
-      for (int k = win.begin_step; k < win.end_step; ++k) {
-        const Tensor& b = branches[size_t(k)];
-        ds.record_get(double(b.size()) * kBytesPerElem, double(b.size()) * kBytesPerElem);
+      if (backend != nullptr) {
+        // Batched device execution: the whole window's steps run on the
+        // backend (one staged upload/download round-trip for non-unified
+        // devices). The DMA model still counts each branch get.
+        for (int k = win.begin_step; k < win.end_step; ++k) {
+          const Tensor& b = branches[size_t(k)];
+          ds.record_get(double(b.size()) * kBytesPerElem, double(b.size()) * kBytesPerElem);
+        }
         ContractStats cs;
-        Tensor wn = contract(w, b, nullptr, &cs);  // serial: this IS one CPE
+        size_t peak = 0;
+        w = backend->run_stem_window(std::move(w), branches.data() + win.begin_step,
+                                     win.end_step - win.begin_step, &cs, &es.device, &peak);
         es.flops += cs.flops;
         es.permute_elems += cs.permute_elems;
         es.gemm_seconds += cs.gemm_seconds;
         es.permute_seconds += cs.permute_seconds;
-        ldm_peak = std::max(ldm_peak, w.size() + b.size() + wn.size());
-        w = std::move(wn);
+        ldm_peak = std::max(ldm_peak, peak);
+      } else {
+        for (int k = win.begin_step; k < win.end_step; ++k) {
+          const Tensor& b = branches[size_t(k)];
+          ds.record_get(double(b.size()) * kBytesPerElem, double(b.size()) * kBytesPerElem);
+          ContractStats cs;
+          Tensor wn = contract(w, b, nullptr, &cs);  // serial: this IS one CPE
+          es.flops += cs.flops;
+          es.permute_elems += cs.permute_elems;
+          es.gemm_seconds += cs.gemm_seconds;
+          es.permute_seconds += cs.permute_seconds;
+          ldm_peak = std::max(ldm_peak, w.size() + b.size() + wn.size());
+          w = std::move(wn);
+        }
       }
       assert(ldm_peak <= plan.ldm_elems || !win.in_ldm);
 
@@ -260,7 +281,7 @@ struct WindowExec {
 }  // namespace
 
 Tensor execute_fused(const FusedPlan& plan, const LeafProvider& leaves, uint64_t assignment,
-                     ThreadPool* pool, FusedStats* stats) {
+                     ThreadPool* pool, FusedStats* stats, device::DeviceBackend* backend) {
   const tn::Stem& stem = *plan.stem;
   const tn::ContractionTree& tree = *stem.tree;
 
@@ -269,12 +290,13 @@ Tensor execute_fused(const FusedPlan& plan, const LeafProvider& leaves, uint64_t
   std::vector<Tensor> branches(size_t(stem.length() - 1));
   for (int k = 0; k + 1 < stem.length(); ++k)
     branches[size_t(k)] = execute_subtree(tree, stem.branches[size_t(k)], leaves,
-                                          plan.process_sliced, assignment, pool, &branch_stats);
+                                          plan.process_sliced, assignment, pool, &branch_stats,
+                                          backend);
   Tensor cur = execute_subtree(tree, stem.nodes[0], leaves, plan.process_sliced, assignment,
-                               pool, &branch_stats);
+                               pool, &branch_stats, backend);
   if (stats) stats->exec.merge(branch_stats);
 
-  WindowExec we{plan, pool, stats};
+  WindowExec we{plan, pool, stats, backend};
   for (const auto& win : plan.windows) {
     if (win.in_ldm) {
       cur = we.run(win, cur, branches);
@@ -282,7 +304,8 @@ Tensor execute_fused(const FusedPlan& plan, const LeafProvider& leaves, uint64_t
       // Main-memory fallback step.
       ContractStats cs;
       const Tensor& b = branches[size_t(win.begin_step)];
-      Tensor next = contract(cur, b, pool, &cs);
+      Tensor next =
+          contract(cur, b, pool, &cs, backend, stats ? &stats->exec.device : nullptr);
       if (stats) {
         stats->exec.flops += cs.flops;
         stats->exec.permute_elems += cs.permute_elems;
@@ -299,21 +322,22 @@ Tensor execute_fused(const FusedPlan& plan, const LeafProvider& leaves, uint64_t
 
 Tensor execute_stem_stepwise(const tn::Stem& stem, const LeafProvider& leaves,
                              const std::vector<int>& process_sliced, uint64_t assignment,
-                             ThreadPool* pool, FusedStats* stats) {
+                             ThreadPool* pool, FusedStats* stats,
+                             device::DeviceBackend* backend) {
   const tn::ContractionTree& tree = *stem.tree;
   ExecStats branch_stats;
   std::vector<Tensor> branches(size_t(stem.length() - 1));
   for (int k = 0; k + 1 < stem.length(); ++k)
     branches[size_t(k)] = execute_subtree(tree, stem.branches[size_t(k)], leaves, process_sliced,
-                                          assignment, pool, &branch_stats);
+                                          assignment, pool, &branch_stats, backend);
   Tensor cur = execute_subtree(tree, stem.nodes[0], leaves, process_sliced, assignment, pool,
-                               &branch_stats);
+                               &branch_stats, backend);
   if (stats) stats->exec.merge(branch_stats);
 
   for (int k = 0; k + 1 < stem.length(); ++k) {
     const Tensor& b = branches[size_t(k)];
     ContractStats cs;
-    Tensor next = contract(cur, b, pool, &cs);
+    Tensor next = contract(cur, b, pool, &cs, backend, stats ? &stats->exec.device : nullptr);
     if (stats) {
       stats->exec.flops += cs.flops;
       stats->exec.permute_elems += cs.permute_elems;

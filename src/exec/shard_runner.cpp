@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "device/backend.hpp"
 #include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
@@ -27,6 +28,11 @@ int workers_for(const ShardRunOptions& opt) {
   return std::max(1, hw / std::max(1, opt.processes));
 }
 
+std::string backend_name_for(const ShardRunOptions& opt, int shard_id) {
+  if (!opt.backends.empty()) return opt.backends[size_t(shard_id) % opt.backends.size()];
+  return opt.backend.empty() ? "host" : opt.backend;
+}
+
 // Worker process body: stream the shard window's block partials over the
 // shared protocol, then exit. Never returns; exit code 0 = clean, 1 =
 // reported error frame.
@@ -41,12 +47,16 @@ int workers_for(const ShardRunOptions& opt) {
     const int workers = workers_for(opt);
     ThreadPool pool(workers);
     runtime::SliceScheduler sched(workers);
+    const std::string backend_name = backend_name_for(opt, shard_id);
+    auto backend = device::make_backend(backend_name);
     dist::ShardStreamOptions so;
     so.executor = opt.executor;
     so.grain = opt.grain;
     so.pool = &pool;
     so.scheduler = &sched;
     so.fused = opt.fused;
+    so.backend = backend.get();
+    so.backend_name = backend_name;
     if (opt.elastic) {
       dist::ElasticWorkerOptions eo;
       eo.stream = so;

@@ -49,6 +49,14 @@ struct ShardRunOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Device backend each worker process constructs after the fork (backends
+  // never cross process boundaries, so a NAME travels rather than a
+  // pointer). `backends`, when non-empty, assigns per-shard names —
+  // backends[shard % backends.size()] — for heterogeneous fleets; every
+  // conforming backend is bitwise identical, so mixing them never changes
+  // the merged tensor.
+  std::string backend = "host";
+  std::vector<std::string> backends;
   // Test hook: the worker for this shard index exits without reporting, so
   // the failure path (static: clean error; elastic: requeue + completion)
   // can be exercised. -1 = off. The elastic chaos hooks (mid-run SIGKILL,

@@ -57,7 +57,7 @@ SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& l
     Tensor r;
     if (opt.fused != nullptr) {
       FusedStats fs;
-      r = execute_fused(*opt.fused, leaves, t, inner, &fs);
+      r = execute_fused(*opt.fused, leaves, t, inner, &fs, opt.backend);
       mine.exec.merge(fs.exec);
       mine.memory.scratch_bytes_get += fs.dma.bytes_get;
       mine.memory.scratch_bytes_put += fs.dma.bytes_put;
@@ -72,7 +72,7 @@ SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& l
       xstats.memory.add(fs.exec.memory_seconds);
     } else {
       ExecStats es;
-      r = execute_tree(tree, leaves, sliced, t, inner, &es);
+      r = execute_tree(tree, leaves, sliced, t, inner, &es, opt.backend);
       mine.exec.merge(es);
       mine.memory.main_bytes += es.bytes_main;
       mine.memory.host_peak_elems = std::max(mine.memory.host_peak_elems, es.peak_live_elems);
@@ -128,6 +128,9 @@ SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& l
     res.memory.merge(p.memory);
   }
   res.executor_stats = xstats.snapshot();
+  // Device transfer/kernel telemetry rides the snapshot so every existing
+  // aggregation path (shard telemetry, API results, CLI) carries it.
+  res.executor_stats.device = res.stats.device;
   res.reduce_merges = reduction.merges();
   // A cancelled run never completes its tournament: `accumulated` then stays
   // the default empty tensor and `completed` stays false.

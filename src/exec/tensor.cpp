@@ -14,7 +14,7 @@ Tensor::Tensor(std::vector<int> ixs)
 }
 
 Tensor::Tensor(std::vector<int> ixs, std::vector<cfloat> data)
-    : ixs_(std::move(ixs)), data_(std::move(data)) {
+    : ixs_(std::move(ixs)), data_(data.begin(), data.end()) {
   assert(data_.size() == size_t(1) << ixs_.size());
 }
 

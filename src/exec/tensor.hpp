@@ -12,24 +12,40 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned_alloc.hpp"
+
 namespace ltns::exec {
 
 using cfloat = std::complex<float>;
+
+// Payload alignment: every Tensor's storage starts on a 64-byte boundary so
+// blocked/SIMD kernels and device uploads never take an unaligned path.
+inline constexpr size_t kTensorAlignment = 64;
+static_assert(kTensorAlignment % alignof(cfloat) == 0 &&
+                  (kTensorAlignment & (kTensorAlignment - 1)) == 0,
+              "tensor alignment must be a power of two multiple of the element alignment");
+using AlignedCfloatVec = std::vector<cfloat, util::AlignedAllocator<cfloat, kTensorAlignment>>;
 
 class Tensor {
  public:
   Tensor() = default;
   // Zero-initialized tensor over the given (edge-id) indices.
   explicit Tensor(std::vector<int> ixs);
+  // Copies `data` into aligned storage (the single data constructor keeps
+  // brace-initialized payloads unambiguous).
   Tensor(std::vector<int> ixs, std::vector<cfloat> data);
 
-  static Tensor scalar(cfloat v) { return Tensor({}, {v}); }
+  static Tensor scalar(cfloat v) {
+    Tensor t(std::vector<int>{});
+    t.data_[0] = v;
+    return t;
+  }
 
   int rank() const { return int(ixs_.size()); }
   size_t size() const { return data_.size(); }
   const std::vector<int>& ixs() const { return ixs_; }
-  const std::vector<cfloat>& data() const { return data_; }
-  std::vector<cfloat>& data() { return data_; }
+  const AlignedCfloatVec& data() const { return data_; }
+  AlignedCfloatVec& data() { return data_; }
   cfloat* raw() { return data_.data(); }
   const cfloat* raw() const { return data_.data(); }
 
@@ -63,7 +79,7 @@ class Tensor {
 
  private:
   std::vector<int> ixs_;
-  std::vector<cfloat> data_;
+  AlignedCfloatVec data_;
 };
 
 // Random tensor with unit-normal entries (tests, benchmarks).

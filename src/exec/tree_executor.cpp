@@ -14,6 +14,7 @@ void ExecStats::merge(const ExecStats& o) {
   permute_seconds += o.permute_seconds;
   memory_seconds += o.memory_seconds;
   peak_live_elems = std::max(peak_live_elems, o.peak_live_elems);
+  device.merge(o.device);
 }
 
 namespace {
@@ -25,6 +26,7 @@ struct Runner {
   uint64_t assignment;
   ThreadPool* pool;
   ExecStats* stats;
+  device::DeviceBackend* backend;
 
   std::vector<Tensor> value;  // per tree node
   size_t live_elems = 0;
@@ -57,7 +59,7 @@ struct Runner {
         Tensor& a = value[size_t(n.left)];
         Tensor& b = value[size_t(n.right)];
         ContractStats cs;
-        Tensor out = contract(a, b, pool, &cs);
+        Tensor out = contract(a, b, pool, &cs, backend, stats ? &stats->device : nullptr);
         if (stats) {
           stats->flops += cs.flops;
           stats->permute_elems += cs.permute_elems;
@@ -86,15 +88,15 @@ struct Runner {
 
 Tensor execute_tree(const tn::ContractionTree& tree, const LeafProvider& leaves,
                     const std::vector<int>& sliced_edges, uint64_t assignment, ThreadPool* pool,
-                    ExecStats* stats) {
-  Runner r{tree, leaves, sliced_edges, assignment, pool, stats, {}, 0};
+                    ExecStats* stats, device::DeviceBackend* backend) {
+  Runner r{tree, leaves, sliced_edges, assignment, pool, stats, backend, {}, 0};
   return r.run(tree.root());
 }
 
 Tensor execute_subtree(const tn::ContractionTree& tree, int node, const LeafProvider& leaves,
                        const std::vector<int>& sliced_edges, uint64_t assignment,
-                       ThreadPool* pool, ExecStats* stats) {
-  Runner r{tree, leaves, sliced_edges, assignment, pool, stats, {}, 0};
+                       ThreadPool* pool, ExecStats* stats, device::DeviceBackend* backend) {
+  Runner r{tree, leaves, sliced_edges, assignment, pool, stats, backend, {}, 0};
   return r.run(node);
 }
 

@@ -14,6 +14,7 @@ ExecutorSnapshot ExecutorSnapshot::since(const ExecutorSnapshot& begin) const {
   d.ranges_stolen -= begin.ranges_stolen;
   d.ranges_reissued -= begin.ranges_reissued;
   d.straggler_wait_seconds -= begin.straggler_wait_seconds;
+  d.device = device.since(begin.device);
   d.permute.count -= begin.permute.count;
   d.permute.seconds -= begin.permute.seconds;
   d.gemm.count -= begin.gemm.count;
@@ -37,6 +38,7 @@ void ExecutorSnapshot::merge(const ExecutorSnapshot& o) {
   ranges_stolen += o.ranges_stolen;
   ranges_reissued += o.ranges_reissued;
   straggler_wait_seconds += o.straggler_wait_seconds;
+  device.merge(o.device);
   running += o.running;
   waiting += o.waiting;
   permute.count += o.permute.count;

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "device/stats.hpp"
+
 namespace ltns::runtime {
 
 // Accumulating phase timer: entry count + total seconds. `add` is a CAS
@@ -58,6 +60,10 @@ struct ExecutorSnapshot {
   uint64_t ranges_stolen = 0;
   uint64_t ranges_reissued = 0;
   double straggler_wait_seconds = 0;
+  // Device-backend transfer/kernel telemetry (bytes/ns to-device, kernel
+  // counts). Filled by the slice runner from the run's merged ExecStats;
+  // zero when the run used the raw host path.
+  device::DeviceStats device;
   PerfSnapshot permute, gemm, reduce, memory;
 
   ExecutorSnapshot since(const ExecutorSnapshot& begin) const;

@@ -142,6 +142,30 @@ TEST(Wire, TensorRoundTripsBitExactly) {
   EXPECT_EQ(std::memcmp(back.raw(), t.raw(), t.size() * sizeof(exec::cfloat)), 0);
 }
 
+// A corrupt frame must be rejected BEFORE the 2^rank allocation: a huge
+// claimed rank (or a size that disagrees with the rank) throws instead of
+// attempting a petabyte zero-fill.
+TEST(Wire, CorruptTensorRankOrSizeRejectedBeforeAllocating) {
+  {
+    ByteWriter w;  // rank=50 with 50 plausible index ids but tiny payload
+    w.put<uint32_t>(50);
+    for (int i = 0; i < 50; ++i) w.put<int32_t>(i);
+    w.put<uint64_t>(4);
+    ByteReader r(w.buffer());
+    EXPECT_THROW(get_tensor(r), std::runtime_error);
+  }
+  {
+    ByteWriter w;  // rank says 2 (4 elems) but size claims 3
+    w.put<uint32_t>(2);
+    w.put<int32_t>(0);
+    w.put<int32_t>(1);
+    w.put<uint64_t>(3);
+    for (int i = 0; i < 3; ++i) w.put<uint64_t>(0);
+    ByteReader r(w.buffer());
+    EXPECT_THROW(get_tensor(r), std::runtime_error);
+  }
+}
+
 TEST(Wire, TelemetryRoundTripsExactly) {
   ShardTelemetry t;
   t.shard = 3;
@@ -151,6 +175,7 @@ TEST(Wire, TelemetryRoundTripsExactly) {
   t.leases = 9;
   t.reduce_merges = 511;
   t.wall_seconds = 0.123456789;
+  t.backend = "blocked";
   t.executor.scheduled = 512;
   t.executor.stolen = 17;
   t.executor.finished = 512;
@@ -160,6 +185,9 @@ TEST(Wire, TelemetryRoundTripsExactly) {
   t.executor.straggler_wait_seconds = 0.375;
   t.executor.gemm = {512, 1.5};
   t.executor.reduce = {511, 0.25};
+  t.executor.device.bytes_to_device = 8192.5;
+  t.executor.device.gemm_calls = 512;
+  t.executor.device.stem_steps = 7;
   t.memory.main_bytes = 1e9 + 0.5;
   t.memory.ldm_peak_elems = 32768;
   t.exec.flops = 2.5e12;
@@ -184,6 +212,10 @@ TEST(Wire, TelemetryRoundTripsExactly) {
   EXPECT_EQ(b.executor.straggler_wait_seconds, t.executor.straggler_wait_seconds);
   EXPECT_EQ(b.executor.gemm.count, t.executor.gemm.count);
   EXPECT_EQ(b.executor.gemm.seconds, t.executor.gemm.seconds);
+  EXPECT_EQ(b.backend, t.backend);
+  EXPECT_EQ(b.executor.device.bytes_to_device, t.executor.device.bytes_to_device);
+  EXPECT_EQ(b.executor.device.gemm_calls, t.executor.device.gemm_calls);
+  EXPECT_EQ(b.executor.device.stem_steps, t.executor.device.stem_steps);
   EXPECT_EQ(b.memory.main_bytes, t.memory.main_bytes);
   EXPECT_EQ(b.memory.ldm_peak_elems, t.memory.ldm_peak_elems);
   EXPECT_EQ(b.exec.flops, t.exec.flops);
@@ -492,10 +524,7 @@ SlicedFixture make_sliced_fixture(int num_slices = 4) {
   return f;
 }
 
-bool bitwise_equal(const exec::Tensor& a, const exec::Tensor& b) {
-  return a.ixs() == b.ixs() && a.size() == b.size() &&
-         std::memcmp(a.raw(), b.raw(), a.size() * sizeof(exec::cfloat)) == 0;
-}
+using test::bitwise_equal;
 
 TEST(RunSharded, BitwiseIdenticalToRunSlicedForAnyProcessCount) {
   auto f = make_sliced_fixture();
@@ -693,6 +722,86 @@ TEST(RunShardedElastic, StragglerIsStolenFromAndRunStaysBitwise) {
   EXPECT_GT(r.rebalance.ranges_stolen, 0u);
   EXPECT_EQ(r.rebalance.workers_lost, 0u);
   EXPECT_EQ(r.executor_stats.ranges_stolen, r.rebalance.ranges_stolen);
+}
+
+// Heterogeneous device fleet: workers run DIFFERENT backends (host and
+// blocked) under the elastic driver. Because every conforming backend is
+// bitwise identical, the merged tensor must equal the 1-process host run
+// byte for byte even though the partials were computed by different device
+// implementations — and with a deterministic speed skew on the host
+// worker, the lease ledger must rebalance (steal) around it.
+TEST(RunShardedElastic, MixedHostBlockedFleetRebalancesAndStaysBitwise) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);  // pure host baseline
+  ASSERT_TRUE(ref.completed);
+
+  // Worker 0 (host backend) is dragged into a deterministic straggle so the
+  // speed skew — and therefore the steal — happens on every run, not only
+  // when the hardware happens to make blocked faster.
+  ScopedEnv slow_shard("LTNS_CHAOS_SLEEP_SHARD", "0");
+  ScopedEnv slow_ms("LTNS_CHAOS_SLEEP_MS", "150");
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  so.backends = {"host", "blocked", "blocked"};  // per-shard device mix
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated))
+      << "mixed-backend fleet diverged from the 1-process host run";
+  EXPECT_GT(r.rebalance.ranges_stolen, 0u);
+  EXPECT_EQ(r.rebalance.workers_lost, 0u);
+  // Telemetry names each worker's backend and carries its device counters.
+  ASSERT_EQ(r.shards.size(), 3u);
+  EXPECT_EQ(r.shards[0].backend, "host");
+  EXPECT_EQ(r.shards[1].backend, "blocked");
+  EXPECT_EQ(r.shards[2].backend, "blocked");
+  uint64_t device_gemms = 0;
+  for (const auto& s : r.shards) device_gemms += s.executor.device.gemm_calls;
+  EXPECT_GT(device_gemms, 0u);
+  EXPECT_GT(r.executor_stats.device.gemm_calls, 0u);  // aggregated snapshot
+}
+
+// The static driver carries the device mix too (no leases, fixed windows).
+TEST(RunSharded, MixedBackendsBitwiseIdenticalUnderStaticDriver) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+
+  exec::ShardRunOptions so;
+  so.processes = 4;
+  so.workers_per_process = 1;
+  so.backends = {"blocked", "host"};  // alternating per shard index
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated));
+  ASSERT_EQ(r.shards.size(), 4u);
+  EXPECT_EQ(r.shards[0].backend, "blocked");
+  EXPECT_EQ(r.shards[1].backend, "host");
+  EXPECT_EQ(r.shards[2].backend, "blocked");
+  EXPECT_EQ(r.shards[3].backend, "host");
+}
+
+// A worker asked for a nonexistent backend fails its shard with the
+// registry's error (naming the known backends) instead of dying silently.
+TEST(RunSharded, UnknownBackendSurfacesRegistryError) {
+  auto f = make_sliced_fixture();
+  exec::ShardRunOptions so;
+  so.processes = 2;
+  so.workers_per_process = 1;
+  so.backend = "tpu";
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("unknown device backend"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("blocked"), std::string::npos) << r.error;
 }
 
 // The fork-time fault hook (dies before its first lease request): the

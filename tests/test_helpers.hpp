@@ -1,16 +1,25 @@
 // Shared fixtures: small circuits, networks and trees used across the suite.
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
+#include "exec/tensor.hpp"
 #include "path/greedy.hpp"
 #include "tn/contraction_tree.hpp"
 #include "tn/stem.hpp"
 
 namespace ltns::test {
+
+// The byte-comparison behind every bitwise-identity acceptance criterion:
+// identical index order, identical size, identical payload bits.
+inline bool bitwise_equal(const exec::Tensor& a, const exec::Tensor& b) {
+  return a.ixs() == b.ixs() && a.size() == b.size() &&
+         std::memcmp(a.raw(), b.raw(), a.size() * sizeof(exec::cfloat)) == 0;
+}
 
 // A small RQC on a rows x cols grid.
 inline circuit::Circuit small_rqc(int rows, int cols, int cycles, uint64_t seed = 42) {

@@ -209,10 +209,7 @@ SlicedFixture make_sliced_fixture(int min_slices = 3) {
   return f;
 }
 
-bool bitwise_equal(const exec::Tensor& a, const exec::Tensor& b) {
-  return a.ixs() == b.ixs() && a.size() == b.size() &&
-         std::memcmp(a.raw(), b.raw(), a.size() * sizeof(exec::cfloat)) == 0;
-}
+using test::bitwise_equal;
 
 TEST(RunSliced, BitStableAcrossExecutorsAndWorkerCounts) {
   auto f = make_sliced_fixture();
