@@ -23,6 +23,12 @@
 //   --lease=N                    tasks per lease (default: auto)
 //   --heartbeat=SECONDS          worker liveness period (default 0.2)
 //   --stall-timeout=SECONDS      silent-worker revoke threshold (default 30)
+//   --spill-dir=PATH             durable run ledger: journal completed ranges
+//                                there (elastic only; see docs/operations.md)
+//   --resume                     replay an existing spill journal first, so a
+//                                restarted coordinator redoes only unfinished
+//                                ranges (output stays bitwise identical)
+//   --spill-fsync=SECONDS        journal fsync cadence (default 0 = every record)
 //   --no-telemetry               suppress the executor/memory stats report
 //
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
@@ -55,6 +61,9 @@ struct RuntimeFlags {
   uint64_t lease = 0;
   double heartbeat = 0.2;
   double stall_timeout = 30;
+  std::string spill_dir;
+  bool resume = false;
+  double spill_fsync = 0;
   std::string backend = "host";
   bool backend_set = false;  // --backend given explicitly (worker override)
 };
@@ -119,11 +128,28 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       g_flags.heartbeat = std::atof(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--stall-timeout=", 16) == 0) {
       g_flags.stall_timeout = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--spill-dir=", 12) == 0) {
+      g_flags.spill_dir = argv[i] + 12;
+      if (g_flags.spill_dir.empty()) {
+        std::fprintf(stderr, "--spill-dir needs a path\n");
+        std::exit(64);
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      g_flags.resume = true;
+    } else if (std::strncmp(argv[i], "--spill-fsync=", 14) == 0) {
+      g_flags.spill_fsync = std::atof(argv[i] + 14);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       g_flags.telemetry = false;
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  // A silently-ignored durability flag is worse than an error: an operator
+  // who types --resume without --spill-dir believes the run resumed AND
+  // re-armed the journal when neither happened.
+  if (g_flags.spill_dir.empty() && (g_flags.resume || g_flags.spill_fsync != 0)) {
+    std::fprintf(stderr, "--resume/--spill-fsync require --spill-dir\n");
+    std::exit(64);
   }
   return rest;
 }
@@ -139,6 +165,9 @@ api::SimulatorOptions make_sim_options() {
   opt.lease_size = g_flags.lease;
   opt.heartbeat_seconds = g_flags.heartbeat;
   opt.stall_timeout_seconds = g_flags.stall_timeout;
+  opt.spill_dir = g_flags.spill_dir;
+  opt.resume = g_flags.resume;
+  opt.spill_fsync_seconds = g_flags.spill_fsync;
   opt.backend = g_flags.backend;
   return opt;
 }
@@ -160,13 +189,16 @@ void print_shards(const std::vector<dist::ShardTelemetry>& shards) {
 }
 
 void print_rebalance(const dist::RebalanceStats& r) {
-  if (!g_flags.telemetry || r.leases_issued == 0) return;
+  if (!g_flags.telemetry || (r.leases_issued == 0 && r.ranges_replayed == 0)) return;
   std::printf("rebalance: %llu leases (%llu completed), %llu stolen, %llu reissued, "
               "%llu requeued, %llu late-dropped, %llu workers lost, straggler wait %.3fs\n",
               (unsigned long long)r.leases_issued, (unsigned long long)r.leases_completed,
               (unsigned long long)r.ranges_stolen, (unsigned long long)r.ranges_reissued,
               (unsigned long long)r.ranges_requeued, (unsigned long long)r.late_results_dropped,
               (unsigned long long)r.workers_lost, r.straggler_wait_seconds);
+  if (r.ranges_replayed > 0)
+    std::printf("resume: %llu ranges (%llu tasks) replayed from the spill journal\n",
+                (unsigned long long)r.ranges_replayed, (unsigned long long)r.tasks_replayed);
 }
 
 void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem) {
@@ -354,6 +386,13 @@ int cmd_coordinate(int argc, char** argv) {
   so.lease_size = g_flags.lease;
   so.heartbeat_seconds = g_flags.heartbeat;
   so.stall_timeout_seconds = g_flags.stall_timeout;
+  so.spill_dir = g_flags.spill_dir;
+  so.resume = g_flags.resume;
+  so.spill_fsync_seconds = g_flags.spill_fsync;
+  if (!so.spill_dir.empty() && !so.elastic) {
+    std::fprintf(stderr, "--spill-dir requires --elastic (the journaled ledger is the lease ledger)\n");
+    return 64;
+  }
   dist::CoordinatorServer server{uint16_t(port)};
   std::fprintf(stderr, "coordinator listening on port %u, waiting for %d workers\n",
                unsigned(server.port()), nworkers);
@@ -404,7 +443,8 @@ int main(int raw_argc, char** raw_argv) {
                  "       ltns_cli worker <host> <port>\n"
                  "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
                  "       --backend=host|blocked|cuda|help --elastic --lease=N --heartbeat=S\n"
-                 "       --stall-timeout=S --no-telemetry\n");
+                 "       --stall-timeout=S --spill-dir=PATH --resume --spill-fsync=S\n"
+                 "       --no-telemetry\n");
     return 64;
   }
   std::string cmd = argv[1];

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (CI `docs` job).
+
+Walks every .md file in the repo (skipping build trees) and verifies that
+each intra-repo link target exists:
+
+- relative file links must resolve to a file or directory in the repo;
+- fragment links to another file are checked file-only (anchors inside a
+  file are checked when the target is .md: the heading must exist);
+- http(s)/mailto links are NOT fetched — this job must stay hermetic.
+
+Exits 1 listing every dead link. Stdlib only, so the CI job needs nothing
+but a checkout and python3.
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".ccache", ".claude"}
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop non-alnum except spaces/hyphens,
+    spaces to hyphens."""
+    heading = re.sub(r"[`*_\[\]()]", "", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)  # \w = unicode letters/digits/_
+    return heading.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_in(path: str):
+    out = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                out.add(anchor_of(m.group(1)))
+    return out
+
+
+def links_in(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Strip inline code spans so `[i·2^l, (i+1)·2^l)` isn't a link.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(2)
+
+
+def main() -> int:
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+    anchor_cache = {}
+    dead = []
+    checked = 0
+    for md in md_files(root):
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            frag = ""
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            if target == "":
+                dest = md  # same-file fragment
+            else:
+                dest = os.path.normpath(os.path.join(os.path.dirname(md), target))
+            rel = os.path.relpath(md, root)
+            if not os.path.exists(dest):
+                dead.append(f"{rel}:{lineno}: dead link -> {target or '#' + frag}")
+                continue
+            if frag and dest.endswith(".md") and os.path.isfile(dest):
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_in(dest)
+                if frag.lower() not in anchor_cache[dest]:
+                    dead.append(
+                        f"{rel}:{lineno}: dead anchor -> "
+                        f"{os.path.relpath(dest, root)}#{frag}"
+                    )
+    if dead:
+        print(f"{len(dead)} dead link(s) out of {checked} checked:")
+        for d in dead:
+            print("  " + d)
+        return 1
+    print(f"all {checked} intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

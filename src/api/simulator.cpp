@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "circuit/io.hpp"
 #include "device/backend.hpp"
+#include "dist/checkpoint.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -39,7 +41,25 @@ struct RunOutput {
   std::string error;
 };
 
-RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* fused_storage) {
+// Checkpoint-journal fingerprint of this exact job: a --resume against a
+// journal from a different job must be refused, not merged. Delegates to
+// the canonical dist::run_fingerprint (inputs + the RESOLVED plan, so any
+// PlanOptions change that alters the plan changes the fingerprint, and a
+// journal spilled here can resume under the TCP service and vice versa).
+std::string run_fingerprint(const circuit::Circuit& c, const SimulatorOptions& opt,
+                            const std::vector<int>& bits, const std::vector<int>& open_qubits,
+                            const core::Plan& plan) {
+  std::string bit_text;
+  bit_text.reserve(bits.size());
+  for (int b : bits) bit_text += b != 0 ? '1' : '0';
+  std::string open_text;
+  for (int q : open_qubits) open_text += std::to_string(q) + ",";
+  return dist::run_fingerprint(circuit::circuit_to_string(c), bit_text, open_text, opt.fused,
+                               opt.ldm_elems, plan.path, plan.slices.to_vector());
+}
+
+RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* fused_storage,
+              const std::string& spill_run_id) {
   const exec::FusedPlan* fused = nullptr;
   if (opt.fused) {
     *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
@@ -50,6 +70,12 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
   };
 
   RunOutput out;
+  // Checkpoint spill only exists in the elastic driver: the ledger being
+  // journaled IS the lease ledger. Refuse silently-ignored flags.
+  if (!opt.spill_dir.empty() && !opt.elastic) {
+    out.error = "checkpoint spill requires the elastic driver (--elastic)";
+    return out;
+  }
   // Elastic implies the shard driver even at one process — `--elastic`
   // must never silently degrade to the in-process path (a 1-process
   // elastic run still exercises the lease protocol and its telemetry).
@@ -64,6 +90,10 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     so.lease_size = opt.lease_size;
     so.heartbeat_seconds = opt.heartbeat_seconds;
     so.stall_timeout_seconds = opt.stall_timeout_seconds;
+    so.spill_dir = opt.spill_dir;
+    so.resume = opt.resume;
+    so.spill_fsync_seconds = opt.spill_fsync_seconds;
+    so.spill_run_id = spill_run_id;
     so.backend = opt.backend;  // each worker constructs it after the fork
     auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
@@ -104,7 +134,9 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
 
   Timer t;
   exec::FusedPlan fused;
-  auto out = run(p, opt_, &fused);
+  auto out = run(p, opt_, &fused,
+                 opt_.spill_dir.empty() ? std::string{}
+                                        : run_fingerprint(circuit_, opt_, bits, {}, p.plan));
   const auto& rr = out.r;
   res.exec_seconds = t.seconds();
   res.stats = rr.stats;
@@ -131,7 +163,11 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   res.slicing = p.plan.metrics;
 
   exec::FusedPlan fused;
-  auto out = run(p, opt_, &fused);
+  auto out =
+      run(p, opt_, &fused,
+          opt_.spill_dir.empty()
+              ? std::string{}
+              : run_fingerprint(circuit_, opt_, bits, open_qubits, p.plan));
   const auto& rr = out.r;
   res.stats = rr.stats;
   res.runtime_stats = rr.executor_stats;

@@ -46,6 +46,16 @@ struct SimulatorOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Durable run ledger (requires elastic): journal every completed lease
+  // range to `<spill_dir>/ledger.journal` (fsync'd every
+  // `spill_fsync_seconds`; <= 0 = after every record). With `resume`, an
+  // existing journal for the SAME job (circuit + bits + plan knobs are
+  // fingerprinted) is replayed first, so a run whose coordinator crashed
+  // continues where the journal ends and still produces output bitwise
+  // identical to an uninterrupted run. See docs/operations.md.
+  std::string spill_dir;
+  bool resume = false;
+  double spill_fsync_seconds = 0;
   // Device backend the kernels run on: "host" (reference), "blocked"
   // (cache-blocked/SIMD host device) or "cuda" (compile-gated). Every
   // conforming backend is bitwise identical, so results never depend on

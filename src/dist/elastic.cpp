@@ -1,5 +1,7 @@
 #include "dist/elastic.hpp"
 
+#include "dist/checkpoint.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -211,7 +213,9 @@ void ElasticCoordinator::handle_frame(Peer& p, const Frame& f, ShardMerger* merg
     }
     case FrameType::kRangeDone: {
       ByteReader r(f.payload);
-      if (ledger_.complete(p.id, r.get<uint64_t>(), merger)) ++p.leases_completed;
+      // Write-ahead spill: the journal (when configured) records the range
+      // before the merge inside complete() — see dist/checkpoint.hpp.
+      if (ledger_.complete(p.id, r.get<uint64_t>(), merger, journal_)) ++p.leases_completed;
       break;
     }
     case FrameType::kHeartbeat: {
@@ -358,6 +362,14 @@ std::string ElasticCoordinator::run(ShardMerger* merger) {
         p.last_seen.reset();
         p.stalled = false;
         handle_frame(p, f, merger);
+      } catch (const CheckpointIoError& e) {
+        // The JOURNAL failed (ENOSPC, EIO), not the worker whose frame
+        // triggered the write: fail the run. Blaming the peer would drop
+        // healthy workers one by one — each recomputing the range, hitting
+        // the same disk error — while silently losing the durability
+        // guarantee the spill dir was asked for.
+        fatal = e.what();
+        break;
       } catch (const std::exception& e) {
         if (p.id >= 0) {
           if (!peer_errors.empty()) peer_errors += "; ";
@@ -366,6 +378,7 @@ std::string ElasticCoordinator::run(ShardMerger* merger) {
         drop_peer(p, merger);
       }
     }
+    if (!fatal.empty()) break;
   }
 
   for (auto& p : peers_) {
@@ -413,7 +426,16 @@ std::string ElasticCoordinator::status_json() const {
     << ",\"ranges_requeued\":" << s.ranges_requeued
     << ",\"late_results_dropped\":" << s.late_results_dropped
     << ",\"workers_lost\":" << s.workers_lost
-    << ",\"straggler_wait_seconds\":" << s.straggler_wait_seconds << "}}";
+    << ",\"ranges_replayed\":" << s.ranges_replayed
+    << ",\"tasks_replayed\":" << s.tasks_replayed
+    << ",\"straggler_wait_seconds\":" << s.straggler_wait_seconds << "}";
+  // Spill-dir health (journal size, fsync age) when the durable run ledger
+  // is on — the `coordinate --status` view of checkpoint lag.
+  if (journal_ != nullptr) {
+    const auto health = journal_->health_json();
+    if (!health.empty()) o << ",\"spill\":" << health;
+  }
+  o << "}";
   return o.str();
 }
 

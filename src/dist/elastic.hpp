@@ -69,6 +69,13 @@ class ElasticCoordinator {
   using JobSender = std::function<void(int fd, int worker_id)>;
   void set_listener(int listen_fd, JobSender send_job);
 
+  // Durable run ledger (dist/checkpoint.hpp): every completed range is
+  // offered to `journal` BEFORE it reaches the merger, and the journal's
+  // spill health rides the --status JSON. Pair with mutable_ledger() +
+  // replay_checkpoint to resume: replayed ranges are already retired, so
+  // the loop re-offers only unfinished work. Caller keeps ownership.
+  void set_journal(RangeJournal* journal) { journal_ = journal; }
+
   // Runs the event loop until every task is merged (returns "") or no path
   // to completion remains (returns why). Owns the registered/accepted
   // worker fds from here on — they are closed before returning; the listen
@@ -76,6 +83,9 @@ class ElasticCoordinator {
   std::string run(ShardMerger* merger);
 
   const LeaseLedger& ledger() const { return ledger_; }
+  // Pre-run checkpoint replay seeds the ledger through this (and ONLY
+  // this) mutable view; once run() starts, the loop owns the ledger.
+  LeaseLedger& mutable_ledger() { return ledger_; }
   // One record per worker that reported final telemetry, in worker order.
   const std::vector<ShardTelemetry>& telemetry() const { return telemetry_; }
   std::string status_json() const;
@@ -110,6 +120,7 @@ class ElasticCoordinator {
   std::vector<ShardTelemetry> telemetry_;
   int listen_fd_ = -1;
   JobSender send_job_;
+  RangeJournal* journal_ = nullptr;
   int next_worker_id_ = 0;
   std::string error_;
 };

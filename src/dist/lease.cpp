@@ -19,7 +19,9 @@ LeaseLedger::LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size)
   lease_size_ = lease_size;
   by_home_.resize(size_t(homes));
   home_load_.assign(size_t(homes), 0);
+  home_first_.resize(size_t(homes));
   const auto plan = make_shard_plan(total, homes);
+  for (int h = 0; h < homes; ++h) home_first_[size_t(h)] = plan[size_t(h)].first;
   for (int h = 0; h < homes; ++h) {
     const auto& shard = plan[size_t(h)];
     for (uint64_t lo = shard.first; lo < shard.first + shard.count; lo += lease_size_) {
@@ -97,7 +99,8 @@ bool LeaseLedger::add_block(int worker, uint64_t lease_id, int level, uint64_t i
   return true;
 }
 
-bool LeaseLedger::complete(int worker, uint64_t lease_id, ShardMerger* merger) {
+bool LeaseLedger::complete(int worker, uint64_t lease_id, ShardMerger* merger,
+                           RangeJournal* journal) {
   auto it = active_.find(lease_id);
   if (it == active_.end() || it->second.worker != worker) {
     // The lease was revoked (and possibly re-issued to a peer) while this
@@ -109,10 +112,38 @@ bool LeaseLedger::complete(int worker, uint64_t lease_id, ShardMerger* merger) {
   for (const auto& b : it->second.blocks) shipped += AlignedBlock{b.level, b.index}.count();
   if (shipped != it->second.count)
     throw std::runtime_error("dist lease: range finished without tiling its blocks");
+  // Write-ahead: the journal record lands before the merge, so a restarted
+  // coordinator either replays this range or recomputes it — it can never
+  // see a half-merged copy.
+  if (journal != nullptr)
+    journal->on_range_complete(it->second.first, it->second.count, it->second.blocks);
   for (auto& b : it->second.blocks) merger->add(b.level, b.index, std::move(b.partial));
   tasks_done_ += it->second.count;
   ++stats_.leases_completed;
   active_.erase(it);
+  return true;
+}
+
+bool LeaseLedger::mark_range_done(uint64_t first, uint64_t count) {
+  // Replay-time only: the range must be one of the constructor's pending
+  // lease ranges (same tiling => same first/count), still unleased. At
+  // replay time nothing has been acquired or requeued, so the range lives
+  // in its home's queue, which is sorted by `first` — the home is the last
+  // window starting at or before `first` (empty windows share a start with
+  // their successor and hold nothing), and the range binary-searches.
+  auto home_it = std::upper_bound(home_first_.begin(), home_first_.end(), first);
+  if (home_it == home_first_.begin()) return false;
+  auto& q = by_home_[size_t(home_it - home_first_.begin()) - 1];
+  auto it = std::lower_bound(q.begin(), q.end(), first,
+                             [](const PendingRange& r, uint64_t f) { return r.first < f; });
+  if (it == q.end() || it->first != first) return false;
+  if (it->count != count) return false;  // journal from a different tiling
+  home_load_[size_t(home_it - home_first_.begin()) - 1] -= it->count;
+  q.erase(it);
+  --pending_count_;
+  tasks_done_ += count;
+  ++stats_.ranges_replayed;
+  stats_.tasks_replayed += count;
   return true;
 }
 

@@ -41,6 +41,8 @@ struct RebalanceStats {
   uint64_t ranges_requeued = 0;       // put back by revoke_worker
   uint64_t late_results_dropped = 0;  // frames for revoked/stale leases
   uint64_t workers_lost = 0;
+  uint64_t ranges_replayed = 0;       // restored from a checkpoint journal
+  uint64_t tasks_replayed = 0;        // tasks inside those replayed ranges
   double straggler_wait_seconds = 0;  // idle-worker time parked on an empty queue
 };
 
@@ -48,6 +50,27 @@ struct Lease {
   uint64_t id = 0;
   uint64_t first = 0;
   uint64_t count = 0;
+};
+
+// One buffered tournament-aligned block partial, as the ledger holds it and
+// as the checkpoint journal records it.
+struct LedgerBlock {
+  int level = 0;
+  uint64_t index = 0;
+  exec::Tensor partial;
+};
+
+// Write-ahead hook for the durable run ledger (dist/checkpoint.hpp): when a
+// lease's range completes, its blocks are offered to the journal BEFORE
+// they are fed to the ShardMerger, so a range is either durably recorded or
+// will be recomputed after a coordinator restart — never half-merged.
+class RangeJournal {
+ public:
+  virtual ~RangeJournal() = default;
+  virtual void on_range_complete(uint64_t first, uint64_t count,
+                                 const std::vector<LedgerBlock>& blocks) = 0;
+  // Spill-dir health for the coordinator's --status JSON ("" = no report).
+  virtual std::string health_json() const { return ""; }
 };
 
 class LeaseLedger {
@@ -66,10 +89,20 @@ class LeaseLedger {
   // false); a block outside the leased range is a protocol error (throws).
   bool add_block(int worker, uint64_t lease_id, int level, uint64_t index, exec::Tensor partial);
 
-  // The lease's range finished: feeds its buffered blocks into `merger`
-  // and retires the range (returns true). A revoked/stale lease's result
-  // is dropped instead (returns false) — never double-merged.
-  bool complete(int worker, uint64_t lease_id, ShardMerger* merger);
+  // The lease's range finished: offers its buffered blocks to `journal`
+  // (when given), feeds them into `merger`, and retires the range (returns
+  // true). A revoked/stale lease's result is dropped instead (returns
+  // false) — never double-merged.
+  bool complete(int worker, uint64_t lease_id, ShardMerger* merger,
+                RangeJournal* journal = nullptr);
+
+  // Checkpoint replay: retires a pending range restored from the journal
+  // WITHOUT leasing it (its blocks were already fed to the merger by the
+  // replayer). The range must exactly match one pending range of this
+  // ledger's tiling — i.e. the journal was written under the same (total,
+  // home_workers, lease_size) — or false is returned and the ledger is
+  // unchanged.
+  bool mark_range_done(uint64_t first, uint64_t count);
 
   // Revokes every lease `worker` holds and requeues the ranges at the
   // front of the queue (they block the tournament root, so they go first).
@@ -101,17 +134,12 @@ class LeaseLedger {
     uint64_t count = 0;
     int home = 0;
   };
-  struct BufferedBlock {
-    int level = 0;
-    uint64_t index = 0;
-    exec::Tensor partial;
-  };
   struct ActiveState {
     int worker = 0;
     uint64_t first = 0;
     uint64_t count = 0;
     int home = 0;
-    std::vector<BufferedBlock> blocks;
+    std::vector<LedgerBlock> blocks;
   };
 
   uint64_t total_ = 0;
@@ -127,6 +155,11 @@ class LeaseLedger {
   std::deque<PendingRange> reissue_;
   std::vector<std::deque<PendingRange>> by_home_;
   std::vector<uint64_t> home_load_;
+  // Window start per home (the shard-plan boundaries): lets replay-time
+  // mark_range_done locate a range's home queue in O(log homes) instead of
+  // scanning every queue — at --lease=1 on 2^20 tasks a full scan per
+  // journal record would make coordinator restart quadratic.
+  std::vector<uint64_t> home_first_;
   std::unordered_map<uint64_t, ActiveState> active_;
   RebalanceStats stats_;
 };

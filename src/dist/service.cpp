@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include <sys/time.h>
@@ -18,6 +19,7 @@
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
 #include "device/backend.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
@@ -94,6 +96,11 @@ struct Prepared {
   circuit::LoweredNetwork lowered;
   core::Plan plan;
 };
+
+// Checkpoint-journal fingerprint of a job: everything that changes the
+// deterministic plan or the amplitude. FNV-1a 64 over the identity fields,
+// so a `--resume` against a journal from a different circuit, bitstring or
+// plan target is refused instead of merging foreign tensors.
 
 // The deterministic plan both sides derive independently from the job spec.
 // This MUST mirror api::Simulator's prepare pipeline (lower -> simplify ->
@@ -244,6 +251,32 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
       write_frame(fd, FrameType::kJob, w);
     });
     ShardMerger merger(total);
+    // Durable run ledger: replay a crashed coordinator's journal into the
+    // fresh ledger + merger, then spill every completed range write-ahead.
+    std::unique_ptr<CheckpointWriter> journal;
+    if (!opt.spill_dir.empty()) {
+      try {
+        CheckpointMeta meta;
+        meta.total = total;
+        meta.home_workers = std::max(1, num_workers);
+        meta.lease_size = coord.ledger().lease_size();
+        // Canonical fingerprint over the job inputs + the resolved plan:
+        // matches what the Simulator writes for the same job, so a journal
+        // spilled by the fork driver can resume here and vice versa.
+        meta.run_id = run_fingerprint(base.circuit_text, base.bits, /*open_qubits=*/"",
+                                      opt.fused, opt.ldm_elems, p.plan.path,
+                                      p.plan.slices.to_vector());
+        journal = open_or_resume_journal(opt.spill_dir, meta, opt.resume,
+                                         opt.spill_fsync_seconds, &coord.mutable_ledger(),
+                                         &merger);
+        coord.set_journal(journal.get());
+      } catch (const std::exception& e) {
+        res.error = e.what();
+        res.rebalance = coord.ledger().stats();
+        res.wall_seconds = wall.seconds();
+        return res;
+      }
+    }
     res.error = coord.run(&merger);
     res.shards = coord.telemetry();
     res.rebalance = coord.ledger().stats();

@@ -50,6 +50,17 @@ struct ServiceOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Durable run ledger (dist/checkpoint.hpp; elastic mode only): journal
+  // completed ranges to `<spill_dir>/ledger.journal` and, with `resume`,
+  // replay a previous coordinator's journal so a restarted coordinator
+  // re-offers only unfinished ranges to (re)connecting workers — the
+  // amplitude stays bitwise identical to an uninterrupted run. The journal
+  // is fingerprinted with the job (circuit + bits + plan target); resuming
+  // a different job is refused. `coordinate --status` reports the spill
+  // health (journal size, last fsync age) while the run is live.
+  std::string spill_dir;
+  bool resume = false;
+  double spill_fsync_seconds = 0;  // <= 0 = fsync after every record
   // Default device backend the job asks workers to run on; each worker may
   // override it for its own hardware (`ltns_cli worker --backend=...`) —
   // conforming backends are bitwise identical, so a mixed fleet still

@@ -14,6 +14,12 @@
 // at a frame boundary and throws std::runtime_error on a truncated frame or
 // corrupt header — so a killed worker surfaces as an error, never a hang
 // (the socket closes with the process).
+//
+// These serializers are also ON-DISK ABI: the durable run ledger
+// (dist/checkpoint.hpp) journals completed ranges with put_tensor /
+// ByteWriter framing, so a checkpoint written by one build replays
+// bit-exactly under the same rules the sockets enforce (same-arch,
+// same-endian — the journal header carries the same endianness marker).
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -11,6 +12,7 @@
 #include <unistd.h>
 
 #include "device/backend.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/elastic.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
@@ -149,14 +151,46 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     eo.accept_timeout_seconds =
         std::max(60, int(opt.stall_timeout_seconds * 2));
     dist::ElasticCoordinator coord(total, processes, eo);
-    for (int p = 0; p < processes; ++p) {
-      if (kids[size_t(p)].fd >= 0) {
-        coord.add_worker(kids[size_t(p)].fd, p);
-        kids[size_t(p)].fd = -1;  // the coordinator owns it now
+    // Durable run ledger: replay an existing journal into the fresh
+    // ledger + merger (resume), then open the write-ahead journal the
+    // coordinator spills every completed range into.
+    std::unique_ptr<dist::CheckpointWriter> journal;
+    bool spill_ok = true;
+    if (!opt.spill_dir.empty()) {
+      try {
+        dist::CheckpointMeta meta;
+        meta.total = total;
+        meta.home_workers = processes;
+        meta.lease_size = coord.ledger().lease_size();
+        meta.run_id = opt.spill_run_id;
+        journal = dist::open_or_resume_journal(opt.spill_dir, meta, opt.resume,
+                                               opt.spill_fsync_seconds, &coord.mutable_ledger(),
+                                               &merger);
+        coord.set_journal(journal.get());
+      } catch (const std::exception& e) {
+        // A coordinator that cannot spill must fail the run rather than
+        // silently drop its durability guarantee.
+        append_error(&res.error, e.what());
+        spill_ok = false;
       }
     }
-    auto err = coord.run(&merger);
-    if (!err.empty()) append_error(&res.error, err);
+    if (spill_ok) {
+      for (int p = 0; p < processes; ++p) {
+        if (kids[size_t(p)].fd >= 0) {
+          coord.add_worker(kids[size_t(p)].fd, p);
+          kids[size_t(p)].fd = -1;  // the coordinator owns it now
+        }
+      }
+      auto err = coord.run(&merger);
+      if (!err.empty()) append_error(&res.error, err);
+    } else {
+      // Closing the sockets EOFs the already-forked workers so the
+      // waitpid loop below reaps them instead of hanging.
+      for (auto& kid : kids) {
+        if (kid.fd >= 0) ::close(kid.fd);
+        kid.fd = -1;
+      }
+    }
     for (const auto& t : coord.telemetry())
       if (t.shard >= 0 && t.shard < processes) res.shards[size_t(t.shard)] = t;
     res.rebalance = coord.ledger().stats();

@@ -49,6 +49,19 @@ struct ShardRunOptions {
   uint64_t lease_size = 0;            // tasks per lease; 0 = auto
   double heartbeat_seconds = 0.2;     // worker liveness period
   double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+  // Durable run ledger (dist/checkpoint.hpp; elastic mode only): journal
+  // every completed lease range (with its block payloads) to
+  // `<spill_dir>/ledger.journal`, fsync'd every `spill_fsync_seconds`
+  // (<= 0 = after every record). With `resume`, an existing journal is
+  // replayed first: recorded ranges are fed straight to the merger and
+  // only unfinished ranges are re-offered to workers — the accumulated
+  // tensor stays bitwise identical to an uninterrupted run. `spill_run_id`
+  // fingerprints the job; a journal whose fingerprint disagrees is
+  // refused (resuming a different run would merge foreign tensors).
+  std::string spill_dir;
+  bool resume = false;
+  double spill_fsync_seconds = 0;
+  std::string spill_run_id;
   // Device backend each worker process constructs after the fork (backends
   // never cross process boundaries, so a NAME travels rather than a
   // pointer). `backends`, when non-empty, assigns per-shard names —

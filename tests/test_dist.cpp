@@ -20,7 +20,9 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <random>
 #include <thread>
 
 #include <sys/socket.h>
@@ -29,6 +31,7 @@
 
 #include "api/simulator.hpp"
 #include "core/greedy_slicer.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/elastic.hpp"
 #include "dist/lease.hpp"
 #include "dist/service.hpp"
@@ -496,6 +499,253 @@ TEST(LeaseLedger, DeadWorkerHoldingFinalRangeIsRequeued) {
   EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
 }
 
+// --- durable run ledger: checkpoint save / replay -------------------------
+
+// Throwaway spill directory for the checkpoint tests.
+struct ScopedTempDir {
+  std::string path;
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/ltns_ckpt_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p != nullptr ? p : "/tmp/ltns_ckpt_fallback";
+  }
+  ~ScopedTempDir() {
+    ::unlink((path + "/ledger.journal").c_str());
+    ::rmdir(path.c_str());
+  }
+};
+
+TEST(Checkpoint, WriterScanAndHealthRoundTrip) {
+  ScopedTempDir dir;
+  CheckpointMeta meta{32, 2, 4, "run-abc"};
+  {
+    CheckpointWriter w(dir.path, meta, /*fsync_interval=*/0);
+    std::vector<LedgerBlock> blocks;
+    blocks.push_back({2, 0, exec::random_tensor({1, 2}, 7)});
+    w.on_range_complete(0, 4, blocks);
+    blocks.clear();
+    blocks.push_back({2, 1, exec::random_tensor({3, 4}, 8)});
+    w.on_range_complete(4, 4, blocks);
+    EXPECT_EQ(w.ranges_journaled(), 2u);
+    EXPECT_GT(w.journal_bytes(), 0u);
+    auto health = w.health_json();
+    EXPECT_NE(health.find("\"journal_bytes\""), std::string::npos) << health;
+    EXPECT_NE(health.find("\"last_fsync_age_seconds\""), std::string::npos) << health;
+    EXPECT_NE(health.find("\"dirty\":false"), std::string::npos) << health;  // fsync-every-record
+  }
+  auto scan = scan_checkpoint(dir.path);
+  EXPECT_TRUE(scan.has_meta);
+  EXPECT_EQ(scan.meta.total, 32u);
+  EXPECT_EQ(scan.meta.home_workers, 2);
+  EXPECT_EQ(scan.meta.lease_size, 4u);
+  EXPECT_EQ(scan.meta.run_id, "run-abc");
+  EXPECT_EQ(scan.ranges, 2u);
+  EXPECT_EQ(scan.tasks, 8u);
+  EXPECT_FALSE(scan.torn_tail);
+
+  // A missing spill dir is a clean empty scan, not an error.
+  auto none = scan_checkpoint(dir.path + "/nonexistent");
+  EXPECT_FALSE(none.has_meta);
+  EXPECT_EQ(none.valid_bytes, 0u);
+}
+
+// The satellite property test: random ledger states — arbitrary worker
+// interleavings, steals, revokes, and a crash at an arbitrary point —
+// survive save/replay bitwise. The resumed ledger + merger, after draining
+// the unfinished remainder, must produce the exact bytes of an
+// uninterrupted ReductionTree over the full range.
+TEST(Checkpoint, RandomLedgerStatesSurviveSaveReplayBitwise) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 rng(seed);
+    const uint64_t total = 1 + rng() % 200;
+    const int homes = 1 + int(rng() % 5);
+    const uint64_t lease_size = 1 + rng() % 9;
+    auto value = [seed](uint64_t t) { return std::sin(double(t) * 0.7 + double(seed)); };
+
+    runtime::ReductionTree ref(0, total);
+    for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+    auto expect = ref.take_root();
+
+    ScopedTempDir dir;
+    uint64_t journaled_ranges = 0;
+    uint64_t journaled_tasks = 0;
+    CheckpointMeta meta;
+    {
+      // The "first life" of the coordinator: random workers acquire,
+      // compute, complete (journaled); some leases are revoked while held
+      // (their requeued ranges may complete later, or not before the
+      // crash). Stop at a random point — possibly before anything,
+      // possibly after everything.
+      LeaseLedger a(total, homes, lease_size);
+      meta = CheckpointMeta{total, int32_t(homes), a.lease_size(),
+                            "prop-" + std::to_string(seed)};
+      CheckpointWriter w(dir.path, meta, 0);
+      ShardMerger ma(total);
+      const uint64_t stop_after = rng() % (total / a.lease_size() + 2);
+      while (!a.done() && journaled_ranges < stop_after) {
+        const int worker = int(rng() % uint64_t(homes));
+        Lease l;
+        if (!a.acquire(worker, &l)) continue;
+        if (rng() % 5 == 0) {
+          a.revoke_worker(worker, /*lost=*/false);  // crash-adjacent chaos
+          continue;
+        }
+        compute_lease(a, worker, l, value);
+        ASSERT_TRUE(a.complete(worker, l.id, &ma, &w));
+        ++journaled_ranges;
+        journaled_tasks += l.count;
+      }
+      // The coordinator "crashes" here: ledger + merger lost, journal kept.
+    }
+
+    // Second life: fresh ledger + merger, replay, then drain what's left.
+    LeaseLedger b(total, homes, lease_size);
+    ShardMerger mb(total);
+    auto scan = replay_checkpoint(dir.path, meta, &b, &mb);
+    ASSERT_TRUE(scan.has_meta);
+    EXPECT_EQ(scan.ranges, journaled_ranges) << "seed=" << seed;
+    EXPECT_EQ(scan.tasks, journaled_tasks);
+    EXPECT_EQ(b.stats().ranges_replayed, journaled_ranges);
+    EXPECT_EQ(b.stats().tasks_replayed, journaled_tasks);
+    EXPECT_EQ(b.tasks_done(), journaled_tasks);
+
+    CheckpointWriter w2(dir.path, scan.valid_bytes, 0);
+    uint64_t resumed_tasks = 0;
+    while (!b.done()) {
+      const int worker = int(rng() % uint64_t(homes));
+      Lease l;
+      if (!b.acquire(worker, &l)) continue;
+      compute_lease(b, worker, l, value);
+      ASSERT_TRUE(b.complete(worker, l.id, &mb, &w2));
+      resumed_tasks += l.count;
+    }
+    EXPECT_EQ(journaled_tasks + resumed_tasks, total) << "seed=" << seed;
+    ASSERT_TRUE(mb.complete()) << "seed=" << seed;
+    auto got = mb.take_root();
+    EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0)
+        << "resumed run diverged, seed=" << seed;
+
+    // The appended journal now records the whole run.
+    auto final_scan = scan_checkpoint(dir.path);
+    EXPECT_EQ(final_scan.tasks, total);
+    EXPECT_FALSE(final_scan.torn_tail);
+  }
+}
+
+// A coordinator dying MID-write leaves a torn tail. Replay must stop at
+// the last durable record (recomputing the torn range is always safe), and
+// the appending writer must truncate the garbage so the journal stays a
+// pure record stream.
+TEST(Checkpoint, TornTailIsTruncatedAndRangeRecomputed) {
+  const uint64_t total = 24;
+  auto value = [](uint64_t t) { return std::cos(double(t)) * 0.5; };
+  runtime::ReductionTree ref(0, total);
+  for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+  auto expect = ref.take_root();
+
+  ScopedTempDir dir;
+  CheckpointMeta meta;
+  {
+    LeaseLedger a(total, 2, 4);
+    meta = CheckpointMeta{total, 2, a.lease_size(), "torn"};
+    CheckpointWriter w(dir.path, meta, 0);
+    ShardMerger ma(total);
+    for (int k = 0; k < 2; ++k) {
+      Lease l;
+      ASSERT_TRUE(a.acquire(0, &l));
+      compute_lease(a, 0, l, value);
+      ASSERT_TRUE(a.complete(0, l.id, &ma, &w));
+    }
+  }
+  // Simulate the mid-write crash: half a header plus junk at the tail.
+  {
+    std::ofstream f(dir.path + "/ledger.journal", std::ios::app | std::ios::binary);
+    f.write("\x4a\x4e\x54\x4cgarbage", 11);
+  }
+  auto scan = scan_checkpoint(dir.path);
+  EXPECT_EQ(scan.ranges, 2u);
+  EXPECT_TRUE(scan.torn_tail);
+
+  LeaseLedger b(total, 2, 4);
+  ShardMerger mb(total);
+  auto replayed = replay_checkpoint(dir.path, meta, &b, &mb);
+  EXPECT_EQ(replayed.ranges, 2u);
+  EXPECT_TRUE(replayed.torn_tail);
+
+  CheckpointWriter w2(dir.path, replayed.valid_bytes, 0);
+  Lease l;
+  while (b.acquire(1, &l)) {
+    compute_lease(b, 1, l, value);
+    ASSERT_TRUE(b.complete(1, l.id, &mb, &w2));
+  }
+  ASSERT_TRUE(b.done());
+  ASSERT_TRUE(mb.complete());
+  auto got = mb.take_root();
+  EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
+
+  auto final_scan = scan_checkpoint(dir.path);
+  EXPECT_EQ(final_scan.tasks, total);
+  EXPECT_FALSE(final_scan.torn_tail);  // the garbage was truncated away
+}
+
+// Resuming someone else's journal must die loudly BEFORE anything reaches
+// the merger: a different tiling, and a different job fingerprint, are
+// both config skew — merging foreign tensors would corrupt the tournament.
+TEST(Checkpoint, MismatchedJournalIsRefused) {
+  const uint64_t total = 16;
+  ScopedTempDir dir;
+  CheckpointMeta meta{total, 2, 4, "job-A"};
+  {
+    LeaseLedger a(total, 2, 4);
+    CheckpointWriter w(dir.path, meta, 0);
+    ShardMerger ma(total);
+    Lease l;
+    ASSERT_TRUE(a.acquire(0, &l));
+    compute_lease(a, 0, l, [](uint64_t t) { return double(t); });
+    ASSERT_TRUE(a.complete(0, l.id, &ma, &w));
+  }
+  {
+    LeaseLedger b(total, 2, 2);  // different lease size -> different tiling
+    ShardMerger mb(total);
+    CheckpointMeta expect{total, 2, 2, "job-A"};
+    EXPECT_THROW(replay_checkpoint(dir.path, expect, &b, &mb), std::runtime_error);
+  }
+  {
+    LeaseLedger b(total, 2, 4);
+    ShardMerger mb(total);
+    CheckpointMeta expect{total, 2, 4, "job-B"};  // different fingerprint
+    EXPECT_THROW(replay_checkpoint(dir.path, expect, &b, &mb), std::runtime_error);
+    EXPECT_EQ(b.stats().ranges_replayed, 0u);
+  }
+  {
+    LeaseLedger b(total, 2, 4);  // the matching resume still works
+    ShardMerger mb(total);
+    auto scan = replay_checkpoint(dir.path, CheckpointMeta{total, 2, 4, "job-A"}, &b, &mb);
+    EXPECT_EQ(scan.ranges, 1u);
+  }
+}
+
+// Satellite: `coordinate --status` reports spill-dir health once
+// checkpointing is on — journal size and fsync age ride the JSON.
+TEST(Checkpoint, StatusJsonReportsSpillHealth) {
+  ScopedTempDir dir;
+  ElasticOptions eo;
+  ElasticCoordinator coord(16, 2, eo);
+  {
+    const auto before = coord.status_json();
+    EXPECT_EQ(before.find("\"spill\""), std::string::npos) << before;
+  }
+  CheckpointMeta meta{16, 2, coord.ledger().lease_size(), "status"};
+  CheckpointWriter w(dir.path, meta, 0);
+  coord.set_journal(&w);
+  const auto json = coord.status_json();
+  EXPECT_NE(json.find("\"spill\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"journal_bytes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last_fsync_age_seconds\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ranges_replayed\":0"), std::string::npos) << json;
+}
+
 // --- run_sharded over a real sliced contraction --------------------------
 
 struct SlicedFixture {
@@ -841,6 +1091,120 @@ TEST(RunShardedElastic, AllWorkersDeadSurfacesCleanError) {
   EXPECT_EQ(r.accumulated.size(), 0u);
 }
 
+// --- durable run ledger: coordinator crash + resume -----------------------
+
+// THE acceptance criterion: a run whose coordinator is SIGKILLed mid-run
+// and restarted with resume=true produces output bitwise identical to an
+// uninterrupted 1-process run. The first coordinator lives in a forked
+// child (so the SIGKILL cannot take the test runner down); every worker is
+// dragged into a per-task straggle so the kill reliably lands mid-run, and
+// the parent polls the journal until at least two ranges are durable
+// before firing.
+TEST(RunShardedElastic, CoordinatorSigkilledMidRunResumesBitwise) {
+  auto f = make_sliced_fixture();
+  exec::SliceRunOptions serial;
+  serial.executor = exec::SliceExecutor::kInnerPool;
+  ThreadPool pool1(1);
+  serial.pool = &pool1;
+  auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, serial);
+  ASSERT_TRUE(ref.completed);
+
+  ScopedTempDir dir;
+  exec::ShardRunOptions so;
+  so.processes = 3;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  so.spill_dir = dir.path;
+  so.spill_run_id = "chaos-resume";
+
+  pid_t coord = ::fork();
+  ASSERT_GE(coord, 0);
+  if (coord == 0) {
+    // First-life coordinator: all its workers straggle (the env is set
+    // only in this process tree) so the run is slow enough to kill.
+    ::setenv("LTNS_CHAOS_SLEEP_SHARD", "any", 1);
+    ::setenv("LTNS_CHAOS_SLEEP_MS", "40", 1);
+    exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+    std::_Exit(0);  // reached only if the kill below lost the race
+  }
+
+  // Wait for >= 2 durably journaled ranges, then SIGKILL the coordinator.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    auto scan = scan_checkpoint(dir.path);
+    if (scan.ranges >= 2) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "journal never grew";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(coord, SIGKILL);
+  int st = 0;
+  ::waitpid(coord, &st, 0);
+
+  // Second life: resume from the journal, no chaos. Only unfinished ranges
+  // are recomputed, and the output is bitwise identical to the
+  // uninterrupted 1-process run.
+  so.resume = true;
+  auto r = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(bitwise_equal(ref.accumulated, r.accumulated))
+      << "resumed run diverged from the uninterrupted baseline";
+  EXPECT_GE(r.rebalance.ranges_replayed, 2u);  // the polled-for records
+  EXPECT_GE(r.rebalance.tasks_replayed, 2u);
+  const uint64_t all = uint64_t(1) << f.slices.size();
+  EXPECT_EQ(r.rebalance.tasks_replayed + r.tasks_run, all)
+      << "resume redid work the journal already recorded";
+}
+
+// Resuming a run that already COMPLETED replays everything and runs
+// nothing — the journal alone reproduces the exact bytes.
+TEST(RunShardedElastic, ResumeOfCompletedRunReplaysEverything) {
+  auto f = make_sliced_fixture();
+  const uint64_t all = uint64_t(1) << f.slices.size();
+  ScopedTempDir dir;
+  exec::ShardRunOptions so;
+  so.processes = 2;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 2;
+  so.spill_dir = dir.path;
+  so.spill_run_id = "complete-resume";
+  auto first = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(first.completed) << first.error;
+
+  so.resume = true;
+  auto second = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(second.completed) << second.error;
+  EXPECT_TRUE(bitwise_equal(first.accumulated, second.accumulated));
+  EXPECT_EQ(second.tasks_run, 0u);
+  EXPECT_EQ(second.rebalance.tasks_replayed, all);
+
+  // Without --resume the same spill dir starts a FRESH journal (truncate),
+  // so the run recomputes everything — and still matches.
+  so.resume = false;
+  auto third = exec::run_sharded(*f.tree, f.leaves(), f.slices, so);
+  ASSERT_TRUE(third.completed) << third.error;
+  EXPECT_TRUE(bitwise_equal(first.accumulated, third.accumulated));
+  EXPECT_EQ(third.tasks_run, all);
+  EXPECT_EQ(third.rebalance.tasks_replayed, 0u);
+}
+
+// The spill journal is elastic-only: the API refuses to drop the flag
+// silently on the static or in-process paths.
+TEST(RunShardedElastic, SpillWithoutElasticIsRefusedByTheApi) {
+  auto circ = test::small_rqc(3, 3, 4);
+  auto bits = test::zero_bits(circ.num_qubits);
+  ScopedTempDir dir;
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 8;
+  sopt.spill_dir = dir.path;  // no elastic
+  api::Simulator sim(circ, sopt);
+  auto res = sim.amplitude(bits);
+  EXPECT_FALSE(res.completed);
+  EXPECT_NE(res.error.find("elastic"), std::string::npos) << res.error;
+}
+
 // --- TCP coordinator/worker service --------------------------------------
 
 TEST(Service, CoordinatorAndWorkersMatchSimulatorBitwise) {
@@ -1039,6 +1403,64 @@ TEST(Service, StatusProbeDoesNotKillStaticRun) {
   worker.join();
   coord.join();
   EXPECT_TRUE(res.completed) << res.error;
+}
+
+// The TCP face of checkpoint/restart: a coordinator with a spill dir runs
+// to completion; a NEW coordinator process (same port semantics, fresh
+// merger) resumes from the journal and serves a (re)connecting worker only
+// the unfinished ranges — here none, so the worker is drained immediately
+// and the amplitude is reproduced from the journal alone, byte for byte.
+TEST(Service, ElasticCoordinatorResumesFromSpillJournal) {
+  auto circ = test::small_rqc(3, 3, 4);
+  auto bits = test::zero_bits(circ.num_qubits);
+  ScopedTempDir dir;
+
+  ServiceOptions so;
+  so.target_log2size = 8;
+  so.workers_per_process = 1;
+  so.elastic = true;
+  so.lease_size = 1;
+  so.spill_dir = dir.path;
+  CoordinatorResult first;
+  {
+    CoordinatorServer server{0};
+    const uint16_t port = server.port();
+    std::thread worker([port] { serve_worker("127.0.0.1", port); });
+    first = server.run_amplitude(1, circ, bits, so);
+    worker.join();
+  }
+  ASSERT_TRUE(first.completed) << first.error;
+  EXPECT_GT(scan_checkpoint(dir.path).ranges, 0u);
+
+  // "Restarted" coordinator: fresh server object, --resume. The journal
+  // covers the whole run, so it reproduces the amplitude WITHOUT any
+  // worker ever connecting — the strongest form of "only unfinished
+  // ranges are re-offered".
+  so.resume = true;
+  CoordinatorResult second;
+  {
+    CoordinatorServer server{0};
+    second = server.run_amplitude(1, circ, bits, so);
+  }
+  ASSERT_TRUE(second.completed) << second.error;
+  EXPECT_EQ(second.amplitude.real(), first.amplitude.real());
+  EXPECT_EQ(second.amplitude.imag(), first.amplitude.imag());
+  EXPECT_EQ(second.tasks_run, 0u);  // everything came from the journal
+  EXPECT_GT(second.rebalance.tasks_replayed, 0u);
+
+  // A journal from a DIFFERENT job is refused: same spill dir, different
+  // bitstring -> different fingerprint -> clean error, no foreign merge.
+  auto other_bits = bits;
+  other_bits[0] = 1;
+  CoordinatorResult refused;
+  {
+    CoordinatorServer server{0};
+    refused = server.run_amplitude(1, circ, other_bits, so);
+  }
+  EXPECT_FALSE(refused.completed);
+  // Either rejection path (job fingerprint, or a plan whose tiling moved)
+  // is the checkpoint layer refusing the foreign journal.
+  EXPECT_NE(refused.error.find("dist checkpoint"), std::string::npos) << refused.error;
 }
 
 TEST(Service, MissingWorkerTimesOutInsteadOfHanging) {
