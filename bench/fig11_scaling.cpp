@@ -28,6 +28,8 @@
 #include "core/slice_finder.hpp"
 #include "exec/shard_runner.hpp"
 #include "exec/slice_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "sunway/cost_model.hpp"
 #include "util/timer.hpp"
@@ -249,6 +251,32 @@ int main(int argc, char** argv) {
               (unsigned long long)rpe.rebalance.ranges_stolen,
               elastic_stable ? "EQUAL" : "DIFFERENT");
 
+  // Observability artifacts (src/obs): rerun the elastic fleet with the
+  // tracer armed and emit the merged Chrome trace + the unified metrics
+  // snapshot. The traced amplitudes must stay bitwise identical to the
+  // untraced run — tracing never touches the math — and that flag rides
+  // the runtime JSON the CI bench-smoke job validates.
+  obs::Tracer::instance().enable(-1);
+  auto rpt = exec::run_sharded(*inst.tree, inst.leaves(), S2, she);
+  obs::Tracer::instance().disable();
+  const bool traced_stable =
+      rpt.completed && rpt.accumulated.size() == rw.accumulated.size() &&
+      std::memcmp(rpt.accumulated.raw(), rw.accumulated.raw(),
+                  rw.accumulated.size() * sizeof(exec::cfloat)) == 0;
+  const uint64_t trace_events = obs::Tracer::instance().events_recorded();
+  std::string obs_err;
+  if (!obs::Tracer::instance().write_chrome_json("fig11_trace.json", &obs_err))
+    std::printf("fig11_trace.json FAILED: %s\n", obs_err.c_str());
+  obs::MetricsRegistry reg;
+  obs::fill_run_metrics(reg, rpt.executor_stats, rpt.memory, rpt.rebalance, rpt.tasks_run,
+                        rpt.reduce_merges, rpt.wall_seconds);
+  if (!reg.write_files("fig11_metrics.json", &obs_err))
+    std::printf("fig11_metrics.json FAILED: %s\n", obs_err.c_str());
+  std::printf("observability: traced elastic rerun bitwise %s, %llu events -> fig11_trace.json, "
+              "%zu metrics -> fig11_metrics.json\n",
+              traced_stable ? "EQUAL" : "DIFFERENT", (unsigned long long)trace_events,
+              reg.metrics().size());
+
   // JSON for the bench trajectory.
   std::ofstream json("fig11_runtime.json");
   json << "{\n  \"skew\": " << skew << ",\n  \"tasks\": " << n_skew << ",\n  \"rows\": [\n";
@@ -272,7 +300,10 @@ int main(int argc, char** argv) {
        << ", \"elastic_p4_seconds\": " << rpe.wall_seconds
        << ", \"leases\": " << rpe.rebalance.leases_completed
        << ", \"ranges_stolen\": " << rpe.rebalance.ranges_stolen
-       << ", \"bit_stable\": " << std::boolalpha << elastic_stable << "}\n}\n";
+       << ", \"bit_stable\": " << std::boolalpha << elastic_stable
+       << "},\n  \"observability\": {\"traced_bit_stable\": " << std::boolalpha << traced_stable
+       << ", \"trace_events\": " << trace_events
+       << ", \"metrics\": " << reg.metrics().size() << "}\n}\n";
   std::printf("wrote fig11_runtime.json\n");
-  return bit_stable && shard_stable && elastic_stable ? 0 : 1;
+  return bit_stable && shard_stable && elastic_stable && traced_stable ? 0 : 1;
 }

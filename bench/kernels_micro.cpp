@@ -19,6 +19,8 @@
 #include "exec/contract.hpp"
 #include "exec/gemm.hpp"
 #include "exec/permute.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -171,6 +173,7 @@ double best_of(int reps, const std::function<void()>& fn) {
 }
 
 int run_device_compare(const char* path) {
+  obs::Tracer::instance().enable(0);  // the compare run's kernel timeline
   auto host = device::make_backend("host");
   auto blocked = device::make_backend("blocked");
   FILE* f = std::fopen(path, "w");
@@ -188,10 +191,14 @@ int run_device_compare(const char* path) {
   for (const auto& s : shapes) {
     auto a = random_buf(size_t(s.m) * s.k, 1), b = random_buf(size_t(s.k) * s.n, 2);
     std::vector<cfloat> c1(size_t(s.m) * s.n), c2(size_t(s.m) * s.n);
-    const double th = best_of(5, [&] { host->gemm(s.m, s.n, s.k, a.data(), b.data(), c1.data(),
-                                                  nullptr, nullptr); });
-    const double tb = best_of(5, [&] { blocked->gemm(s.m, s.n, s.k, a.data(), b.data(),
-                                                     c2.data(), nullptr, nullptr); });
+    const double th = best_of(5, [&] {
+      obs::TraceScope tr(obs::EventKind::kGemm, uint64_t(s.m) * uint64_t(s.n), uint64_t(s.k));
+      host->gemm(s.m, s.n, s.k, a.data(), b.data(), c1.data(), nullptr, nullptr);
+    });
+    const double tb = best_of(5, [&] {
+      obs::TraceScope tr(obs::EventKind::kGemm, uint64_t(s.m) * uint64_t(s.n), uint64_t(s.k));
+      blocked->gemm(s.m, s.n, s.k, a.data(), b.data(), c2.data(), nullptr, nullptr);
+    });
     const bool eq = std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(cfloat)) == 0;
     all_bitwise = all_bitwise && eq;
     std::fprintf(f,
@@ -209,8 +216,14 @@ int run_device_compare(const char* path) {
     std::reverse(order.begin(), order.end());
     auto t = exec::random_tensor(ixs, 5);
     exec::Tensor p1, p2;
-    const double th = best_of(5, [&] { p1 = host->permute(t, order, nullptr); });
-    const double tb = best_of(5, [&] { p2 = blocked->permute(t, order, nullptr); });
+    const double th = best_of(5, [&] {
+      obs::TraceScope tr(obs::EventKind::kPermute, uint64_t(t.size()));
+      p1 = host->permute(t, order, nullptr);
+    });
+    const double tb = best_of(5, [&] {
+      obs::TraceScope tr(obs::EventKind::kPermute, uint64_t(t.size()));
+      p2 = blocked->permute(t, order, nullptr);
+    });
     const bool eq = p1.ixs() == p2.ixs() &&
                     std::memcmp(p1.raw(), p2.raw(), p1.size() * sizeof(cfloat)) == 0;
     all_bitwise = all_bitwise && eq;
@@ -224,6 +237,22 @@ int run_device_compare(const char* path) {
   std::fclose(f);
   std::printf("device comparison written to %s (all_bitwise_equal=%s)\n", path,
               all_bitwise ? "true" : "false");
+
+  // Observability artifacts next to the comparison JSON: the compare run's
+  // kernel timeline and a tiny metrics snapshot (the bitwise flag as a
+  // gauge, so a parity break is scrapable too).
+  std::string obs_err;
+  if (obs::Tracer::instance().enabled() &&
+      !obs::Tracer::instance().write_chrome_json("kernels_micro_trace.json", &obs_err))
+    std::fprintf(stderr, "kernels_micro_trace.json: %s\n", obs_err.c_str());
+  obs::MetricsRegistry reg;
+  reg.counter("ltns_bench_kernel_compares_total", double(sizeof(shapes) / sizeof(shapes[0])),
+              {{"kind", "gemm"}});
+  reg.counter("ltns_bench_kernel_compares_total", 3, {{"kind", "permute"}});
+  reg.gauge("ltns_bench_all_bitwise_equal", all_bitwise ? 1 : 0);
+  if (!reg.write_files("kernels_micro_metrics.json", &obs_err))
+    std::fprintf(stderr, "kernels_micro_metrics.json: %s\n", obs_err.c_str());
+
   return all_bitwise ? 0 : 1;  // a parity break fails the bench job
 }
 

@@ -29,7 +29,17 @@
 //                                restarted coordinator redoes only unfinished
 //                                ranges (output stays bitwise identical)
 //   --spill-fsync=SECONDS        journal fsync cadence (default 0 = every record)
+//   --trace-out=PATH             arm the event tracer and write the run's
+//                                Chrome trace-event JSON there (load it in
+//                                chrome://tracing or ui.perfetto.dev; multi-
+//                                process runs render as one timeline)
+//   --metrics-out=PATH           write the run's final metrics snapshot there
+//                                (ltns.metrics.v1 JSON + a .prom twin)
+//   --metrics-interval=SECONDS   ALSO rewrite --metrics-out periodically while
+//                                an elastic run is live (scraper cadence)
 //   --no-telemetry               suppress the executor/memory stats report
+//   --version                    print the build stamp (git describe, compiler,
+//                                flags) and exit
 //
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
 // stdin. This is the fourth runnable example and the scripting entry point.
@@ -45,7 +55,11 @@
 #include "core/planner.hpp"
 #include "device/backend.hpp"
 #include "dist/service.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sv/statevector.hpp"
+#include "util/timer.hpp"
 
 using namespace ltns;
 
@@ -66,6 +80,9 @@ struct RuntimeFlags {
   double spill_fsync = 0;
   std::string backend = "host";
   bool backend_set = false;  // --backend given explicitly (worker override)
+  std::string trace_out;
+  std::string metrics_out;
+  double metrics_interval = 0;
 };
 
 RuntimeFlags g_flags;
@@ -138,6 +155,25 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       g_flags.resume = true;
     } else if (std::strncmp(argv[i], "--spill-fsync=", 14) == 0) {
       g_flags.spill_fsync = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      g_flags.trace_out = argv[i] + 12;
+      if (g_flags.trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out needs a path\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      g_flags.metrics_out = argv[i] + 14;
+      if (g_flags.metrics_out.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--metrics-interval=", 19) == 0) {
+      g_flags.metrics_interval = std::atof(argv[i] + 19);
+    } else if (std::strcmp(argv[i], "--version") == 0) {
+      const auto& b = obs::build_info();
+      std::printf("ltns %s\n  compiler: %s\n  flags: %s\n  build type: %s\n", b.version,
+                  b.compiler, b.flags, b.build_type);
+      std::exit(0);
     } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
       g_flags.telemetry = false;
     } else {
@@ -149,6 +185,10 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
   // re-armed the journal when neither happened.
   if (g_flags.spill_dir.empty() && (g_flags.resume || g_flags.spill_fsync != 0)) {
     std::fprintf(stderr, "--resume/--spill-fsync require --spill-dir\n");
+    std::exit(64);
+  }
+  if (g_flags.metrics_out.empty() && g_flags.metrics_interval != 0) {
+    std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
     std::exit(64);
   }
   return rest;
@@ -169,7 +209,29 @@ api::SimulatorOptions make_sim_options() {
   opt.resume = g_flags.resume;
   opt.spill_fsync_seconds = g_flags.spill_fsync;
   opt.backend = g_flags.backend;
+  opt.metrics_out = g_flags.metrics_out;
+  opt.metrics_interval_seconds = g_flags.metrics_interval;
   return opt;
+}
+
+// Post-run observability flush: the merged Chrome trace (local threads +
+// any ingested worker chunks) and the final metrics snapshot. Failures are
+// reported but never change the exit code — the amplitude already printed.
+void flush_observability(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem,
+                         const dist::RebalanceStats& reb, uint64_t tasks_run,
+                         uint64_t reduce_merges, double wall_seconds) {
+  if (!g_flags.trace_out.empty()) {
+    std::string err;
+    if (!obs::Tracer::instance().write_chrome_json(g_flags.trace_out, &err))
+      std::fprintf(stderr, "trace-out: %s\n", err.c_str());
+  }
+  if (!g_flags.metrics_out.empty()) {
+    obs::MetricsRegistry reg;
+    obs::fill_run_metrics(reg, rt, mem, reb, tasks_run, reduce_merges, wall_seconds);
+    std::string err;
+    if (!reg.write_files(g_flags.metrics_out, &err))
+      std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
+  }
 }
 
 void print_shards(const std::vector<dist::ShardTelemetry>& shards) {
@@ -306,6 +368,8 @@ int cmd_amp(int argc, char** argv) {
   print_telemetry(res.runtime_stats, res.memory);
   print_shards(res.shards);
   print_rebalance(res.rebalance);
+  flush_observability(res.runtime_stats, res.memory, res.rebalance, res.runtime_stats.finished,
+                      res.runtime_stats.reduce.count, res.exec_seconds);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -327,7 +391,9 @@ int cmd_sample(int argc, char** argv) {
   for (int i = 0; i < n_open; ++i) open.push_back(i * circ.num_qubits / n_open);
 
   api::Simulator sim(circ, make_sim_options());
+  Timer wall;
   auto batch = sim.batch_amplitudes(bits, open);
+  const double wall_seconds = wall.seconds();
   if (!batch.error.empty()) {
     std::fprintf(stderr, "sharded run failed: %s\n", batch.error.c_str());
     return 1;
@@ -339,6 +405,9 @@ int cmd_sample(int argc, char** argv) {
   print_telemetry(batch.runtime_stats, batch.memory);
   print_shards(batch.shards);
   print_rebalance(batch.rebalance);
+  flush_observability(batch.runtime_stats, batch.memory, batch.rebalance,
+                      batch.runtime_stats.finished, batch.runtime_stats.reduce.count,
+                      wall_seconds);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
     std::putchar('\n');
@@ -389,6 +458,9 @@ int cmd_coordinate(int argc, char** argv) {
   so.spill_dir = g_flags.spill_dir;
   so.resume = g_flags.resume;
   so.spill_fsync_seconds = g_flags.spill_fsync;
+  so.trace = !g_flags.trace_out.empty();
+  so.metrics_out = g_flags.metrics_out;
+  so.metrics_interval_seconds = g_flags.metrics_interval;
   if (!so.spill_dir.empty() && !so.elastic) {
     std::fprintf(stderr, "--spill-dir requires --elastic (the journaled ledger is the lease ledger)\n");
     return 64;
@@ -407,6 +479,15 @@ int cmd_coordinate(int argc, char** argv) {
               (unsigned long long)res.tasks_run, nworkers);
   print_shards(res.shards);
   print_rebalance(res.rebalance);
+  runtime::ExecutorSnapshot rt;
+  runtime::MemoryStats mem;
+  uint64_t reduce_merges = 0;
+  for (const auto& s : res.shards) {
+    rt.merge(s.executor);
+    mem.merge(s.memory);
+    reduce_merges += s.reduce_merges;
+  }
+  flush_observability(rt, mem, res.rebalance, res.tasks_run, reduce_merges, res.wall_seconds);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -421,8 +502,16 @@ int cmd_worker(int argc, char** argv) {
   // An EXPLICIT --backend on a worker overrides the job's default: each
   // node runs the backend its hardware has (the heterogeneous-fleet knob).
   // Without the flag the worker follows the coordinator's job.
-  return dist::serve_worker(argv[2], uint16_t(port),
-                            g_flags.backend_set ? g_flags.backend : std::string{});
+  const int rc = dist::serve_worker(argv[2], uint16_t(port),
+                                    g_flags.backend_set ? g_flags.backend : std::string{});
+  // A worker given --trace-out also keeps a local copy of its own lane —
+  // the coordinator still gets the kTrace chunk for the merged timeline.
+  if (!g_flags.trace_out.empty() && obs::Tracer::instance().enabled()) {
+    std::string err;
+    if (!obs::Tracer::instance().write_chrome_json(g_flags.trace_out, &err))
+      std::fprintf(stderr, "trace-out: %s\n", err.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
@@ -431,6 +520,14 @@ int main(int raw_argc, char** raw_argv) {
   auto args = parse_runtime_flags(raw_argc, raw_argv);
   int argc = int(args.size());
   char** argv = args.data();
+  // Arm the tracer before any run starts: this process records as the
+  // coordinator lane (rank -1 -> pid 0); forked shard workers re-home
+  // themselves after the fork and a TCP worker takes the rank its job
+  // assigns (see src/obs/trace.hpp).
+  if (!g_flags.trace_out.empty()) {
+    const bool is_worker = argc >= 2 && std::strcmp(argv[1], "worker") == 0;
+    obs::Tracer::instance().enable(is_worker ? 0 : -1);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ltns_cli gen <rows> <cols> <cycles> [seed]\n"
@@ -444,7 +541,8 @@ int main(int raw_argc, char** raw_argv) {
                  "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
                  "       --backend=host|blocked|cuda|help --elastic --lease=N --heartbeat=S\n"
                  "       --stall-timeout=S --spill-dir=PATH --resume --spill-fsync=S\n"
-                 "       --no-telemetry\n");
+                 "       --trace-out=PATH --metrics-out=PATH --metrics-interval=S\n"
+                 "       --no-telemetry --version\n");
     return 64;
   }
   std::string cmd = argv[1];

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Observability artifact validator (CI `observability` job).
+
+Checks the files a traced + metered run leaves behind:
+
+- a Chrome trace-event JSON (`--trace-out`): must parse, carry the
+  `ltns.trace.v1` schema stamp and a build section, and contain events in
+  the expected categories. With `--min-pids N` the events must span at
+  least N distinct pids — that is what proves a multi-process elastic run
+  merged worker trace chunks into one timeline.
+- a metrics JSON (`--metrics-out`): must parse, carry the
+  `ltns.metrics.v1` schema stamp and a build section, and contain the
+  stable series names every run emits.
+- the `.prom` twin next to the metrics JSON: Prometheus text exposition —
+  every line must be a comment or `name{labels} value`, and each metric
+  family needs a `# TYPE` header.
+
+Stdlib only, so the CI job needs nothing but the artifacts and python3.
+
+Usage:
+  check_obs.py --trace trace.json [--min-pids 2] [--require-cats slice,lease]
+  check_obs.py --metrics metrics.json
+  (both may be given at once; exits 1 listing every violation)
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+# Categories from the src/obs/trace.cpp kind table (the schema promise in
+# docs/observability.md): every trace from a real run has at least these.
+DEFAULT_TRACE_CATS = "slice,kernel,lease"
+
+# Series every fill_run_metrics() call emits regardless of run mode.
+REQUIRED_METRICS = [
+    "ltns_tasks_finished_total",
+    "ltns_phase_seconds_total",
+    "ltns_device_bytes_total",
+    "ltns_memory_bytes_total",
+    "ltns_leases_completed_total",
+    "ltns_run_wall_seconds",
+]
+
+PROM_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(nan|inf)?$|^[0-9]"
+)
+
+
+def check_trace(path, min_pids, require_cats, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"{path}: no traceEvents array (or it is empty)")
+        return
+    other = doc.get("otherData", {})
+    if other.get("schema") != "ltns.trace.v1":
+        errors.append(f"{path}: otherData.schema != ltns.trace.v1")
+    if not isinstance(other.get("build"), dict) or "version" not in other.get("build", {}):
+        errors.append(f"{path}: otherData.build missing or lacks a version")
+
+    pids = set()
+    cats = set()
+    named = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            named += 1
+            continue
+        if ph not in ("X", "i"):
+            errors.append(f"{path}: unexpected event phase {ph!r}")
+            continue
+        if ph == "X" and "dur" not in e:
+            errors.append(f"{path}: complete event without dur: {e.get('name')}")
+        if "ts" not in e or "pid" not in e or "tid" not in e:
+            errors.append(f"{path}: event missing ts/pid/tid: {e.get('name')}")
+            continue
+        pids.add(e["pid"])
+        if e.get("cat"):
+            cats.add(e["cat"])
+    if named == 0:
+        errors.append(f"{path}: no metadata (process/thread name) events")
+    if len(pids) < min_pids:
+        errors.append(
+            f"{path}: events span {len(pids)} pid(s) {sorted(pids)}, need >= {min_pids}"
+        )
+    for cat in [c for c in require_cats.split(",") if c]:
+        if cat not in cats:
+            errors.append(f"{path}: no events in category {cat!r} (have {sorted(cats)})")
+    if not errors:
+        print(
+            f"{path}: {len(events)} events ok — pids {sorted(pids)}, "
+            f"categories {sorted(cats)}"
+        )
+
+
+def check_metrics(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    if doc.get("schema") != "ltns.metrics.v1":
+        errors.append(f"{path}: schema != ltns.metrics.v1")
+    if not isinstance(doc.get("build"), dict) or "version" not in doc.get("build", {}):
+        errors.append(f"{path}: build section missing or lacks a version")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append(f"{path}: no metrics array (or it is empty)")
+        return
+    names = {m.get("name") for m in metrics}
+    for want in REQUIRED_METRICS:
+        if want not in names:
+            errors.append(f"{path}: missing required series {want}")
+    for m in metrics:
+        if m.get("type") not in ("counter", "gauge", "histogram"):
+            errors.append(f"{path}: {m.get('name')}: unknown type {m.get('type')!r}")
+        if m.get("type") == "histogram":
+            if "buckets" not in m or "sum" not in m or "count" not in m:
+                errors.append(f"{path}: {m.get('name')}: histogram missing fields")
+        elif "value" not in m:
+            errors.append(f"{path}: {m.get('name')}: no value")
+
+    prom = path[:-5] + ".prom" if path.endswith(".json") else path + ".prom"
+    if not os.path.exists(prom):
+        errors.append(f"{prom}: missing (the .prom twin of {path})")
+        return
+    typed = set()
+    with open(prom, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+                continue
+            if line.startswith("#"):
+                continue
+            if not PROM_LINE_RE.match(line):
+                errors.append(f"{prom}:{lineno}: malformed exposition line: {line!r}")
+                continue
+            family = re.split(r"[{ ]", line, maxsplit=1)[0]
+            base = re.sub(r"_(bucket|sum|count)$", "", family)
+            if family not in typed and base not in typed:
+                errors.append(f"{prom}:{lineno}: sample before its # TYPE header")
+    if not errors:
+        print(f"{path}: {len(metrics)} series ok (+ valid .prom twin)")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--min-pids", type=int, default=1,
+                    help="minimum distinct pids the trace must span")
+    ap.add_argument("--require-cats", default=DEFAULT_TRACE_CATS,
+                    help="comma-separated categories that must appear")
+    ap.add_argument("--metrics", help="ltns.metrics.v1 JSON to validate")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("give --trace and/or --metrics")
+
+    errors = []
+    if args.trace:
+        check_trace(args.trace, args.min_pids, args.require_cats, errors)
+    if args.metrics:
+        check_metrics(args.metrics, errors)
+    if errors:
+        print(f"{len(errors)} observability check failure(s):")
+        for e in errors:
+            print("  " + e)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

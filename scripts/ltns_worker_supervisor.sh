@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Restart-on-exit supervisor for a TCP worker (docs/operations.md).
+#
+# An elastic fleet treats worker death as routine — leases are requeued and
+# the run continues — so the operational loop on a worker node is simply
+# "keep a worker pointed at the coordinator". This script does that:
+#
+#   scripts/ltns_worker_supervisor.sh <host> <port> [extra ltns_cli flags...]
+#
+# Every exit restarts the worker: a clean exit (run drained) reconnects for
+# the next run; a crash or lost coordinator retries with exponential backoff
+# (doubling from BACKOFF_MIN_S to BACKOFF_MAX_S). A worker that stayed up
+# at least BACKOFF_RESET_S counts as healthy and resets the backoff. SIGINT
+# or SIGTERM stops the loop and forwards the signal to the worker.
+#
+# Environment:
+#   LTNS_CLI           path to the binary        (default: build/ltns_cli)
+#   BACKOFF_MIN_S      first retry delay          (default: 1)
+#   BACKOFF_MAX_S      retry delay ceiling        (default: 60)
+#   BACKOFF_RESET_S    uptime that resets backoff (default: 30)
+#   MAX_RESTARTS       stop after N restarts; 0 = forever (default: 0)
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <coordinator-host> <port> [extra ltns_cli flags...]" >&2
+  exit 64
+fi
+
+host=$1
+port=$2
+shift 2
+
+cli=${LTNS_CLI:-build/ltns_cli}
+backoff_min=${BACKOFF_MIN_S:-1}
+backoff_max=${BACKOFF_MAX_S:-60}
+backoff_reset=${BACKOFF_RESET_S:-30}
+max_restarts=${MAX_RESTARTS:-0}
+
+if ! command -v "$cli" >/dev/null 2>&1 && [ ! -x "$cli" ]; then
+  echo "supervisor: $cli not found or not executable (set LTNS_CLI)" >&2
+  exit 66
+fi
+
+stopping=0
+child=0
+on_signal() {
+  stopping=1
+  if [ "$child" -ne 0 ]; then
+    kill -TERM "$child" 2>/dev/null || true
+  fi
+}
+trap on_signal INT TERM
+
+backoff=$backoff_min
+restarts=0
+while [ "$stopping" -eq 0 ]; do
+  start=$(date +%s)
+  echo "supervisor: starting worker -> $host:$port (restart #$restarts)" >&2
+  "$cli" "$@" worker "$host" "$port" &
+  child=$!
+  wait "$child"
+  rc=$?
+  child=0
+  [ "$stopping" -ne 0 ] && break
+  uptime=$(( $(date +%s) - start ))
+
+  if [ "$uptime" -ge "$backoff_reset" ]; then
+    backoff=$backoff_min
+  fi
+  restarts=$((restarts + 1))
+  if [ "$max_restarts" -gt 0 ] && [ "$restarts" -ge "$max_restarts" ]; then
+    echo "supervisor: reached MAX_RESTARTS=$max_restarts, stopping (last rc=$rc)" >&2
+    exit "$rc"
+  fi
+
+  echo "supervisor: worker exited rc=$rc after ${uptime}s; retrying in ${backoff}s" >&2
+  # Interruptible sleep: a signal during the wait still stops the loop.
+  sleep "$backoff" &
+  child=$!
+  wait "$child" 2>/dev/null
+  child=0
+  backoff=$((backoff * 2))
+  [ "$backoff" -gt "$backoff_max" ] && backoff=$backoff_max
+done
+
+echo "supervisor: stopped" >&2
+exit 0

@@ -95,6 +95,8 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     so.spill_fsync_seconds = opt.spill_fsync_seconds;
     so.spill_run_id = spill_run_id;
     so.backend = opt.backend;  // each worker constructs it after the fork
+    so.metrics_out = opt.metrics_out;
+    so.metrics_interval_seconds = opt.metrics_interval_seconds;
     auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
     out.r.completed = sr.completed;

@@ -63,6 +63,14 @@ struct SimulatorOptions {
   // unknown or compiled-out names. In sharded runs each worker process
   // constructs its own instance of this backend after the fork.
   std::string backend = "host";
+  // Live-metrics snapshot (requires elastic): the coordinator writes
+  // `metrics_out` (ltns.metrics.v1 JSON + a .prom twin for scrapers) every
+  // `metrics_interval_seconds` while the run is live, and once more at the
+  // end. <= 0 disables. Event tracing needs no option here — arming
+  // obs::Tracer before the run is process-global, and forked workers
+  // re-home themselves automatically (see src/obs/trace.hpp).
+  std::string metrics_out;
+  double metrics_interval_seconds = 0;
 };
 
 struct AmplitudeResult {

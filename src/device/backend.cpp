@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/aligned_alloc.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +28,7 @@ void DeviceBackend::free_elems(exec::cfloat* p, size_t n) {
 
 void DeviceBackend::upload(exec::cfloat* dst, const exec::cfloat* src, size_t n,
                            DeviceStats* stats) {
+  obs::TraceScope tr(obs::EventKind::kDeviceUpload, uint64_t(double(n) * kBytesPerElem));
   Timer t;
   std::copy(src, src + n, dst);
   if (stats) {
@@ -38,6 +40,7 @@ void DeviceBackend::upload(exec::cfloat* dst, const exec::cfloat* src, size_t n,
 
 void DeviceBackend::download(exec::cfloat* dst, const exec::cfloat* src, size_t n,
                              DeviceStats* stats) {
+  obs::TraceScope tr(obs::EventKind::kDeviceDownload, uint64_t(double(n) * kBytesPerElem));
   Timer t;
   std::copy(src, src + n, dst);
   if (stats) {
@@ -58,7 +61,9 @@ namespace {
 // Staging copy for host-class non-unified backends: a single timed
 // copy-construction (fresh aligned storage) IS the transfer — no separate
 // zero-fill + memcpy round trip on the hot path.
-exec::Tensor staged_copy(const exec::Tensor& t, double* bytes, double* ns, uint64_t* ops) {
+exec::Tensor staged_copy(const exec::Tensor& t, double* bytes, double* ns, uint64_t* ops,
+                         obs::EventKind kind) {
+  obs::TraceScope tr(kind, uint64_t(double(t.size()) * kBytesPerElem));
   Timer timer;
   exec::Tensor out = t;
   *ns += timer.seconds() * 1e9;
@@ -81,13 +86,15 @@ exec::Tensor DeviceBackend::run_stem_window(exec::Tensor w, const exec::Tensor* 
   DeviceStats local;  // transfer accounting when the caller passed none
   DeviceStats* st = stats != nullptr ? stats : &local;
   if (staged && w.size() > 0)
-    w = staged_copy(w, &st->bytes_to_device, &st->ns_to_device, &st->uploads);
+    w = staged_copy(w, &st->bytes_to_device, &st->ns_to_device, &st->uploads,
+                    obs::EventKind::kDeviceUpload);
   size_t peak = w.size();
   for (int k = 0; k < n_steps; ++k) {
     const exec::Tensor* b = &branches[k];
     exec::Tensor staged_b;
     if (staged) {
-      staged_b = staged_copy(*b, &st->bytes_to_device, &st->ns_to_device, &st->uploads);
+      staged_b = staged_copy(*b, &st->bytes_to_device, &st->ns_to_device, &st->uploads,
+                             obs::EventKind::kDeviceUpload);
       b = &staged_b;
     }
     exec::Tensor wn = contract(w, *b, /*pool=*/nullptr, cs, stats);  // serial: one CPE/SM
@@ -96,7 +103,8 @@ exec::Tensor DeviceBackend::run_stem_window(exec::Tensor w, const exec::Tensor* 
     st->stem_steps += 1;
   }
   if (staged && w.size() > 0)
-    w = staged_copy(w, &st->bytes_to_host, &st->ns_to_host, &st->downloads);
+    w = staged_copy(w, &st->bytes_to_host, &st->ns_to_host, &st->downloads,
+                    obs::EventKind::kDeviceDownload);
   if (peak_elems) *peak_elems = peak;
   return w;
 }

@@ -32,6 +32,7 @@
 #include "device/backend.hpp"
 #include "exec/gemm.hpp"
 #include "exec/permute.hpp"
+#include "obs/trace.hpp"
 #include "util/aligned_alloc.hpp"
 #include "util/timer.hpp"
 
@@ -188,6 +189,9 @@ class BlockedBackend final : public DeviceBackend {
       acc.resize(1);
       blocked_rows(0, m, n, k, a, b, c, &acc[0]);
     }
+    double packed_bytes = 0;
+    for (const auto& x : acc) packed_bytes += x.bytes;
+    obs::trace_instant(obs::EventKind::kDeviceUpload, uint64_t(packed_bytes));
     if (stats) {
       for (const auto& x : acc) {
         stats->bytes_to_device += x.bytes;  // panel packing IS the staging copy

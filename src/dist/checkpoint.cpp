@@ -15,6 +15,7 @@
 
 #include "dist/shard_plan.hpp"
 #include "dist/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace ltns::dist {
 
@@ -340,6 +341,7 @@ CheckpointWriter::~CheckpointWriter() {
 }
 
 void CheckpointWriter::append_record(uint8_t type, const std::vector<uint8_t>& payload) {
+  obs::TraceScope tr(obs::EventKind::kCheckpointAppend, sizeof(RecordHeader) + payload.size());
   RecordHeader h{kCheckpointMagic, kCheckpointVersion, host_endian(), type,
                  uint64_t(payload.size()), crc32(payload.data(), payload.size()), 0};
   write_exact(fd_, &h, sizeof(h));
@@ -365,6 +367,7 @@ void CheckpointWriter::on_range_complete(uint64_t first, uint64_t count,
 }
 
 void CheckpointWriter::sync() {
+  obs::TraceScope tr(obs::EventKind::kCheckpointFsync, bytes_);
   if (::fsync(fd_) != 0) fail_errno("fsync");
   dirty_ = false;
   ++syncs_;

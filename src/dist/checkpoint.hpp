@@ -146,6 +146,7 @@ class CheckpointWriter : public RangeJournal {
 
   // Spill health for `coordinate --status`.
   std::string health_json() const override;
+  double lag_seconds() const override { return last_sync_.seconds(); }
   uint64_t journal_bytes() const { return bytes_; }
   uint64_t ranges_journaled() const { return ranges_; }
   double last_sync_age_seconds() const { return last_sync_.seconds(); }

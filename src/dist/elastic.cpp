@@ -1,6 +1,9 @@
 #include "dist/elastic.hpp"
 
 #include "dist/checkpoint.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -93,6 +96,47 @@ void ElasticCoordinator::add_worker(int fd, int worker_id) {
 void ElasticCoordinator::set_listener(int listen_fd, JobSender send_job) {
   listen_fd_ = listen_fd;
   send_job_ = std::move(send_job);
+}
+
+void ElasticCoordinator::set_metrics_snapshot(std::string path, double interval_seconds) {
+  metrics_path_ = std::move(path);
+  metrics_interval_ = interval_seconds;
+}
+
+void ElasticCoordinator::maybe_write_metrics(bool force) {
+  if (metrics_interval_ <= 0 || metrics_path_.empty()) return;
+  if (!force && metrics_last_.seconds() < metrics_interval_) return;
+  metrics_last_.reset();
+  obs::MetricsRegistry reg;
+  const auto& s = ledger_.stats();
+  reg.gauge("ltns_coordinator_tasks_done", double(ledger_.tasks_done()));
+  reg.gauge("ltns_coordinator_tasks_total", double(ledger_.total()));
+  reg.gauge("ltns_coordinator_pending_ranges", double(ledger_.pending_ranges()));
+  reg.gauge("ltns_coordinator_active_leases", double(ledger_.active_leases()));
+  reg.counter("ltns_leases_issued_total", double(s.leases_issued));
+  reg.counter("ltns_leases_completed_total", double(s.leases_completed));
+  reg.counter("ltns_ranges_stolen_total", double(s.ranges_stolen));
+  reg.counter("ltns_ranges_reissued_total", double(s.ranges_reissued));
+  reg.counter("ltns_ranges_requeued_total", double(s.ranges_requeued));
+  reg.counter("ltns_workers_lost_total", double(s.workers_lost));
+  reg.counter("ltns_straggler_wait_seconds_total", s.straggler_wait_seconds);
+  if (journal_ != nullptr && journal_->lag_seconds() >= 0)
+    reg.gauge("ltns_journal_lag_seconds", journal_->lag_seconds());
+  for (const auto& p : peers_) {
+    if (p.id < 0) continue;
+    const obs::Labels worker{{"worker", std::to_string(p.id)}};
+    reg.gauge("ltns_worker_alive", p.fd >= 0 && !p.finished ? 1 : 0, worker);
+    reg.gauge("ltns_worker_leases_completed", double(p.leases_completed), worker);
+    if (p.has_pulse) {
+      reg.gauge("ltns_worker_utilization_ema", p.pulse.ema_utilization, worker);
+      reg.gauge("ltns_worker_tasks_run", double(p.pulse.tasks_run), worker);
+      reg.gauge("ltns_worker_device_bytes", p.pulse.device_bytes, worker);
+      reg.gauge("ltns_worker_device_ns", p.pulse.device_ns, worker);
+      reg.gauge("ltns_worker_wall_seconds", p.pulse.wall_seconds, worker);
+    }
+  }
+  // Best effort: a snapshot that cannot be written must not fail the run.
+  reg.write_files(metrics_path_);
 }
 
 void ElasticCoordinator::send_lease_or_park(Peer& p) {
@@ -220,13 +264,24 @@ void ElasticCoordinator::handle_frame(Peer& p, const Frame& f, ShardMerger* merg
     }
     case FrameType::kHeartbeat: {
       // last_seen was already reset by the caller; the payload (optional)
-      // advertises the worker's device backend for status probes.
+      // advertises the worker's device backend plus a WorkerPulse metrics
+      // sample for status probes and the periodic metrics snapshot.
       if (!f.payload.empty()) {
         ByteReader r(f.payload);
         p.backend = r.get_string();
+        if (!r.exhausted()) {
+          p.pulse = get_pulse(r);
+          p.has_pulse = true;
+        }
       }
       break;
     }
+    case FrameType::kTrace:
+      // The worker's serialized trace buffers, shipped right before its
+      // final telemetry; merged into this process's flush under the
+      // worker's own rank/pid.
+      obs::Tracer::instance().ingest(f.payload);
+      break;
     case FrameType::kTelemetry: {
       ByteReader r(f.payload);
       auto tel = get_telemetry(r);
@@ -332,6 +387,8 @@ std::string ElasticCoordinator::run(ShardMerger* merger) {
       if (!fatal.empty()) break;
     }
 
+    maybe_write_metrics();
+
     // One poll round over the listener + every open peer.
     std::vector<pollfd> pfds;
     std::vector<size_t> owner;  // pfds index -> peers_ index; listener = SIZE_MAX
@@ -381,6 +438,7 @@ std::string ElasticCoordinator::run(ShardMerger* merger) {
     if (!fatal.empty()) break;
   }
 
+  maybe_write_metrics(/*force=*/true);  // terminal state for scrapers
   for (auto& p : peers_) {
     if (p.fd >= 0) ::close(p.fd);
     p.fd = -1;
@@ -396,7 +454,8 @@ std::string ElasticCoordinator::status_json() const {
   std::ostringstream o;
   o.setf(std::ios::fixed);
   o << std::setprecision(3);
-  o << "{\"total\":" << total_ << ",\"tasks_done\":" << ledger_.tasks_done()
+  o << "{\"build\":" << obs::build_info_json() << ",\"total\":" << total_
+    << ",\"tasks_done\":" << ledger_.tasks_done()
     << ",\"pending_ranges\":" << ledger_.pending_ranges()
     << ",\"lease_size\":" << ledger_.lease_size() << ",\"active_leases\":[";
   bool first = true;
@@ -429,6 +488,28 @@ std::string ElasticCoordinator::status_json() const {
     << ",\"ranges_replayed\":" << s.ranges_replayed
     << ",\"tasks_replayed\":" << s.tasks_replayed
     << ",\"straggler_wait_seconds\":" << s.straggler_wait_seconds << "}";
+  // Live metrics section: the latest heartbeat pulse per worker plus
+  // fleet-level rates — what `coordinate --status` dashboards key on.
+  o << ",\"metrics\":{\"workers\":[";
+  first = true;
+  for (const auto& p : peers_) {
+    if (p.id < 0 || !p.has_pulse) continue;
+    const double db = p.pulse.device_ns > 0 ? p.pulse.device_bytes / p.pulse.device_ns : 0;
+    o << (first ? "" : ",") << "{\"id\":" << p.id
+      << ",\"utilization_ema\":" << p.pulse.ema_utilization
+      << ",\"tasks_run\":" << p.pulse.tasks_run
+      << ",\"leases_completed\":" << p.pulse.leases_completed
+      << ",\"device_bytes\":" << p.pulse.device_bytes
+      << ",\"device_ns\":" << p.pulse.device_ns << ",\"device_bytes_per_ns\":" << db
+      << ",\"wall_seconds\":" << p.pulse.wall_seconds << "}";
+    first = false;
+  }
+  const double issued = double(std::max<uint64_t>(1, s.leases_issued));
+  o << "],\"steal_rate\":" << double(s.ranges_stolen) / issued
+    << ",\"requeue_rate\":" << double(s.ranges_requeued) / issued;
+  if (journal_ != nullptr && journal_->lag_seconds() >= 0)
+    o << ",\"journal_lag_seconds\":" << journal_->lag_seconds();
+  o << "}";
   // Spill-dir health (journal size, fsync age) when the durable run ledger
   // is on — the `coordinate --status` view of checkpoint lag.
   if (journal_ != nullptr) {
@@ -473,6 +554,10 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
     std::lock_guard<std::mutex> lock(write_mu);
     write_frame(fd, t, w);
   };
+  // Live metrics sample shared between the compute thread (writes after
+  // each finished block) and the heartbeat thread (reads + serializes).
+  std::mutex pulse_mu;
+  WorkerPulse pulse;
   std::atomic<bool> stop{false};
   std::thread heartbeat([&] {
     if (opt.heartbeat_seconds <= 0) return;  // disabled (stall-test hook)
@@ -482,10 +567,15 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
       if (since.seconds() < opt.heartbeat_seconds) continue;
       since.reset();
       try {
-        // Heartbeats advertise the device backend this worker runs on, so
-        // a status probe can see the fleet's device mix live.
+        // Heartbeats advertise the device backend this worker runs on plus
+        // the latest WorkerPulse, so a status probe sees the fleet's device
+        // mix AND per-worker utilization live.
         ByteWriter hb;
         hb.put_string(opt.stream.backend_name);
+        {
+          std::lock_guard<std::mutex> lock(pulse_mu);
+          put_pulse(hb, pulse);
+        }
         send(FrameType::kHeartbeat, hb);
       } catch (...) {
         return;  // coordinator gone; the compute thread will notice too
@@ -528,8 +618,19 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
       ::raise(SIGKILL);
     }
 
+    obs::TraceScope lease_tr(obs::EventKind::kLeaseWork, lease, first, count);
     for (const auto& block : aligned_blocks(first, count)) {
       auto partial = reduce_block(block, tree, leaves, slices, opt.stream, &tel);
+      {
+        // Refresh the heartbeat's metrics sample with the post-block view.
+        std::lock_guard<std::mutex> lock(pulse_mu);
+        pulse.ema_utilization = tel.executor.ema_utilization;
+        pulse.tasks_run = tel.tasks_run;
+        pulse.leases_completed = tel.leases;
+        pulse.device_bytes = tel.executor.device.total_transfer_bytes();
+        pulse.device_ns = tel.executor.device.ns_to_device + tel.executor.device.ns_to_host;
+        pulse.wall_seconds = wall.seconds();
+      }
       if (chaos.sleep_ms_per_task > 0) {
         // Artificial straggler: the block still completes (heartbeats keep
         // this worker alive), it is just slow — the rest of the fleet must
@@ -554,6 +655,17 @@ void serve_elastic_shard(int fd, const tn::ContractionTree& tree,
   }
 
   tel.wall_seconds = wall.seconds();
+  // Quiesce the heartbeat thread BEFORE serializing trace buffers: it
+  // records wire_send events of its own, and serialize() must not race a
+  // live writer. The JoinGuard's later join is a no-op (joinable() check).
+  stop.store(true);
+  if (heartbeat.joinable()) heartbeat.join();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    const auto chunk = tracer.serialize();
+    std::lock_guard<std::mutex> lock(write_mu);
+    write_frame(fd, FrameType::kTrace, chunk.data(), chunk.size());
+  }
   {
     ByteWriter w;
     put_telemetry(w, tel);

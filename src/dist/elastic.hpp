@@ -76,6 +76,13 @@ class ElasticCoordinator {
   // the loop re-offers only unfinished work. Caller keeps ownership.
   void set_journal(RangeJournal* journal) { journal_ = journal; }
 
+  // Periodic metrics snapshot for scrapers (`--metrics-interval`): every
+  // `interval_seconds` of run() the live coordinator state (per-worker
+  // pulses, rebalance counters, journal lag) is written to `path` as
+  // ltns.metrics.v1 JSON plus the Prometheus twin (tmp + rename, so a
+  // scraper never reads a torn file). interval <= 0 disables.
+  void set_metrics_snapshot(std::string path, double interval_seconds);
+
   // Runs the event loop until every task is merged (returns "") or no path
   // to completion remains (returns why). Owns the registered/accepted
   // worker fds from here on — they are closed before returning; the listen
@@ -99,6 +106,8 @@ class ElasticCoordinator {
     bool stalled = false;   // quarantined by the stall timeout
     std::string backend;    // device backend advertised in heartbeats
     uint64_t leases_completed = 0;
+    WorkerPulse pulse;      // latest heartbeat metrics sample (v4+ peers)
+    bool has_pulse = false;
     Timer last_seen;
     Timer parked;       // set when a lease request is parked on an empty queue
     Timer drain_since;  // set when kDrain goes out; bounds the goodbye wait
@@ -112,6 +121,7 @@ class ElasticCoordinator {
   void send_lease_or_park(Peer& p);
   void unpark(Peer& p);  // folds the parked wait into straggler telemetry
   void accept_peer();
+  void maybe_write_metrics(bool force = false);
 
   uint64_t total_ = 0;
   ElasticOptions opt_;
@@ -123,6 +133,9 @@ class ElasticCoordinator {
   RangeJournal* journal_ = nullptr;
   int next_worker_id_ = 0;
   std::string error_;
+  std::string metrics_path_;
+  double metrics_interval_ = 0;
+  Timer metrics_last_;
 };
 
 struct ElasticWorkerOptions {

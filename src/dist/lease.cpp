@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dist/shard_plan.hpp"
+#include "obs/trace.hpp"
 
 namespace ltns::dist {
 
@@ -78,6 +79,8 @@ bool LeaseLedger::acquire(int worker, Lease* out) {
   ++stats_.leases_issued;
   if (stolen) ++stats_.ranges_stolen;
   if (reissued) ++stats_.ranges_reissued;
+  obs::trace_instant(stolen ? obs::EventKind::kLeaseSteal : obs::EventKind::kLeaseGrant,
+                     uint64_t(worker), r.first, r.count);
   return true;
 }
 
@@ -120,6 +123,7 @@ bool LeaseLedger::complete(int worker, uint64_t lease_id, ShardMerger* merger,
   for (auto& b : it->second.blocks) merger->add(b.level, b.index, std::move(b.partial));
   tasks_done_ += it->second.count;
   ++stats_.leases_completed;
+  obs::trace_instant(obs::EventKind::kRangeDone, uint64_t(worker), lease_id);
   active_.erase(it);
   return true;
 }
@@ -149,6 +153,7 @@ bool LeaseLedger::mark_range_done(uint64_t first, uint64_t count) {
 
 void LeaseLedger::revoke_worker(int worker, bool lost) {
   if (lost) ++stats_.workers_lost;
+  obs::trace_instant(obs::EventKind::kLeaseRevoke, uint64_t(worker));
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.worker == worker) {
       // Front of the requeue line: a revoked range gates the tournament
@@ -156,6 +161,7 @@ void LeaseLedger::revoke_worker(int worker, bool lost) {
       reissue_.push_front({it->second.first, it->second.count, it->second.home});
       ++pending_count_;
       ++stats_.ranges_requeued;
+      obs::trace_instant(obs::EventKind::kLeaseRequeue, it->second.first, it->second.count);
       it = active_.erase(it);
     } else {
       ++it;

@@ -71,6 +71,9 @@ class RangeJournal {
                                  const std::vector<LedgerBlock>& blocks) = 0;
   // Spill-dir health for the coordinator's --status JSON ("" = no report).
   virtual std::string health_json() const { return ""; }
+  // Journal lag for the live metrics section: seconds since the last
+  // durable fsync (-1 = not reported).
+  virtual double lag_seconds() const { return -1; }
 };
 
 class LeaseLedger {

@@ -24,6 +24,7 @@
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_stream.hpp"
+#include "obs/trace.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -50,6 +51,7 @@ struct Job {
   uint32_t elastic = 0;
   double heartbeat_seconds = 0.2;
   std::string backend = "host";  // default device backend; workers may override
+  uint32_t trace = 0;  // arm the worker's event tracer; chunk ships via kTrace
 };
 
 void put_job(ByteWriter& w, const Job& j) {
@@ -69,6 +71,7 @@ void put_job(ByteWriter& w, const Job& j) {
   w.put<uint32_t>(j.elastic);
   w.put<double>(j.heartbeat_seconds);
   w.put_string(j.backend);
+  w.put<uint32_t>(j.trace);
 }
 
 Job get_job(ByteReader& r) {
@@ -89,6 +92,7 @@ Job get_job(ByteReader& r) {
   j.elastic = r.get<uint32_t>();
   j.heartbeat_seconds = r.get<double>();
   j.backend = r.get_string();
+  j.trace = r.get<uint32_t>();
   return j;
 }
 
@@ -212,6 +216,7 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
   base.fused = opt.fused ? 1 : 0;
   base.ldm_elems = opt.ldm_elems;
   base.backend = opt.backend.empty() ? "host" : opt.backend;
+  base.trace = opt.trace ? 1 : 0;
 
   // Shared tail of both drivers: fold the merged root into the amplitude.
   auto finish_amplitude = [&p, &res](ShardMerger& merger) {
@@ -241,6 +246,8 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
     eo.stall_timeout_seconds = opt.stall_timeout_seconds;
     eo.accept_timeout_seconds = opt.accept_timeout_seconds;
     ElasticCoordinator coord(total, std::max(1, num_workers), eo);
+    if (!opt.metrics_out.empty() && opt.metrics_interval_seconds > 0)
+      coord.set_metrics_snapshot(opt.metrics_out, opt.metrics_interval_seconds);
     coord.set_listener(listen_fd_, [&](int fd, int worker_id) {
       Job j = base;
       j.elastic = 1;
@@ -373,6 +380,11 @@ int serve_worker(const std::string& host, uint16_t port, const std::string& back
       throw std::runtime_error("expected a job frame");
     ByteReader jr(f.payload);
     Job job = get_job(jr);
+
+    // A traced job arms this process's tracer under its assigned worker id;
+    // the chunk ships back over kTrace at drain time, so the coordinator's
+    // timeline renders one lane per remote process.
+    if (job.trace != 0) obs::Tracer::instance().enable(int(job.shard_id));
 
     auto circ = circuit::circuit_from_string(job.circuit_text);
     std::vector<int> bits;

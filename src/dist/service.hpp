@@ -66,6 +66,15 @@ struct ServiceOptions {
   // conforming backends are bitwise identical, so a mixed fleet still
   // produces the byte-exact amplitude.
   std::string backend = "host";
+  // Observability (src/obs): with `trace`, the job asks every worker to arm
+  // its event tracer and ship the recorded chunk back over kTrace at drain
+  // time, so the coordinator's --trace-out timeline carries one lane per
+  // remote process. `metrics_out`/`metrics_interval_seconds` plumb the
+  // coordinator's periodic live-metrics snapshot (elastic mode only; see
+  // ElasticCoordinator::set_metrics_snapshot).
+  bool trace = false;
+  std::string metrics_out;
+  double metrics_interval_seconds = 0;
 };
 
 struct CoordinatorResult {

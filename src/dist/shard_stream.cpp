@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dist/shard_plan.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::dist {
@@ -48,6 +49,11 @@ void stream_shard_window(int fd, int shard_id, uint64_t first, uint64_t count,
     write_frame(fd, FrameType::kBlock, w);
   }
   tel.wall_seconds = wall.seconds();
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    const auto chunk = tracer.serialize();
+    write_frame(fd, FrameType::kTrace, chunk.data(), chunk.size());
+  }
   ByteWriter w;
   put_telemetry(w, tel);
   write_frame(fd, FrameType::kTelemetry, w);
@@ -68,6 +74,9 @@ std::string drain_shard_stream(int fd, ShardMerger* merger, ShardTelemetry* tele
         }
         case FrameType::kTelemetry:
           *telemetry = get_telemetry(r);
+          break;
+        case FrameType::kTrace:
+          obs::Tracer::instance().ingest(f.payload);
           break;
         case FrameType::kDone:
           return {};

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
+
 namespace ltns::dist {
 
 namespace {
@@ -61,12 +63,16 @@ bool read_exact(int fd, void* buf, size_t n, bool eof_ok) {
 }  // namespace
 
 void write_frame(int fd, FrameType type, const void* payload, size_t size) {
+  obs::TraceScope tr(obs::EventKind::kWireSend, uint64_t(type), sizeof(FrameHeader) + size);
   FrameHeader h{kWireMagic, kWireVersion, host_endian(), uint8_t(type), uint64_t(size)};
   write_exact(fd, &h, sizeof(h));
   if (size > 0) write_exact(fd, payload, size);
 }
 
 bool read_frame(int fd, Frame* out) {
+  // The recv scope covers the blocking wait for the header too — on a
+  // timeline, a long wire_recv IS the idle time between frames.
+  obs::TraceScope tr(obs::EventKind::kWireRecv);
   FrameHeader h;
   if (!read_exact(fd, &h, sizeof(h), /*eof_ok=*/true)) return false;
   // A genuinely foreign-endian peer swaps EVERY multi-byte field, magic
@@ -100,6 +106,7 @@ bool read_frame(int fd, Frame* out) {
   out->type = FrameType(h.type);
   out->payload.resize(size_t(h.payload_len));
   if (h.payload_len > 0) read_exact(fd, out->payload.data(), out->payload.size(), false);
+  tr.set_args(uint64_t(h.type), sizeof(FrameHeader) + h.payload_len);
   return true;
 }
 
@@ -261,6 +268,26 @@ runtime::MemoryStats get_memory_stats(ByteReader& r) {
   m.ldm_peak_elems = size_t(r.get<uint64_t>());
   m.host_peak_elems = size_t(r.get<uint64_t>());
   return m;
+}
+
+void put_pulse(ByteWriter& w, const WorkerPulse& p) {
+  w.put<double>(p.ema_utilization);
+  w.put<uint64_t>(p.tasks_run);
+  w.put<uint64_t>(p.leases_completed);
+  w.put<double>(p.device_bytes);
+  w.put<double>(p.device_ns);
+  w.put<double>(p.wall_seconds);
+}
+
+WorkerPulse get_pulse(ByteReader& r) {
+  WorkerPulse p;
+  p.ema_utilization = r.get<double>();
+  p.tasks_run = r.get<uint64_t>();
+  p.leases_completed = r.get<uint64_t>();
+  p.device_bytes = r.get<double>();
+  p.device_ns = r.get<double>();
+  p.wall_seconds = r.get<double>();
+  return p;
 }
 
 void put_telemetry(ByteWriter& w, const ShardTelemetry& t) {

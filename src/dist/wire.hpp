@@ -40,7 +40,10 @@ inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
 // v2: endian-tagged header + the elastic lease/heartbeat frame vocabulary.
 // v3: DeviceStats in exec-stats/snapshot payloads, backend name in
 //     telemetry and heartbeat frames (heterogeneous device fleets).
-inline constexpr uint16_t kWireVersion = 3;
+// v4: WorkerPulse after the backend name in heartbeat payloads (live
+//     per-worker metrics), trace flag in Job, kTrace frame (trace-buffer
+//     chunks shipped before the final telemetry).
+inline constexpr uint16_t kWireVersion = 4;
 
 // Header endianness markers; read_frame rejects a frame whose marker does
 // not match the host's.
@@ -71,6 +74,7 @@ enum class FrameType : uint8_t {
   kDrain = 12,         // coordinator -> worker: no work left; report + exit
   kStatusRequest = 13, // status probe -> coordinator: dump live state
   kStatus = 14,        // coordinator -> status probe: JSON snapshot
+  kTrace = 15,         // worker -> coordinator: serialized trace-buffer chunk
 };
 
 // --- payload (de)serialization -------------------------------------------
@@ -147,8 +151,26 @@ struct ShardTelemetry {
   exec::ExecStats exec;
 };
 
+// Live per-worker metrics sample, carried by every kHeartbeat frame (v4+):
+// the worker's compute thread refreshes a shared copy after each finished
+// block; the heartbeat thread serializes whatever is current. The
+// coordinator keeps the latest sample per peer and surfaces it through the
+// status probe's `metrics` section and the periodic --metrics-interval
+// snapshot.
+struct WorkerPulse {
+  double ema_utilization = 0;   // in-process scheduler busy-fraction EMA
+  uint64_t tasks_run = 0;       // slice subtasks finished so far
+  uint64_t leases_completed = 0;
+  double device_bytes = 0;      // total transfer bytes (both directions)
+  double device_ns = 0;         // total transfer wall-ns
+  double wall_seconds = 0;      // time since the worker started computing
+};
+
 void put_tensor(ByteWriter& w, const exec::Tensor& t);
 exec::Tensor get_tensor(ByteReader& r);
+
+void put_pulse(ByteWriter& w, const WorkerPulse& p);
+WorkerPulse get_pulse(ByteReader& r);
 
 void put_exec_stats(ByteWriter& w, const exec::ExecStats& s);
 exec::ExecStats get_exec_stats(ByteReader& r);

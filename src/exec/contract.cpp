@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "device/backend.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::exec {
@@ -36,33 +37,36 @@ Tensor contract(const Tensor& a, const Tensor& b, ThreadPool* pool, ContractStat
                 device::DeviceBackend* backend, device::DeviceStats* dstats) {
   ContractPlan p = plan_contract(a.ixs(), b.ixs());
 
-  Timer t;
   const Tensor* ap = &a;
   const Tensor* bp = &b;
   Tensor a_tmp, b_tmp;
-  if (!p.a_identity) {
-    a_tmp = backend != nullptr ? backend->permute(a, p.a_order, dstats) : permute(a, p.a_order);
-    ap = &a_tmp;
-    if (stats) stats->permute_elems += double(a.size());
+  if (!p.a_identity || !p.b_identity) {
+    ScopedSeconds st(stats != nullptr ? &stats->permute_seconds : nullptr);
+    obs::TraceScope tr(obs::EventKind::kPermute,
+                       (!p.a_identity ? a.size() : 0) + (!p.b_identity ? b.size() : 0));
+    if (!p.a_identity) {
+      a_tmp = backend != nullptr ? backend->permute(a, p.a_order, dstats) : permute(a, p.a_order);
+      ap = &a_tmp;
+      if (stats) stats->permute_elems += double(a.size());
+    }
+    if (!p.b_identity) {
+      b_tmp = backend != nullptr ? backend->permute(b, p.b_order, dstats) : permute(b, p.b_order);
+      bp = &b_tmp;
+      if (stats) stats->permute_elems += double(b.size());
+    }
   }
-  if (!p.b_identity) {
-    b_tmp = backend != nullptr ? backend->permute(b, p.b_order, dstats) : permute(b, p.b_order);
-    bp = &b_tmp;
-    if (stats) stats->permute_elems += double(b.size());
-  }
-  if (stats) stats->permute_seconds += t.seconds();
 
-  t.reset();
   Tensor out(p.out_ixs);
-  if (backend != nullptr) {
-    backend->gemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool, dstats);
-  } else {
-    cgemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool);
+  {
+    ScopedSeconds st(stats != nullptr ? &stats->gemm_seconds : nullptr);
+    obs::TraceScope tr(obs::EventKind::kGemm, uint64_t(p.m) * uint64_t(p.n), uint64_t(p.k));
+    if (backend != nullptr) {
+      backend->gemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool, dstats);
+    } else {
+      cgemm(p.m, p.n, p.k, ap->raw(), bp->raw(), out.raw(), pool);
+    }
   }
-  if (stats) {
-    stats->gemm_seconds += t.seconds();
-    stats->flops += gemm_flops(p.m, p.n, p.k);
-  }
+  if (stats) stats->flops += gemm_flops(p.m, p.n, p.k);
   return out;
 }
 

@@ -187,9 +187,9 @@ struct WindowExec {
     auto run_subtask = [&](uint64_t s) {
       ExecStats es;
       DmaStats ds;
-      Timer tmem;
+      ScopedSeconds tmem(&es.memory_seconds);
       Tensor w = T.gather_fixed(secondary, s);
-      es.memory_seconds += tmem.seconds();
+      tmem.close();
       double g = double(get_block) * kBytesPerElem;
       double moved = double(w.size()) * kBytesPerElem;
       if (plan.cooperative_dma && g < 512.0) {
@@ -250,9 +250,9 @@ struct WindowExec {
       uint64_t block = 0;
       for (size_t i = 0; i < secondary.size(); ++i)
         block |= ((s >> i) & 1) << (secondary.size() - 1 - i);
-      Timer tput;
+      ScopedSeconds tput(&es.memory_seconds);
       std::copy(w.data().begin(), w.data().end(), out.data().begin() + size_t(block) * w.size());
-      es.memory_seconds += tput.seconds();
+      tput.close();
       ds.record_put(double(w.size()) * kBytesPerElem, double(w.size()) * kBytesPerElem);
 
       if (stats) {

@@ -17,6 +17,7 @@
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_stream.hpp"
+#include "obs/trace.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -43,6 +44,10 @@ std::string backend_name_for(const ShardRunOptions& opt, int shard_id) {
                               const core::SliceSet& slices, const ShardRunOptions& opt) {
   // A dead coordinator must surface as a write error, not SIGPIPE death.
   std::signal(SIGPIPE, SIG_IGN);
+  // The fork inherited the parent's armed tracer, ring buffers and all:
+  // drop the parent's events and re-home this process under its own rank so
+  // the merged timeline renders one lane per shard.
+  if (obs::Tracer::instance().enabled()) obs::Tracer::instance().reset_after_fork(shard_id);
   try {
     // Fresh executor resources: threads do not survive fork, so the
     // parent's (global) pools are unusable husks in this process.
@@ -151,6 +156,8 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     eo.accept_timeout_seconds =
         std::max(60, int(opt.stall_timeout_seconds * 2));
     dist::ElasticCoordinator coord(total, processes, eo);
+    if (!opt.metrics_out.empty() && opt.metrics_interval_seconds > 0)
+      coord.set_metrics_snapshot(opt.metrics_out, opt.metrics_interval_seconds);
     // Durable run ledger: replay an existing journal into the fresh
     // ledger + merger (resume), then open the write-ahead journal the
     // coordinator spills every completed range into.

@@ -70,6 +70,12 @@ struct ShardRunOptions {
   // the merged tensor.
   std::string backend = "host";
   std::vector<std::string> backends;
+  // Periodic live-metrics snapshot (elastic mode only): the coordinator
+  // writes `metrics_out` (ltns.metrics.v1 JSON + .prom twin) every
+  // `metrics_interval_seconds` while the run is live, and once more at the
+  // end. <= 0 disables the periodic writes.
+  std::string metrics_out;
+  double metrics_interval_seconds = 0;
   // Test hook: the worker for this shard index exits without reporting, so
   // the failure path (static: clean error; elastic: requeue + completion)
   // can be exercised. -1 = off. The elastic chaos hooks (mid-run SIGKILL,

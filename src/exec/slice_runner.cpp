@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/reduction.hpp"
 #include "util/timer.hpp"
 
@@ -53,6 +54,7 @@ SliceRunResult run_sliced(const tn::ContractionTree& tree, const LeafProvider& l
   ThreadPool* inner = opt.executor == SliceExecutor::kInnerPool ? pool : nullptr;
 
   auto run_task = [&](int worker, uint64_t t) {
+    obs::TraceScope tr(obs::EventKind::kSlice, t);
     WorkerPartial& mine = partial[size_t(worker)];
     Tensor r;
     if (opt.fused != nullptr) {

@@ -44,9 +44,9 @@ struct Runner {
       auto& [id, phase] = st.back();
       const auto& n = tree.node(id);
       if (n.is_leaf()) {
-        Timer t;
+        ScopedSeconds tmem(stats != nullptr ? &stats->memory_seconds : nullptr);
         value[size_t(id)] = leaves(n.leaf_vertex).fixed_all(sliced, assignment);
-        if (stats) stats->memory_seconds += t.seconds();
+        tmem.close();
         track(ptrdiff_t(value[size_t(id)].size()));
         st.pop_back();
       } else if (phase == 0) {

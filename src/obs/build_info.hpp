@@ -1,0 +1,23 @@
+// Build-info stamp, captured at configure time (CMake configure_file over
+// build_info.cpp.in). Printed by `ltns_cli --version` and embedded in every
+// trace/metrics/status JSON so an artifact found on disk is attributable to
+// an exact build.
+#pragma once
+
+#include <string>
+
+namespace ltns::obs {
+
+struct BuildInfo {
+  const char* version;     // git describe --tags --always --dirty (or "unknown")
+  const char* compiler;    // e.g. "GNU 12.2.0"
+  const char* flags;       // CMAKE_CXX_FLAGS + build-type flags
+  const char* build_type;  // Release / Debug / ...
+};
+
+const BuildInfo& build_info();
+
+// {"version":...,"compiler":...,"flags":...,"build_type":...}
+std::string build_info_json();
+
+}  // namespace ltns::obs

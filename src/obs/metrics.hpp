@@ -1,0 +1,76 @@
+// Metrics registry: one stable, named schema over the stack's scattered
+// counters (runtime::ExecutorSnapshot, device::DeviceStats,
+// dist::RebalanceStats, checkpoint spill health), exported as JSON
+// (`--metrics-out`) and Prometheus text exposition (same basename, `.prom`).
+//
+// Schema promise (docs/observability.md): metric names, types and label
+// keys are API — additions are fine, renames and removals are breaking.
+// Future subsystems (plan/result cache, tenant queues, SIMD roofline)
+// register here instead of inventing new ad-hoc structs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/stats.hpp"
+#include "runtime/executor_stats.hpp"
+#include "runtime/memory_stats.hpp"
+
+namespace ltns::dist {
+struct RebalanceStats;
+}
+
+namespace ltns::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+struct Metric {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type = Type::kCounter;
+  Labels labels;
+  double value = 0;  // counter / gauge
+  // Histogram: cumulative-style buckets with explicit upper bounds; the
+  // +Inf bucket is implicit (== count).
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // per-bucket (non-cumulative)
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+class MetricsRegistry {
+ public:
+  void counter(const std::string& name, double value, Labels labels = {});
+  void gauge(const std::string& name, double value, Labels labels = {});
+  // Observes into the histogram `name` (created with `bounds` on first
+  // use); same name + labels accumulates.
+  void observe(const std::string& name, const std::vector<double>& bounds, double value,
+               Labels labels = {});
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  // {"schema":"ltns.metrics.v1","build":{...},"metrics":[...]}
+  std::string to_json() const;
+  // Prometheus text exposition format v0.0.4.
+  std::string to_prometheus() const;
+
+  // Writes to_json() to `path` and to_prometheus() next to it (same path
+  // with a ".prom" suffix appended to the basename sans ".json"). tmp +
+  // rename so a scraper never reads a half-written snapshot.
+  bool write_files(const std::string& json_path, std::string* error = nullptr) const;
+
+ private:
+  Metric& upsert(const std::string& name, Metric::Type type, const Labels& labels);
+  std::vector<Metric> metrics_;
+};
+
+// The unified view of one finished run: every ExecutorSnapshot counter,
+// the DeviceStats it carries, memory traffic, and (when the run was
+// elastic) the rebalance counters — all under the stable ltns_* names.
+void fill_run_metrics(MetricsRegistry& reg, const runtime::ExecutorSnapshot& s,
+                      const runtime::MemoryStats& mem, const dist::RebalanceStats& reb,
+                      uint64_t tasks_run, uint64_t reduce_merges, double wall_seconds);
+
+}  // namespace ltns::obs

@@ -10,15 +10,19 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 #include "device/stats.hpp"
+#include "util/timer.hpp"
 
 namespace ltns::runtime {
 
 // Accumulating phase timer: entry count + total seconds. `add` is a CAS
 // loop on the double (C++17 has no fetch_add for atomic<double>), which is
-// fine at per-task update granularity.
+// fine at per-task update granularity. Prefer timing through PerfScope —
+// it cannot leave a phase open across an exception, and debug builds
+// assert every scope closed before the event is destroyed.
 class PerfEvent {
  public:
   void add(double seconds) { add_count(1, seconds); }
@@ -31,9 +35,49 @@ class PerfEvent {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double seconds() const { return seconds_.load(std::memory_order_relaxed); }
 
+#ifndef NDEBUG
+  ~PerfEvent() {
+    assert(open_scopes_.load(std::memory_order_relaxed) == 0 &&
+           "PerfEvent destroyed with a PerfScope still open");
+  }
+  void scope_opened() { open_scopes_.fetch_add(1, std::memory_order_relaxed); }
+  void scope_closed() { open_scopes_.fetch_sub(1, std::memory_order_relaxed); }
+#else
+  void scope_opened() {}
+  void scope_closed() {}
+#endif
+
  private:
   std::atomic<uint64_t> count_{0};
   std::atomic<double> seconds_{0.0};
+#ifndef NDEBUG
+  std::atomic<int64_t> open_scopes_{0};
+#endif
+};
+
+// RAII guard over a PerfEvent: books the scope's elapsed time on
+// destruction, so an exception or cancellation mid-phase can no longer
+// leave a timer started. A null event makes the guard a no-op (the common
+// "stats are optional" call-site shape).
+class PerfScope {
+ public:
+  explicit PerfScope(PerfEvent* ev) : ev_(ev) {
+    if (ev_ != nullptr) ev_->scope_opened();
+  }
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+  ~PerfScope() { close(); }
+  // Ends the phase early (idempotent).
+  void close() {
+    if (ev_ == nullptr) return;
+    ev_->add(t_.seconds());
+    ev_->scope_closed();
+    ev_ = nullptr;
+  }
+
+ private:
+  PerfEvent* ev_;
+  Timer t_;
 };
 
 struct PerfSnapshot {

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <utility>
 
-#include "util/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ltns::runtime {
 
@@ -66,14 +66,16 @@ void ReductionTree::add(uint64_t t, exec::Tensor r) {
     }
     // Merge outside the lock; the even-index node is always the left
     // operand, which fixes the float-addition order.
-    Timer tm;
-    if (idx & 1) {
-      merge_into(sibling, r);
-      r = std::move(sibling);
-    } else {
-      merge_into(r, sibling);
+    {
+      PerfScope ps(reduce_timer_);
+      obs::TraceScope tr(obs::EventKind::kReduce, r.size());
+      if (idx & 1) {
+        merge_into(sibling, r);
+        r = std::move(sibling);
+      } else {
+        merge_into(r, sibling);
+      }
     }
-    if (reduce_timer_ != nullptr) reduce_timer_->add(tm.seconds());
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++merges_;

@@ -20,6 +20,28 @@ class Timer {
   clock::time_point start_;
 };
 
+// RAII accumulation into a plain double: adds the scope's elapsed seconds
+// to *sink on destruction (or close()). The exception-safe replacement for
+// the `Timer t; ...; acc += t.seconds()` pattern in the exec executors —
+// an executor throwing mid-phase still books the partial phase time.
+class ScopedSeconds {
+ public:
+  explicit ScopedSeconds(double* sink) : sink_(sink) {}
+  ScopedSeconds(const ScopedSeconds&) = delete;
+  ScopedSeconds& operator=(const ScopedSeconds&) = delete;
+  ~ScopedSeconds() { close(); }
+  // Ends the scope early (idempotent); lets one guard time phase N and a
+  // fresh guard time phase N+1 without nesting blocks.
+  void close() {
+    if (sink_ != nullptr) *sink_ += t_.seconds();
+    sink_ = nullptr;
+  }
+
+ private:
+  double* sink_;
+  Timer t_;
+};
+
 // Accumulates time across scopes; used for the Fig. 12 time breakdown
 // (memory access / permutation / GEMM).
 class Stopwatch {
