@@ -8,9 +8,18 @@
 //
 //   ltns_cli coordinate <port> <nworkers> <circuit-file> <bitstring>
 //   ltns_cli coordinate --status <host> <port>            # live lease state as JSON
-//   ltns_cli worker <host> <port>                         # serve one shard job
+//   ltns_cli worker <host> <port>                         # serve one shard job / join a fleet
 //
-// Runtime flags (anywhere on the command line):
+// Multi-tenant service (see docs/service.md):
+//   ltns_cli serve <port>                                 # persistent job server
+//   ltns_cli submit <host> <port> <circuit-file> <bitstring>
+//   ltns_cli status <host> <port> [job-id]                # server or per-job JSON
+//   ltns_cli cancel <host> <port> <job-id>
+//   ltns_cli result <host> <port> <job-id> [--wait]
+//   ltns_cli shutdown <host> <port>
+//
+// Runtime flags (anywhere on the command line; `--help` prints them grouped
+// the way api::SimulatorOptions nests them):
 //   --runtime=ws|static|serial   subtask executor (default ws = work stealing)
 //   --grain=N                    scheduler chunk size (tasks per deque pop)
 //   --processes=N                fork N shard processes (amp/sample; default 1)
@@ -43,17 +52,21 @@
 //
 // Circuits use the ltnsqc v1 text format (see src/circuit/io.hpp); "-" reads
 // stdin. This is the fourth runnable example and the scripting entry point.
+#include <complex>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "api/simulator.hpp"
 #include "circuit/io.hpp"
 #include "core/planner.hpp"
 #include "device/backend.hpp"
+#include "dist/client.hpp"
+#include "dist/server.hpp"
 #include "dist/service.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
@@ -68,6 +81,7 @@ namespace {
 struct RuntimeFlags {
   exec::SliceExecutor executor = exec::SliceExecutor::kWorkStealing;
   uint64_t grain = 1;
+  double target = 16;  // planner slicing target (log2 of max tensor size)
   int processes = 1;
   int workers = 0;
   bool telemetry = true;
@@ -83,6 +97,15 @@ struct RuntimeFlags {
   std::string trace_out;
   std::string metrics_out;
   double metrics_interval = 0;
+  // Service verbs (serve / submit / result).
+  std::string state_dir;
+  uint64_t max_queue = 64;
+  int max_running = 4;
+  std::string tenant = "default";
+  uint32_t weight = 1;
+  int priority = 0;
+  std::string job_name;
+  bool wait = false;
 };
 
 RuntimeFlags g_flags;
@@ -94,6 +117,26 @@ const char* executor_name(exec::SliceExecutor e) {
     case exec::SliceExecutor::kInnerPool: return "serial+inner-pool";
   }
   return "?";
+}
+
+api::SimulatorOptions make_sim_options() {
+  api::SimulatorOptions opt;
+  opt.plan.target_log2size = g_flags.target;
+  opt.executor = g_flags.executor;
+  opt.grain = g_flags.grain;
+  opt.backend = g_flags.backend;
+  opt.sharding.processes = g_flags.processes;
+  opt.sharding.workers_per_process = g_flags.workers;
+  opt.sharding.elastic = g_flags.elastic;
+  opt.sharding.lease_size = g_flags.lease;
+  opt.sharding.heartbeat_seconds = g_flags.heartbeat;
+  opt.sharding.stall_timeout_seconds = g_flags.stall_timeout;
+  opt.durability.spill_dir = g_flags.spill_dir;
+  opt.durability.resume = g_flags.resume;
+  opt.durability.fsync_seconds = g_flags.spill_fsync;
+  opt.observability.metrics_out = g_flags.metrics_out;
+  opt.observability.metrics_interval_seconds = g_flags.metrics_interval;
+  return opt;
 }
 
 // Strips --runtime=/--grain=/--no-telemetry from argv; returns the rest.
@@ -169,6 +212,45 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--metrics-interval=", 19) == 0) {
       g_flags.metrics_interval = std::atof(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--target=", 9) == 0) {
+      g_flags.target = std::atof(argv[i] + 9);
+      if (g_flags.target < 1) {
+        std::fprintf(stderr, "--target must be >= 1 (log2 of the sliced tensor bound)\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
+      g_flags.state_dir = argv[i] + 12;
+      if (g_flags.state_dir.empty()) {
+        std::fprintf(stderr, "--state-dir needs a path\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
+      g_flags.max_queue = uint64_t(std::atoll(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--max-running=", 14) == 0) {
+      g_flags.max_running = std::atoi(argv[i] + 14);
+      if (g_flags.max_running < 1) {
+        std::fprintf(stderr, "--max-running must be >= 1\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--tenant=", 9) == 0) {
+      g_flags.tenant = argv[i] + 9;
+      if (g_flags.tenant.empty()) {
+        std::fprintf(stderr, "--tenant needs a name\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--weight=", 9) == 0) {
+      const int w = std::atoi(argv[i] + 9);
+      if (w < 0) {
+        std::fprintf(stderr, "--weight must be >= 0 (0 = background-only tenant)\n");
+        std::exit(64);
+      }
+      g_flags.weight = uint32_t(w);
+    } else if (std::strncmp(argv[i], "--priority=", 11) == 0) {
+      g_flags.priority = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--job-name=", 11) == 0) {
+      g_flags.job_name = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      g_flags.wait = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
       const auto& b = obs::build_info();
       std::printf("ltns %s\n  compiler: %s\n  flags: %s\n  build type: %s\n", b.version,
@@ -180,38 +262,17 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       rest.push_back(argv[i]);
     }
   }
-  // A silently-ignored durability flag is worse than an error: an operator
-  // who types --resume without --spill-dir believes the run resumed AND
-  // re-armed the journal when neither happened.
-  if (g_flags.spill_dir.empty() && (g_flags.resume || g_flags.spill_fsync != 0)) {
-    std::fprintf(stderr, "--resume/--spill-fsync require --spill-dir\n");
-    std::exit(64);
-  }
-  if (g_flags.metrics_out.empty() && g_flags.metrics_interval != 0) {
-    std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
+  // A silently-ignored flag combination is worse than an error: an
+  // operator who types --resume without --spill-dir believes the run
+  // resumed AND re-armed the journal when neither happened. The checks
+  // live in api::validate_options — the same gate the Simulator runs — so
+  // the CLI and the API can never drift apart on what is coherent.
+  std::string bad = api::validate_options(make_sim_options());
+  if (!bad.empty()) {
+    std::fprintf(stderr, "%s\n", bad.c_str());
     std::exit(64);
   }
   return rest;
-}
-
-api::SimulatorOptions make_sim_options() {
-  api::SimulatorOptions opt;
-  opt.plan.target_log2size = 16;
-  opt.executor = g_flags.executor;
-  opt.grain = g_flags.grain;
-  opt.processes = g_flags.processes;
-  opt.workers_per_process = g_flags.workers;
-  opt.elastic = g_flags.elastic;
-  opt.lease_size = g_flags.lease;
-  opt.heartbeat_seconds = g_flags.heartbeat;
-  opt.stall_timeout_seconds = g_flags.stall_timeout;
-  opt.spill_dir = g_flags.spill_dir;
-  opt.resume = g_flags.resume;
-  opt.spill_fsync_seconds = g_flags.spill_fsync;
-  opt.backend = g_flags.backend;
-  opt.metrics_out = g_flags.metrics_out;
-  opt.metrics_interval_seconds = g_flags.metrics_interval;
-  return opt;
 }
 
 // Post-run observability flush: the merged Chrome trace (local threads +
@@ -286,6 +347,25 @@ void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryS
                 d.bytes_to_device, d.ns_to_device / 1e6, d.bytes_to_host, d.ns_to_host / 1e6);
 }
 
+// The submit verb ships the circuit VERBATIM (the server and every fleet
+// worker re-plan from the same text — that textual identity is what makes a
+// service job byte-identical to a solo run), so it loads raw text, not a
+// parsed Circuit.
+std::string load_circuit_text(const char* path) {
+  std::ostringstream text;
+  if (std::strcmp(path, "-") == 0) {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", path);
+      std::exit(2);
+    }
+    text << f.rdbuf();
+  }
+  return text.str();
+}
+
 circuit::Circuit load_circuit(const char* path) {
   if (std::strcmp(path, "-") == 0) return circuit::read_circuit(std::cin);
   std::ifstream f(path);
@@ -357,19 +437,20 @@ int cmd_amp(int argc, char** argv) {
 
   api::Simulator sim(circ, make_sim_options());
   auto res = sim.amplitude(bits);
-  if (!res.error.empty()) {
-    std::fprintf(stderr, "sharded run failed: %s\n", res.error.c_str());
+  const auto& tel = res.telemetry;
+  if (!tel.error.empty()) {
+    std::fprintf(stderr, "sharded run failed: %s\n", tel.error.c_str());
     return 1;
   }
   std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", res.amplitude.real(),
               res.amplitude.imag(), std::norm(res.amplitude));
   std::printf("slices %d, overhead %.4f, flops %.3g\n", res.num_slices, res.slicing.overhead(),
-              res.stats.flops);
-  print_telemetry(res.runtime_stats, res.memory);
-  print_shards(res.shards);
-  print_rebalance(res.rebalance);
-  flush_observability(res.runtime_stats, res.memory, res.rebalance, res.runtime_stats.finished,
-                      res.runtime_stats.reduce.count, res.exec_seconds);
+              tel.stats.flops);
+  print_telemetry(tel.runtime_stats, tel.memory);
+  print_shards(tel.shards);
+  print_rebalance(tel.rebalance);
+  flush_observability(tel.runtime_stats, tel.memory, tel.rebalance, tel.runtime_stats.finished,
+                      tel.runtime_stats.reduce.count, res.exec_seconds);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -394,19 +475,20 @@ int cmd_sample(int argc, char** argv) {
   Timer wall;
   auto batch = sim.batch_amplitudes(bits, open);
   const double wall_seconds = wall.seconds();
-  if (!batch.error.empty()) {
-    std::fprintf(stderr, "sharded run failed: %s\n", batch.error.c_str());
+  const auto& tel = batch.telemetry;
+  if (!tel.error.empty()) {
+    std::fprintf(stderr, "sharded run failed: %s\n", tel.error.c_str());
     return 1;
   }
   auto samples = api::Simulator::sample_from_batch(batch, n_samples, 7);
   std::printf("# open qubits:");
   for (int q : open) std::printf(" %d", q);
   std::printf("\n");
-  print_telemetry(batch.runtime_stats, batch.memory);
-  print_shards(batch.shards);
-  print_rebalance(batch.rebalance);
-  flush_observability(batch.runtime_stats, batch.memory, batch.rebalance,
-                      batch.runtime_stats.finished, batch.runtime_stats.reduce.count,
+  print_telemetry(tel.runtime_stats, tel.memory);
+  print_shards(tel.shards);
+  print_rebalance(tel.rebalance);
+  flush_observability(tel.runtime_stats, tel.memory, tel.rebalance,
+                      tel.runtime_stats.finished, tel.runtime_stats.reduce.count,
                       wall_seconds);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
@@ -447,6 +529,7 @@ int cmd_coordinate(int argc, char** argv) {
   for (int q = 0; q < circ.num_qubits; ++q) bits[size_t(q)] = bitstr[q] == '1';
 
   dist::ServiceOptions so;
+  so.target_log2size = g_flags.target;
   so.executor = g_flags.executor;
   so.grain = g_flags.grain;
   so.workers_per_process = g_flags.workers;
@@ -461,10 +544,6 @@ int cmd_coordinate(int argc, char** argv) {
   so.trace = !g_flags.trace_out.empty();
   so.metrics_out = g_flags.metrics_out;
   so.metrics_interval_seconds = g_flags.metrics_interval;
-  if (!so.spill_dir.empty() && !so.elastic) {
-    std::fprintf(stderr, "--spill-dir requires --elastic (the journaled ledger is the lease ledger)\n");
-    return 64;
-  }
   dist::CoordinatorServer server{uint16_t(port)};
   std::fprintf(stderr, "coordinator listening on port %u, waiting for %d workers\n",
                unsigned(server.port()), nworkers);
@@ -514,6 +593,150 @@ int cmd_worker(int argc, char** argv) {
   return rc;
 }
 
+// --- multi-tenant service verbs (dist/server.hpp + dist/client.hpp) --------
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) return 64;
+  const int port = std::atoi(argv[2]);
+  if (port < 0 || port > 65535) return 64;
+  dist::ServerOptions so;
+  so.state_dir = g_flags.state_dir;
+  // --processes picks the notional home-window count of every job's lease
+  // ledger (the fleet itself grows and shrinks freely).
+  so.home_workers = std::max(2, g_flags.processes);
+  so.lease_size = g_flags.lease;
+  so.heartbeat_seconds = g_flags.heartbeat;
+  so.stall_timeout_seconds = g_flags.stall_timeout;
+  so.fsync_seconds = g_flags.spill_fsync;
+  so.workers_per_process = g_flags.workers;
+  so.executor = uint32_t(g_flags.executor);
+  so.grain = g_flags.grain;
+  so.backend = g_flags.backend;
+  so.metrics_out = g_flags.metrics_out;
+  so.metrics_interval_seconds = g_flags.metrics_interval;
+  so.admission.max_queued = size_t(g_flags.max_queue);
+  so.admission.max_running = g_flags.max_running;
+  try {
+    dist::JobServer server{uint16_t(port), so};
+    std::fprintf(stderr, "job server listening on port %u%s\n", unsigned(server.port()),
+                 g_flags.state_dir.empty() ? " (volatile: no --state-dir)" : "");
+    const auto err = server.serve();
+    if (!err.empty()) {
+      std::fprintf(stderr, "job server failed: %s\n", err.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_submit(int argc, char** argv) {
+  if (argc < 6) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  dist::JobSpec spec;
+  spec.name = g_flags.job_name;
+  spec.tenant = g_flags.tenant;
+  spec.weight = g_flags.weight;
+  spec.priority = g_flags.priority;
+  spec.circuit_text = load_circuit_text(argv[4]);
+  spec.bits = argv[5];
+  spec.target_log2size = g_flags.target;
+  for (char c : spec.bits) {
+    if (c != '0' && c != '1') {
+      std::fprintf(stderr, "bitstring must be 0s and 1s\n");
+      return 2;
+    }
+  }
+  try {
+    auto rep = dist::submit_job(argv[2], uint16_t(port), spec);
+    if (!rep.ok) {
+      std::fprintf(stderr, "rejected: %s\n", rep.message.c_str());
+      return 1;
+    }
+    std::printf("job %llu %s (tenant %s, weight %u, priority %d)\n",
+                (unsigned long long)rep.job_id, rep.message.c_str(), spec.tenant.c_str(),
+                spec.weight, spec.priority);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_status(int argc, char** argv) {
+  if (argc < 4) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  const uint64_t job_id = argc > 4 ? uint64_t(std::atoll(argv[4])) : 0;
+  try {
+    std::printf("%s\n", dist::job_status_json(argv[2], uint16_t(port), job_id).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_cancel(int argc, char** argv) {
+  if (argc < 5) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  try {
+    auto rep = dist::cancel_job(argv[2], uint16_t(port), uint64_t(std::atoll(argv[4])));
+    std::fprintf(rep.ok ? stdout : stderr, "%s\n", rep.message.c_str());
+    return rep.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_result(int argc, char** argv) {
+  if (argc < 5) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  try {
+    auto rec =
+        dist::fetch_result(argv[2], uint16_t(port), uint64_t(std::atoll(argv[4])), g_flags.wait);
+    if (rec.state != dist::JobState::kDone) {
+      std::fprintf(stderr, "job %llu %s: %s\n", (unsigned long long)rec.job_id,
+                   dist::job_state_name(rec.state), rec.error.c_str());
+      return 1;
+    }
+    const std::complex<double> amp(rec.amplitude_re, rec.amplitude_im);
+    // The exact line `amp`/`coordinate` print — the service e2e byte-diffs
+    // a job's amplitude against a solo run's.
+    std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", amp.real(), amp.imag(),
+                std::norm(amp));
+    std::printf("slices %d, tasks %llu, wall %.3fs\n", rec.num_slices,
+                (unsigned long long)rec.tasks_run, rec.wall_seconds);
+    print_telemetry(rec.telemetry.runtime_stats, rec.telemetry.memory);
+    print_shards(rec.telemetry.shards);
+    print_rebalance(rec.telemetry.rebalance);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_shutdown(int argc, char** argv) {
+  if (argc < 4) return 64;
+  const int port = std::atoi(argv[3]);
+  if (port <= 0 || port > 65535) return 64;
+  try {
+    auto rep = dist::shutdown_server(argv[2], uint16_t(port));
+    std::fprintf(rep.ok ? stdout : stderr, "%s\n", rep.message.c_str());
+    return rep.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int raw_argc, char** raw_argv) {
@@ -528,32 +751,66 @@ int main(int raw_argc, char** raw_argv) {
     const bool is_worker = argc >= 2 && std::strcmp(argv[1], "worker") == 0;
     obs::Tracer::instance().enable(is_worker ? 0 : -1);
   }
-  if (argc < 2) {
+  // Usage sections mirror the api::SimulatorOptions nesting: run-level
+  // knobs, then sharding.*, durability.*, observability.*, and the service
+  // flags the options structs don't cover.
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "help") == 0) {
     std::fprintf(stderr,
-                 "usage: ltns_cli gen <rows> <cols> <cycles> [seed]\n"
-                 "       ltns_cli gen-sycamore <cycles> [seed]\n"
-                 "       ltns_cli plan <circuit|-> [depth]\n"
-                 "       ltns_cli amp <circuit|-> <bitstring>\n"
-                 "       ltns_cli sample <circuit|-> <n_open> <n_samples>\n"
-                 "       ltns_cli coordinate <port> <nworkers> <circuit|-> <bitstring>\n"
-                 "       ltns_cli coordinate --status <host> <port>\n"
-                 "       ltns_cli worker <host> <port>\n"
-                 "flags: --runtime=ws|static|serial --grain=N --processes=N --workers=N\n"
-                 "       --backend=host|blocked|cuda|help --elastic --lease=N --heartbeat=S\n"
-                 "       --stall-timeout=S --spill-dir=PATH --resume --spill-fsync=S\n"
-                 "       --trace-out=PATH --metrics-out=PATH --metrics-interval=S\n"
-                 "       --no-telemetry --version\n");
-    return 64;
+                 "usage: ltns_cli <verb> [args] [flags]\n"
+                 "\n"
+                 "circuits:\n"
+                 "  gen <rows> <cols> <cycles> [seed]       emit a random circuit\n"
+                 "  gen-sycamore <cycles> [seed]            emit a Sycamore-53 circuit\n"
+                 "  plan <circuit|-> [depth]                path + lifetime slicing report\n"
+                 "\n"
+                 "one-shot runs:\n"
+                 "  amp|run <circuit|-> <bitstring>         one amplitude (sv check <= 22q)\n"
+                 "  sample <circuit|-> <n_open> <n_samples> correlated samples\n"
+                 "  coordinate <port> <n> <circuit|-> <bits> shard one job over TCP workers\n"
+                 "  coordinate --status <host> <port>       live lease state as JSON\n"
+                 "  worker <host> <port>                    serve a coordinator OR a fleet\n"
+                 "\n"
+                 "multi-tenant service (docs/service.md):\n"
+                 "  serve <port>                            persistent fair-share job server\n"
+                 "  submit <host> <port> <circuit|-> <bits> queue a job, print its id\n"
+                 "  status <host> <port> [job-id]           server (or one job) JSON\n"
+                 "  cancel <host> <port> <job-id>           cancel a queued/running job\n"
+                 "  result <host> <port> <job-id> [--wait]  fetch (or await) a result\n"
+                 "  shutdown <host> <port>                  drain the fleet and exit\n"
+                 "\n"
+                 "run flags:\n"
+                 "  --runtime=ws|static|serial --grain=N --backend=host|blocked|cuda|help\n"
+                 "  --target=N   planner slicing bound, log2 elems (default 16)\n"
+                 "sharding (options.sharding):\n"
+                 "  --processes=N --workers=N --elastic --lease=N --heartbeat=S\n"
+                 "  --stall-timeout=S\n"
+                 "durability (options.durability):\n"
+                 "  --spill-dir=PATH --resume --spill-fsync=S\n"
+                 "observability (options.observability):\n"
+                 "  --trace-out=PATH --metrics-out=PATH --metrics-interval=S --no-telemetry\n"
+                 "service:\n"
+                 "  serve:  --state-dir=PATH --max-queue=N --max-running=N\n"
+                 "  submit: --tenant=NAME --weight=N --priority=N --job-name=NAME\n"
+                 "  result: --wait\n"
+                 "misc:\n"
+                 "  --version --help\n");
+    return argc < 2 ? 64 : 0;
   }
   std::string cmd = argv[1];
   int rc = 64;
   if (cmd == "gen") rc = cmd_gen(argc, argv, false);
   else if (cmd == "gen-sycamore") rc = cmd_gen(argc, argv, true);
   else if (cmd == "plan") rc = cmd_plan(argc, argv);
-  else if (cmd == "amp") rc = cmd_amp(argc, argv);
+  else if (cmd == "amp" || cmd == "run") rc = cmd_amp(argc, argv);
   else if (cmd == "sample") rc = cmd_sample(argc, argv);
   else if (cmd == "coordinate") rc = cmd_coordinate(argc, argv);
   else if (cmd == "worker") rc = cmd_worker(argc, argv);
-  if (rc == 64) std::fprintf(stderr, "bad arguments; run without arguments for usage\n");
+  else if (cmd == "serve") rc = cmd_serve(argc, argv);
+  else if (cmd == "submit") rc = cmd_submit(argc, argv);
+  else if (cmd == "status") rc = cmd_status(argc, argv);
+  else if (cmd == "cancel") rc = cmd_cancel(argc, argv);
+  else if (cmd == "result") rc = cmd_result(argc, argv);
+  else if (cmd == "shutdown") rc = cmd_shutdown(argc, argv);
+  if (rc == 64) std::fprintf(stderr, "bad arguments; run `ltns_cli --help` for usage\n");
   return rc;
 }

@@ -41,6 +41,16 @@ struct RunOutput {
   std::string error;
 };
 
+// Moves one run's output into the result's shared telemetry tail.
+void fill_telemetry(RunTelemetry& t, RunOutput& out) {
+  t.stats = out.r.stats;
+  t.runtime_stats = out.r.executor_stats;
+  t.memory = out.r.memory;
+  t.shards = std::move(out.shards);
+  t.rebalance = out.rebalance;
+  t.error = std::move(out.error);
+}
+
 // Checkpoint-journal fingerprint of this exact job: a --resume against a
 // journal from a different job must be refused, not merged. Delegates to
 // the canonical dist::run_fingerprint (inputs + the RESOLVED plan, so any
@@ -70,33 +80,31 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
   };
 
   RunOutput out;
-  // Checkpoint spill only exists in the elastic driver: the ledger being
-  // journaled IS the lease ledger. Refuse silently-ignored flags.
-  if (!opt.spill_dir.empty() && !opt.elastic) {
-    out.error = "checkpoint spill requires the elastic driver (--elastic)";
-    return out;
-  }
+  // The shared coherence gate: refuse silently-ignored flag combinations
+  // (spill without elastic, resume without a spill dir, ...) in one place.
+  out.error = validate_options(opt);
+  if (!out.error.empty()) return out;
   // Elastic implies the shard driver even at one process — `--elastic`
   // must never silently degrade to the in-process path (a 1-process
   // elastic run still exercises the lease protocol and its telemetry).
-  if (opt.processes > 1 || opt.elastic) {
+  if (opt.sharding.processes > 1 || opt.sharding.elastic) {
     exec::ShardRunOptions so;
-    so.processes = opt.processes;
-    so.workers_per_process = opt.workers_per_process;
+    so.processes = opt.sharding.processes;
+    so.workers_per_process = opt.sharding.workers_per_process;
     so.executor = opt.executor;
     so.grain = opt.grain;
     so.fused = fused;
-    so.elastic = opt.elastic;
-    so.lease_size = opt.lease_size;
-    so.heartbeat_seconds = opt.heartbeat_seconds;
-    so.stall_timeout_seconds = opt.stall_timeout_seconds;
-    so.spill_dir = opt.spill_dir;
-    so.resume = opt.resume;
-    so.spill_fsync_seconds = opt.spill_fsync_seconds;
+    so.elastic = opt.sharding.elastic;
+    so.lease_size = opt.sharding.lease_size;
+    so.heartbeat_seconds = opt.sharding.heartbeat_seconds;
+    so.stall_timeout_seconds = opt.sharding.stall_timeout_seconds;
+    so.spill_dir = opt.durability.spill_dir;
+    so.resume = opt.durability.resume;
+    so.spill_fsync_seconds = opt.durability.fsync_seconds;
     so.spill_run_id = spill_run_id;
     so.backend = opt.backend;  // each worker constructs it after the fork
-    so.metrics_out = opt.metrics_out;
-    so.metrics_interval_seconds = opt.metrics_interval_seconds;
+    so.metrics_out = opt.observability.metrics_out;
+    so.metrics_interval_seconds = opt.observability.metrics_interval_seconds;
     auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
     out.r.completed = sr.completed;
@@ -127,6 +135,18 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
 
 }  // namespace
 
+std::string validate_options(const SimulatorOptions& opt) {
+  if (!opt.durability.spill_dir.empty() && !opt.sharding.elastic)
+    return "checkpoint spill requires the elastic driver (--elastic)";
+  if (opt.durability.spill_dir.empty() &&
+      (opt.durability.resume || opt.durability.fsync_seconds != 0))
+    return "--resume/--spill-fsync require --spill-dir";
+  if (opt.observability.metrics_out.empty() &&
+      opt.observability.metrics_interval_seconds != 0)
+    return "--metrics-interval requires --metrics-out";
+  return {};
+}
+
 AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
   auto p = prepare(circuit_, opt_, bits, {});
   AmplitudeResult res;
@@ -137,17 +157,13 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
   Timer t;
   exec::FusedPlan fused;
   auto out = run(p, opt_, &fused,
-                 opt_.spill_dir.empty() ? std::string{}
-                                        : run_fingerprint(circuit_, opt_, bits, {}, p.plan));
+                 opt_.durability.spill_dir.empty()
+                     ? std::string{}
+                     : run_fingerprint(circuit_, opt_, bits, {}, p.plan));
   const auto& rr = out.r;
   res.exec_seconds = t.seconds();
-  res.stats = rr.stats;
-  res.runtime_stats = rr.executor_stats;
-  res.memory = rr.memory;
   res.completed = rr.completed;
-  res.shards = std::move(out.shards);
-  res.rebalance = out.rebalance;
-  res.error = std::move(out.error);
+  fill_telemetry(res.telemetry, out);
   // A cancelled or failed run yields an empty tensor; report a zero
   // amplitude rather than reading a scalar that was never accumulated.
   if (!rr.completed || rr.accumulated.size() == 0) return res;
@@ -167,17 +183,12 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   exec::FusedPlan fused;
   auto out =
       run(p, opt_, &fused,
-          opt_.spill_dir.empty()
+          opt_.durability.spill_dir.empty()
               ? std::string{}
               : run_fingerprint(circuit_, opt_, bits, open_qubits, p.plan));
   const auto& rr = out.r;
-  res.stats = rr.stats;
-  res.runtime_stats = rr.executor_stats;
-  res.memory = rr.memory;
   res.completed = rr.completed;
-  res.shards = std::move(out.shards);
-  res.rebalance = out.rebalance;
-  res.error = std::move(out.error);
+  fill_telemetry(res.telemetry, out);
 
   // The result tensor's axes are the open output edges in some order;
   // re-index so open_qubits[0] is the most significant bit.

@@ -14,12 +14,53 @@
 #include <string>
 #include <vector>
 
+#include "api/telemetry.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
 #include "exec/shard_runner.hpp"
 #include "exec/slice_runner.hpp"
 
 namespace ltns::api {
+
+// Multi-process sharding knobs. processes > 1 forks one worker process per
+// shard of the 2^|S| subtasks (exec::run_sharded) and merges the partials
+// in fixed tournament order, so the result is bitwise identical to an
+// in-process run. `elastic` forces the shard driver even at one process:
+// workers lease bounded task ranges from a coordinator queue instead of
+// owning one fixed window — idle workers steal a straggler's untouched
+// ranges and a dead worker's leases are requeued, still bitwise identical.
+struct ShardingOptions {
+  int processes = 1;
+  int workers_per_process = 0;        // scheduler width per worker; 0 = hw/processes
+  bool elastic = false;
+  uint64_t lease_size = 0;            // tasks per lease; 0 = auto
+  double heartbeat_seconds = 0.2;     // worker liveness period
+  double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
+};
+
+// Durable run ledger (requires sharding.elastic): journal every completed
+// lease range to `<spill_dir>/ledger.journal` (fsync'd every
+// `fsync_seconds`; <= 0 = after every record). With `resume`, an existing
+// journal for the SAME job (circuit + bits + plan knobs are fingerprinted)
+// is replayed first, so a run whose coordinator crashed continues where
+// the journal ends and still produces output bitwise identical to an
+// uninterrupted run. See docs/operations.md.
+struct DurabilityOptions {
+  std::string spill_dir;
+  bool resume = false;
+  double fsync_seconds = 0;
+};
+
+// Live-metrics snapshot (requires sharding.elastic): the coordinator
+// writes `metrics_out` (ltns.metrics.v1 JSON + a .prom twin for scrapers)
+// every `metrics_interval_seconds` while the run is live, and once more at
+// the end. <= 0 disables. Event tracing needs no option here — arming
+// obs::Tracer before the run is process-global, and forked workers re-home
+// themselves automatically (see src/obs/trace.hpp).
+struct ObservabilityOptions {
+  std::string metrics_out;
+  double metrics_interval_seconds = 0;
+};
 
 struct SimulatorOptions {
   core::PlanOptions plan;
@@ -31,31 +72,6 @@ struct SimulatorOptions {
   ThreadPool* pool = nullptr;     // kInnerPool/kStaticPool; defaults to global
   runtime::SliceScheduler* scheduler = nullptr;  // kWorkStealing; defaults to global
   uint64_t grain = 1;             // scheduler chunk size (tasks per pop)
-  // Multi-process sharding: > 1 forks one worker process per shard of the
-  // 2^|S| subtasks (exec::run_sharded) and merges the partials in fixed
-  // tournament order, so the result is bitwise identical to an in-process
-  // run. Per-shard telemetry lands in the result's `shards`.
-  int processes = 1;
-  int workers_per_process = 0;    // scheduler width per worker; 0 = hw/processes
-  // Elastic sharding (forces the multi-process driver even when
-  // processes == 1): workers lease bounded task ranges
-  // from a coordinator queue instead of owning one fixed window — idle
-  // workers steal a straggler's untouched ranges and a dead worker's
-  // leases are requeued, still bitwise identical to an in-process run.
-  bool elastic = false;
-  uint64_t lease_size = 0;            // tasks per lease; 0 = auto
-  double heartbeat_seconds = 0.2;     // worker liveness period
-  double stall_timeout_seconds = 30;  // silent-with-leases -> revoke + requeue
-  // Durable run ledger (requires elastic): journal every completed lease
-  // range to `<spill_dir>/ledger.journal` (fsync'd every
-  // `spill_fsync_seconds`; <= 0 = after every record). With `resume`, an
-  // existing journal for the SAME job (circuit + bits + plan knobs are
-  // fingerprinted) is replayed first, so a run whose coordinator crashed
-  // continues where the journal ends and still produces output bitwise
-  // identical to an uninterrupted run. See docs/operations.md.
-  std::string spill_dir;
-  bool resume = false;
-  double spill_fsync_seconds = 0;
   // Device backend the kernels run on: "host" (reference), "blocked"
   // (cache-blocked/SIMD host device) or "cuda" (compile-gated). Every
   // conforming backend is bitwise identical, so results never depend on
@@ -63,15 +79,18 @@ struct SimulatorOptions {
   // unknown or compiled-out names. In sharded runs each worker process
   // constructs its own instance of this backend after the fork.
   std::string backend = "host";
-  // Live-metrics snapshot (requires elastic): the coordinator writes
-  // `metrics_out` (ltns.metrics.v1 JSON + a .prom twin for scrapers) every
-  // `metrics_interval_seconds` while the run is live, and once more at the
-  // end. <= 0 disables. Event tracing needs no option here — arming
-  // obs::Tracer before the run is process-global, and forked workers
-  // re-home themselves automatically (see src/obs/trace.hpp).
-  std::string metrics_out;
-  double metrics_interval_seconds = 0;
+  ShardingOptions sharding;
+  DurabilityOptions durability;
+  ObservabilityOptions observability;
 };
+
+// One shared gate for the flag combinations that would otherwise be
+// silently ignored (spill without the elastic driver, resume without a
+// spill dir, a metrics cadence with nowhere to write). Returns the error
+// text, empty when the options are coherent. Both the CLI (at parse time,
+// exit 64) and Simulator::amplitude/batch_amplitudes (as the result's
+// `telemetry.error`) call this, so the two layers can never drift.
+std::string validate_options(const SimulatorOptions& opt);
 
 struct AmplitudeResult {
   std::complex<double> amplitude{0, 0};
@@ -80,14 +99,7 @@ struct AmplitudeResult {
   bool completed = false;
   core::SlicedMetrics slicing;
   int num_slices = 0;
-  exec::ExecStats stats;
-  runtime::ExecutorSnapshot runtime_stats;  // per-run scheduler telemetry
-                                            // (aggregated over processes)
-  runtime::MemoryStats memory;              // main/LDM/RMA traffic recorder
-  std::vector<dist::ShardTelemetry> shards; // per-process telemetry
-                                            // (empty for in-process runs)
-  dist::RebalanceStats rebalance;           // elastic-mode lease telemetry
-  std::string error;                        // sharded-run failure, if any
+  RunTelemetry telemetry;  // shared tail; `telemetry.error` on failure
   double plan_seconds = 0;
   double exec_seconds = 0;
 };
@@ -99,12 +111,7 @@ struct BatchResult {
   bool completed = false;  // false: cancelled mid-flight, amplitudes empty
   std::vector<int> open_qubits;
   core::SlicedMetrics slicing;
-  exec::ExecStats stats;
-  runtime::ExecutorSnapshot runtime_stats;
-  runtime::MemoryStats memory;
-  std::vector<dist::ShardTelemetry> shards;  // per-process telemetry
-  dist::RebalanceStats rebalance;            // elastic-mode lease telemetry
-  std::string error;                         // sharded-run failure, if any
+  RunTelemetry telemetry;  // shared tail; `telemetry.error` on failure
 };
 
 class Simulator {

@@ -1,0 +1,33 @@
+// RunTelemetry: the shared telemetry tail every run result carries.
+//
+// AmplitudeResult, BatchResult and the service's per-job result frames all
+// end in the same block of observability state — executor stats, scheduler
+// snapshot, memory recorder, per-shard telemetry, elastic rebalance
+// counters and the failure string. Factoring it into one struct keeps the
+// three result types from drifting apart and lets the server serialize a
+// job's telemetry with one helper instead of six parallel fields.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/lease.hpp"
+#include "dist/wire.hpp"
+#include "exec/tree_executor.hpp"
+#include "runtime/executor_stats.hpp"
+#include "runtime/memory_stats.hpp"
+
+namespace ltns::api {
+
+struct RunTelemetry {
+  exec::ExecStats stats;                     // kernel-level flop/byte counters
+  runtime::ExecutorSnapshot runtime_stats;   // per-run scheduler telemetry
+                                             // (aggregated over processes)
+  runtime::MemoryStats memory;               // main/LDM/RMA traffic recorder
+  std::vector<dist::ShardTelemetry> shards;  // per-process telemetry
+                                             // (empty for in-process runs)
+  dist::RebalanceStats rebalance;            // elastic-mode lease telemetry
+  std::string error;                         // sharded-run failure, if any
+};
+
+}  // namespace ltns::api

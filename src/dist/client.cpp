@@ -1,0 +1,105 @@
+#include "dist/client.hpp"
+
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace ltns::dist {
+
+namespace {
+
+// One connected socket that always closes, whatever the reply path throws.
+struct Conn {
+  int fd = -1;
+  Conn(const std::string& host, uint16_t port) {
+    fd = connect_to(host, port, /*attempts=*/1);
+    if (fd < 0)
+      throw std::runtime_error("cannot reach job server at " + host + ":" +
+                               std::to_string(port));
+  }
+  ~Conn() { close_fd(&fd); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+};
+
+Frame read_reply(int fd) {
+  Frame f;
+  if (!read_frame(fd, &f))
+    throw std::runtime_error("job server closed the connection without replying");
+  if (f.type == FrameType::kError) {
+    ByteReader r(f.payload);
+    throw std::runtime_error(r.get_string());
+  }
+  return f;
+}
+
+ServerReply read_server_reply(int fd) {
+  Frame f = read_reply(fd);
+  if (f.type != FrameType::kServerReply)
+    throw std::runtime_error("unexpected reply frame from job server");
+  ByteReader r(f.payload);
+  ServerReply rep;
+  rep.ok = r.get<uint32_t>() != 0;
+  rep.message = r.get_string();
+  return rep;
+}
+
+}  // namespace
+
+SubmitReply submit_job(const std::string& host, uint16_t port, const JobSpec& spec) {
+  Conn c(host, port);
+  ByteWriter w;
+  put_job_spec(w, spec);
+  write_frame(c.fd, FrameType::kSubmit, w);
+  Frame f = read_reply(c.fd);
+  if (f.type != FrameType::kSubmitReply)
+    throw std::runtime_error("unexpected reply frame from job server");
+  ByteReader r(f.payload);
+  SubmitReply rep;
+  rep.ok = r.get<uint32_t>() != 0;
+  rep.job_id = r.get<uint64_t>();
+  rep.message = r.get_string();
+  return rep;
+}
+
+std::string job_status_json(const std::string& host, uint16_t port, uint64_t job_id) {
+  Conn c(host, port);
+  ByteWriter w;
+  w.put<uint64_t>(job_id);
+  write_frame(c.fd, FrameType::kJobStatus, w);
+  Frame f = read_reply(c.fd);
+  if (f.type != FrameType::kStatus)
+    throw std::runtime_error("unexpected reply frame from job server");
+  ByteReader r(f.payload);
+  return r.get_string();
+}
+
+ServerReply cancel_job(const std::string& host, uint16_t port, uint64_t job_id) {
+  Conn c(host, port);
+  ByteWriter w;
+  w.put<uint64_t>(job_id);
+  write_frame(c.fd, FrameType::kCancel, w);
+  return read_server_reply(c.fd);
+}
+
+JobResultRecord fetch_result(const std::string& host, uint16_t port, uint64_t job_id,
+                             bool wait) {
+  Conn c(host, port);
+  ByteWriter w;
+  w.put<uint64_t>(job_id);
+  w.put<uint32_t>(wait ? 1 : 0);
+  write_frame(c.fd, FrameType::kFetchResult, w);
+  Frame f = read_reply(c.fd);
+  if (f.type != FrameType::kResult)
+    throw std::runtime_error("unexpected reply frame from job server");
+  ByteReader r(f.payload);
+  return get_result_record(r);
+}
+
+ServerReply shutdown_server(const std::string& host, uint16_t port) {
+  Conn c(host, port);
+  write_frame(c.fd, FrameType::kShutdown, nullptr, 0);
+  return read_server_reply(c.fd);
+}
+
+}  // namespace ltns::dist

@@ -1,0 +1,49 @@
+// Control-plane client for the multi-tenant job server (dist/server.hpp):
+// one short-lived TCP connection per verb, speaking the v5 control frames
+// (kSubmit/kJobStatus/kCancel/kFetchResult/kShutdown). Backs the
+// `ltns_cli submit|status|cancel|result|shutdown` verbs and the service
+// tests; every call throws std::runtime_error when the server is
+// unreachable or answers with a protocol violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/job.hpp"
+
+namespace ltns::dist {
+
+struct SubmitReply {
+  bool ok = false;
+  uint64_t job_id = 0;   // valid when ok
+  std::string message;   // "queued", or the rejection reason
+};
+
+struct ServerReply {
+  bool ok = false;
+  std::string message;
+};
+
+// Submits one job spec. ok=false means the server REJECTED it (queue full,
+// bad circuit, draining) — the reason is in `message`, not an exception.
+SubmitReply submit_job(const std::string& host, uint16_t port, const JobSpec& spec);
+
+// Status JSON: job_id 0 = the whole-server snapshot (queue, admission,
+// tenants, workers, every job), otherwise the one job's record. Throws on
+// an unknown job id.
+std::string job_status_json(const std::string& host, uint16_t port, uint64_t job_id);
+
+ServerReply cancel_job(const std::string& host, uint16_t port, uint64_t job_id);
+
+// Fetches a terminal job's result record. With `wait` the connection long
+// polls until the job turns terminal; without it a non-terminal job throws
+// ("use --wait to block"). The record's own `state`/`error` distinguish
+// done from failed/cancelled.
+JobResultRecord fetch_result(const std::string& host, uint16_t port, uint64_t job_id,
+                             bool wait);
+
+// Asks the server to drain: finish running jobs, refuse new ones, release
+// the fleet, exit. Queued jobs persist when the server has a state dir.
+ServerReply shutdown_server(const std::string& host, uint16_t port);
+
+}  // namespace ltns::dist

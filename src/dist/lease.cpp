@@ -9,8 +9,10 @@
 
 namespace ltns::dist {
 
-LeaseLedger::LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size)
+LeaseLedger::LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size,
+                         uint64_t first_lease_id)
     : total_(total) {
+  next_id_ = first_lease_id;
   const int homes = std::max(1, home_workers);
   if (lease_size == 0) {
     // ~8 leases per home window: fine enough that a straggler's tail is a

@@ -80,7 +80,11 @@ class LeaseLedger {
  public:
   // Bounded leases over [0, total) seeded across `home_workers` notional
   // windows; lease_size = 0 auto-sizes to ~8 leases per home window.
-  LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size);
+  // `first_lease_id` seeds the id counter: the job server gives each job's
+  // ledger a disjoint id base so a lease id alone routes a worker frame to
+  // the right job (and a stale id from another job can never collide).
+  LeaseLedger(uint64_t total, int home_workers, uint64_t lease_size,
+              uint64_t first_lease_id = 1);
 
   // Issues the next range to `worker` (own home first, then steal from the
   // most-loaded home). False when nothing is pending — the run is either

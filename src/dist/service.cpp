@@ -21,6 +21,8 @@
 #include "device/backend.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/elastic.hpp"
+#include "dist/job.hpp"
+#include "dist/server.hpp"
 #include "dist/shard_merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_stream.hpp"
@@ -28,144 +30,11 @@
 #include "runtime/slice_scheduler.hpp"
 #include "util/timer.hpp"
 
+// The job/spec/result wire payloads, the deterministic prepare_job pipeline
+// and the socket helpers live in dist/job.hpp — shared with the multi-tenant
+// job server (dist/server.hpp) and its client (dist/client.hpp).
+
 namespace ltns::dist {
-
-namespace {
-
-// One job = everything a worker needs to reproduce the coordinator's plan
-// and run its shard window.
-struct Job {
-  std::string circuit_text;
-  std::string bits;  // '0'/'1' per qubit
-  double target_log2size = 16;
-  uint64_t plan_seed = 0;
-  uint32_t executor = 0;
-  uint64_t grain = 1;
-  int32_t workers = 0;
-  int32_t num_slices = 0;  // coordinator's |S|; worker must agree
-  int32_t shard_id = 0;
-  uint64_t first = 0;
-  uint64_t count = 0;  // ignored when elastic
-  uint32_t fused = 1;
-  uint64_t ldm_elems = 32768;
-  uint32_t elastic = 0;
-  double heartbeat_seconds = 0.2;
-  std::string backend = "host";  // default device backend; workers may override
-  uint32_t trace = 0;  // arm the worker's event tracer; chunk ships via kTrace
-};
-
-void put_job(ByteWriter& w, const Job& j) {
-  w.put_string(j.circuit_text);
-  w.put_string(j.bits);
-  w.put<double>(j.target_log2size);
-  w.put<uint64_t>(j.plan_seed);
-  w.put<uint32_t>(j.executor);
-  w.put<uint64_t>(j.grain);
-  w.put<int32_t>(j.workers);
-  w.put<int32_t>(j.num_slices);
-  w.put<int32_t>(j.shard_id);
-  w.put<uint64_t>(j.first);
-  w.put<uint64_t>(j.count);
-  w.put<uint32_t>(j.fused);
-  w.put<uint64_t>(j.ldm_elems);
-  w.put<uint32_t>(j.elastic);
-  w.put<double>(j.heartbeat_seconds);
-  w.put_string(j.backend);
-  w.put<uint32_t>(j.trace);
-}
-
-Job get_job(ByteReader& r) {
-  Job j;
-  j.circuit_text = r.get_string();
-  j.bits = r.get_string();
-  j.target_log2size = r.get<double>();
-  j.plan_seed = r.get<uint64_t>();
-  j.executor = r.get<uint32_t>();
-  j.grain = r.get<uint64_t>();
-  j.workers = r.get<int32_t>();
-  j.num_slices = r.get<int32_t>();
-  j.shard_id = r.get<int32_t>();
-  j.first = r.get<uint64_t>();
-  j.count = r.get<uint64_t>();
-  j.fused = r.get<uint32_t>();
-  j.ldm_elems = r.get<uint64_t>();
-  j.elastic = r.get<uint32_t>();
-  j.heartbeat_seconds = r.get<double>();
-  j.backend = r.get_string();
-  j.trace = r.get<uint32_t>();
-  return j;
-}
-
-struct Prepared {
-  circuit::LoweredNetwork lowered;
-  core::Plan plan;
-};
-
-// Checkpoint-journal fingerprint of a job: everything that changes the
-// deterministic plan or the amplitude. FNV-1a 64 over the identity fields,
-// so a `--resume` against a journal from a different circuit, bitstring or
-// plan target is refused instead of merging foreign tensors.
-
-// The deterministic plan both sides derive independently from the job spec.
-// This MUST mirror api::Simulator's prepare pipeline (lower -> simplify ->
-// make_plan with default options beyond target/seed) — the documented
-// bitwise comparability of `coordinate` vs `amp` depends on it, and the CI
-// distributed job diffs the two amplitude lines on every push to catch
-// drift.
-Prepared prepare(const circuit::Circuit& c, const std::vector<int>& bits, double target,
-                 uint64_t seed) {
-  circuit::LoweringOptions lo;
-  lo.output_bits = bits;
-  Prepared p{circuit::lower(c, lo), core::Plan{}};
-  circuit::simplify(p.lowered);
-  core::PlanOptions po;
-  po.target_log2size = target;
-  po.seed = seed;
-  p.plan = core::make_plan(p.lowered.net, po);
-  return p;
-}
-
-void close_fd(int* fd) {
-  if (*fd >= 0) ::close(*fd);
-  *fd = -1;
-}
-
-void send_error(int fd, const std::string& msg) {
-  try {
-    ByteWriter w;
-    w.put_string(msg);
-    write_frame(fd, FrameType::kError, w);
-  } catch (...) {
-  }
-}
-
-// Resolves `host` and connects, walking EVERY resolved address per
-// attempt (a stale first A record must not mask a working one) and
-// retrying every 500 ms up to `attempts` times so callers may start
-// before their peer. Returns -1 when nothing answered.
-int connect_to(const std::string& host, uint16_t port, int attempts) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* ai = nullptr;
-  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &ai) != 0 ||
-      ai == nullptr)
-    return -1;
-  int fd = -1;
-  for (int attempt = 0; attempt < attempts && fd < 0; ++attempt) {
-    if (attempt > 0) ::usleep(500 * 1000);
-    for (const addrinfo* a = ai; a != nullptr && fd < 0; a = a->ai_next) {
-      fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
-      if (fd >= 0 && ::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
-      if (fd >= 0) ::close(fd);
-      fd = -1;
-    }
-  }
-  ::freeaddrinfo(ai);
-  return fd;
-}
-
-}  // namespace
 
 CoordinatorServer::CoordinatorServer(uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -194,7 +63,8 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
   std::signal(SIGPIPE, SIG_IGN);
   CoordinatorResult res;
   Timer wall;
-  auto p = prepare(c, bits, opt.target_log2size, core::PlanOptions{}.seed);
+  auto prep = prepare_job(c, bits, opt.target_log2size, core::PlanOptions{}.seed);
+  Prepared& p = *prep;
   res.num_slices = p.plan.num_slices();
   if (p.plan.num_slices() >= 57) {  // same bound run_sharded enforces
     res.error = "too many sliced edges";
@@ -376,8 +246,19 @@ int serve_worker(const std::string& host, uint16_t port, const std::string& back
   try {
     write_frame(fd, FrameType::kHello, nullptr, 0);
     Frame f;
-    if (!read_frame(fd, &f) || f.type != FrameType::kJob)
-      throw std::runtime_error("expected a job frame");
+    if (!read_frame(fd, &f)) throw std::runtime_error("expected a job frame");
+    if (f.type == FrameType::kWelcome) {
+      // A kWelcome instead of a kJob means the peer is the multi-tenant job
+      // server: same `ltns_cli worker` binary joins either kind of
+      // coordinator, the first frame decides which protocol it speaks.
+      ByteReader wr(f.payload);
+      const int worker_id = int(wr.get<int32_t>());
+      const double heartbeat_seconds = wr.get<double>();
+      rc = serve_fleet_worker(fd, worker_id, heartbeat_seconds, backend_override);
+      ::close(fd);
+      return rc;
+    }
+    if (f.type != FrameType::kJob) throw std::runtime_error("expected a job frame");
     ByteReader jr(f.payload);
     Job job = get_job(jr);
 
@@ -390,7 +271,8 @@ int serve_worker(const std::string& host, uint16_t port, const std::string& back
     std::vector<int> bits;
     bits.reserve(job.bits.size());
     for (char ch : job.bits) bits.push_back(ch == '1');
-    auto p = prepare(circ, bits, job.target_log2size, job.plan_seed);
+    auto prep = prepare_job(circ, bits, job.target_log2size, job.plan_seed);
+    Prepared& p = *prep;
     if (p.plan.num_slices() != int(job.num_slices))
       throw std::runtime_error("plan mismatch: local |S| = " +
                                std::to_string(p.plan.num_slices()) + ", coordinator expected " +

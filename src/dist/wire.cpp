@@ -320,4 +320,16 @@ ShardTelemetry get_telemetry(ByteReader& r) {
   return t;
 }
 
+AggregatedTelemetry aggregate_telemetry(const std::vector<ShardTelemetry>& shards) {
+  AggregatedTelemetry agg;
+  for (const auto& t : shards) {
+    agg.tasks_run += t.tasks_run;
+    agg.reduce_merges += t.reduce_merges;
+    agg.stats.merge(t.exec);
+    agg.memory.merge(t.memory);
+    agg.executor.merge(t.executor);
+  }
+  return agg;
+}
+
 }  // namespace ltns::dist

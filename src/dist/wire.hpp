@@ -43,7 +43,12 @@ inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
 // v4: WorkerPulse after the backend name in heartbeat payloads (live
 //     per-worker metrics), trace flag in Job, kTrace frame (trace-buffer
 //     chunks shipped before the final telemetry).
-inline constexpr uint16_t kWireVersion = 4;
+// v5: the multi-tenant job service (dist/server.hpp). Job grew a job_id
+//     head field; new control frames kSubmit/kSubmitReply/kJobStatus/
+//     kCancel/kFetchResult/kResult/kServerReply/kShutdown (client API) and
+//     kWelcome/kJobLease (fleet workers multiplexing leases across
+//     concurrent jobs).
+inline constexpr uint16_t kWireVersion = 5;
 
 // Header endianness markers; read_frame rejects a frame whose marker does
 // not match the host's.
@@ -75,6 +80,20 @@ enum class FrameType : uint8_t {
   kStatusRequest = 13, // status probe -> coordinator: dump live state
   kStatus = 14,        // coordinator -> status probe: JSON snapshot
   kTrace = 15,         // worker -> coordinator: serialized trace-buffer chunk
+  // Multi-tenant job service (v5, dist/server.hpp). Client control plane:
+  kSubmit = 16,       // client -> server: JobSpec (queue a named job)
+  kSubmitReply = 17,  // server -> client: {ok, job_id, message}
+  kJobStatus = 18,    // client -> server: job id (0 = whole-server view);
+                      //   the server answers with a kStatus JSON frame
+  kCancel = 19,       // client -> server: job id to cancel
+  kFetchResult = 20,  // client -> server: {job id, wait flag}
+  kResult = 21,       // server -> client: terminal JobResultRecord
+  kServerReply = 22,  // server -> client: {ok, message} (cancel/shutdown)
+  kShutdown = 23,     // client -> server: finish running jobs, drain, exit
+  // Fleet workers (one long-lived fleet multiplexed across jobs):
+  kWelcome = 24,   // server -> worker: {worker_id}; marks a fleet server
+  kJobLease = 25,  // server -> worker: {job_id} + the kLease triple; the
+                   //   worker plans unseen job ids from the matching kJob
 };
 
 // --- payload (de)serialization -------------------------------------------
@@ -183,6 +202,18 @@ runtime::MemoryStats get_memory_stats(ByteReader& r);
 
 void put_telemetry(ByteWriter& w, const ShardTelemetry& t);
 ShardTelemetry get_telemetry(ByteReader& r);
+
+// The one way per-shard telemetry folds into run-level aggregates, shared
+// by exec::run_sharded, the TCP coordinator and the job server (each used
+// to hand-roll the same merge loop, which is how aggregation bugs drift).
+struct AggregatedTelemetry {
+  exec::ExecStats stats;                    // merged over shards
+  runtime::ExecutorSnapshot executor;       // merged over shards
+  runtime::MemoryStats memory;
+  uint64_t tasks_run = 0;
+  uint64_t reduce_merges = 0;               // worker-local merges only
+};
+AggregatedTelemetry aggregate_telemetry(const std::vector<ShardTelemetry>& shards);
 
 // --- framing over a file descriptor (socketpair or TCP socket) -----------
 

@@ -230,13 +230,12 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     }
   }
 
-  for (const auto& t : res.shards) {
-    res.tasks_run += t.tasks_run;
-    res.reduce_merges += t.reduce_merges;
-    res.stats.merge(t.exec);
-    res.memory.merge(t.memory);
-    res.executor_stats.merge(t.executor);
-  }
+  auto agg = dist::aggregate_telemetry(res.shards);
+  res.tasks_run += agg.tasks_run;
+  res.reduce_merges += agg.reduce_merges;
+  res.stats.merge(agg.stats);
+  res.memory.merge(agg.memory);
+  res.executor_stats.merge(agg.executor);
   // Surface the lease telemetry through the aggregated snapshot, so the
   // rebalance counters ride every existing telemetry path (API + CLI).
   res.executor_stats.ranges_stolen += res.rebalance.ranges_stolen;

@@ -262,4 +262,31 @@ void fill_run_metrics(MetricsRegistry& reg, const runtime::ExecutorSnapshot& s,
   reg.counter("ltns_straggler_wait_seconds_total", reb.straggler_wait_seconds);
 }
 
+void fill_server_metrics(MetricsRegistry& reg, const ServerSample& s) {
+  // Queue + admission state.
+  reg.gauge("ltns_server_queue_depth", double(s.queued));
+  reg.gauge("ltns_server_running_jobs", double(s.running));
+  reg.gauge("ltns_server_running_limit", double(s.running_limit));
+  reg.gauge("ltns_server_max_queued", double(s.max_queued));
+  reg.gauge("ltns_server_workers", double(s.workers));
+  reg.gauge("ltns_server_fleet_utilization_ema", s.fleet_utilization_ema);
+
+  // Lifetime job counters.
+  reg.counter("ltns_server_jobs_submitted_total", double(s.submitted_total));
+  reg.counter("ltns_server_jobs_rejected_total", double(s.rejected_total));
+  reg.counter("ltns_server_jobs_cancelled_total", double(s.cancelled_total));
+  reg.counter("ltns_server_jobs_completed_total", double(s.completed_total));
+  reg.counter("ltns_server_jobs_failed_total", double(s.failed_total));
+
+  // Per-tenant fair-share state.
+  for (const auto& t : s.tenants) {
+    const Labels labels = {{"tenant", t.tenant}};
+    reg.gauge("ltns_tenant_weight", double(t.weight), labels);
+    reg.gauge("ltns_tenant_virtual_time", t.virtual_time, labels);
+    reg.gauge("ltns_tenant_queued_jobs", double(t.queued), labels);
+    reg.gauge("ltns_tenant_running_jobs", double(t.running), labels);
+    reg.counter("ltns_tenant_tasks_charged_total", double(t.tasks_charged), labels);
+  }
+}
+
 }  // namespace ltns::obs

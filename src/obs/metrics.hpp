@@ -73,4 +73,37 @@ void fill_run_metrics(MetricsRegistry& reg, const runtime::ExecutorSnapshot& s,
                       const runtime::MemoryStats& mem, const dist::RebalanceStats& reb,
                       uint64_t tasks_run, uint64_t reduce_merges, double wall_seconds);
 
+// One tenant's slice of the job-server scheduling state, sampled live.
+struct TenantSample {
+  std::string tenant;
+  uint32_t weight = 1;
+  double virtual_time = 0;       // stride-scheduler clock position
+  uint64_t tasks_charged = 0;    // lifetime dispatched work
+  uint64_t queued = 0;
+  uint64_t running = 0;
+};
+
+// The multi-tenant job server's scheduling/admission state, sampled live.
+// Kept as a plain struct (like RebalanceStats above) so obs stays free of
+// dist headers.
+struct ServerSample {
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  uint64_t workers = 0;  // connected fleet workers
+  int running_limit = 0;
+  uint64_t max_queued = 0;
+  double fleet_utilization_ema = 0;
+  uint64_t submitted_total = 0;
+  uint64_t rejected_total = 0;
+  uint64_t cancelled_total = 0;
+  uint64_t completed_total = 0;
+  uint64_t failed_total = 0;
+  std::vector<TenantSample> tenants;
+};
+
+// The job server's live scheduling series: queue depth, the adaptive
+// admission limit, fleet utilization, lifetime job counters, and one
+// {tenant=...} labelled family per tenant.
+void fill_server_metrics(MetricsRegistry& reg, const ServerSample& s);
+
 }  // namespace ltns::obs

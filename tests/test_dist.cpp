@@ -1198,11 +1198,42 @@ TEST(RunShardedElastic, SpillWithoutElasticIsRefusedByTheApi) {
   ScopedTempDir dir;
   api::SimulatorOptions sopt;
   sopt.plan.target_log2size = 8;
-  sopt.spill_dir = dir.path;  // no elastic
+  sopt.durability.spill_dir = dir.path;  // no elastic
   api::Simulator sim(circ, sopt);
   auto res = sim.amplitude(bits);
   EXPECT_FALSE(res.completed);
-  EXPECT_NE(res.error.find("elastic"), std::string::npos) << res.error;
+  EXPECT_NE(res.telemetry.error.find("elastic"), std::string::npos) << res.telemetry.error;
+}
+
+// The same gate catches every silently-ignorable combination at the API
+// layer — batch runs included — not just at CLI flag parsing.
+TEST(RunShardedElastic, ValidateOptionsCatchesIncoherentFlags) {
+  api::SimulatorOptions ok;
+  EXPECT_TRUE(api::validate_options(ok).empty());
+
+  api::SimulatorOptions spill_static;
+  spill_static.durability.spill_dir = "/tmp/x";
+  EXPECT_NE(api::validate_options(spill_static).find("elastic"), std::string::npos);
+  spill_static.sharding.elastic = true;
+  EXPECT_TRUE(api::validate_options(spill_static).empty());
+
+  api::SimulatorOptions resume_only;
+  resume_only.durability.resume = true;
+  EXPECT_NE(api::validate_options(resume_only).find("--spill-dir"), std::string::npos);
+
+  api::SimulatorOptions interval_only;
+  interval_only.observability.metrics_interval_seconds = 1;
+  EXPECT_NE(api::validate_options(interval_only).find("--metrics-out"), std::string::npos);
+
+  // Batch runs route through the same gate: the error lands in telemetry.
+  auto circ = test::small_rqc(3, 3, 4);
+  api::SimulatorOptions sopt;
+  sopt.plan.target_log2size = 8;
+  sopt.durability.spill_dir = "/tmp/never-used";  // no elastic
+  api::Simulator sim(circ, sopt);
+  auto batch = sim.batch_amplitudes(test::zero_bits(circ.num_qubits), {0, 1});
+  EXPECT_FALSE(batch.completed);
+  EXPECT_NE(batch.telemetry.error.find("elastic"), std::string::npos) << batch.telemetry.error;
 }
 
 // --- TCP coordinator/worker service --------------------------------------

@@ -37,7 +37,7 @@ TEST_P(AmplitudeVsStatevector, Matches) {
   EXPECT_NEAR(std::abs(res.amplitude - want), 0.0, 1e-4)
       << "seed " << seed << " fused " << fused;
   EXPECT_GE(res.num_slices, 0);
-  EXPECT_GT(res.stats.flops, 0.0);
+  EXPECT_GT(res.telemetry.stats.flops, 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedsAndModes, AmplitudeVsStatevector,
