@@ -10,11 +10,13 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "cache/cache.hpp"
 #include "core/greedy_slicer.hpp"
 #include "core/slice_finder.hpp"
 #include "core/slice_refiner.hpp"
 #include "path/greedy.hpp"
 #include "path/local_tune.hpp"
+#include "util/timer.hpp"
 
 using namespace ltns;
 
@@ -95,5 +97,44 @@ int main(int argc, char** argv) {
   std::printf("  best overhead found:                %.4f  (paper: <1.05)\n", best_ovh);
   std::printf("  (ties within 0.1%% count as equal; the red series is the size gap,\n"
               "   the green series is the per-path ratio column above)\n");
+
+  // Cold vs warm planning latency through the content-addressed plan cache
+  // (src/cache/): the cold side pays the full trial budget in src/path/,
+  // the warm side deserializes the stored SSA path + slice set and rebuilds
+  // the tree — zero optimizer invocations. Machine-readable for the perf
+  // dashboards, same spirit as fig11's scaling JSON.
+  {
+    core::PlanOptions po;
+    po.path.greedy_trials = 32;
+    po.path.partition_trials = 8;
+    po.target_log2size = 30;  // the paper's fixed 2^30 slicing target
+    cache::CacheOptions copt;  // in-memory tiers: pure (de)serialization cost
+    cache::PlanCache pc(copt);
+    const auto key = cache::plan_key("fig10-sycamore", "", "", po);
+
+    const uint64_t inv0 = path::find_path_invocations();
+    Timer cold_timer;
+    auto plan = core::make_plan(ln.net, po);
+    const double cold_seconds = cold_timer.seconds();
+    const uint64_t cold_invocations = path::find_path_invocations() - inv0;
+    pc.insert(key, plan);
+
+    core::Plan warm_plan;
+    const uint64_t inv1 = path::find_path_invocations();
+    Timer warm_timer;
+    const bool hit = pc.lookup(key, ln.net, &warm_plan);
+    const double warm_seconds = warm_timer.seconds();
+    const uint64_t warm_invocations = path::find_path_invocations() - inv1;
+
+    std::printf("\nplanning-latency JSON (cold = src/path/ runs, warm = plan-cache hit):\n");
+    std::printf("{\"section\":\"planning_latency\",\"network\":\"sycamore53-m%d\","
+                "\"cold_seconds\":%.6f,\"warm_seconds\":%.6f,\"speedup\":%.1f,"
+                "\"cold_planner_invocations\":%llu,\"warm_planner_invocations\":%llu,"
+                "\"plan_cache_hit\":%s,\"num_slices\":%d}\n",
+                cycles, cold_seconds, warm_seconds,
+                warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0,
+                (unsigned long long)cold_invocations, (unsigned long long)warm_invocations,
+                hit ? "true" : "false", warm_plan.num_slices());
+  }
   return 0;
 }

@@ -38,6 +38,12 @@
 //                                restarted coordinator redoes only unfinished
 //                                ranges (output stays bitwise identical)
 //   --spill-fsync=SECONDS        journal fsync cadence (default 0 = every record)
+//   --cache-dir=PATH             persistent plan/result cache directory, shared
+//                                across runs AND transports (amp/sample/serve
+//                                hit the same store; see docs/caching.md)
+//   --plan-cache=N               in-memory plan-cache entries (0 disables)
+//   --result-cache=N             in-memory result-cache entries (0 disables)
+//   --cache-readonly             consult but never write the on-disk store
 //   --trace-out=PATH             arm the event tracer and write the run's
 //                                Chrome trace-event JSON there (load it in
 //                                chrome://tracing or ui.perfetto.dev; multi-
@@ -71,6 +77,7 @@
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "path/optimizer.hpp"
 #include "sv/statevector.hpp"
 #include "util/timer.hpp"
 
@@ -92,6 +99,13 @@ struct RuntimeFlags {
   std::string spill_dir;
   bool resume = false;
   double spill_fsync = 0;
+  // Cache flag group (options.cache). The -1 sentinels mean "not given":
+  // cmd_serve needs to tell an explicit --plan-cache apart from the default
+  // to refuse a memory-only cache behind a long-lived daemon.
+  std::string cache_dir;
+  long long plan_cache = -1;
+  long long result_cache = -1;
+  bool cache_readonly = false;
   std::string backend = "host";
   bool backend_set = false;  // --backend given explicitly (worker override)
   std::string trace_out;
@@ -134,6 +148,10 @@ api::SimulatorOptions make_sim_options() {
   opt.durability.spill_dir = g_flags.spill_dir;
   opt.durability.resume = g_flags.resume;
   opt.durability.fsync_seconds = g_flags.spill_fsync;
+  opt.cache.cache_dir = g_flags.cache_dir;
+  if (g_flags.plan_cache >= 0) opt.cache.plan_cache_entries = size_t(g_flags.plan_cache);
+  if (g_flags.result_cache >= 0) opt.cache.result_cache_entries = size_t(g_flags.result_cache);
+  opt.cache.read_only = g_flags.cache_readonly;
   opt.observability.metrics_out = g_flags.metrics_out;
   opt.observability.metrics_interval_seconds = g_flags.metrics_interval;
   return opt;
@@ -198,6 +216,26 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       g_flags.resume = true;
     } else if (std::strncmp(argv[i], "--spill-fsync=", 14) == 0) {
       g_flags.spill_fsync = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      g_flags.cache_dir = argv[i] + 12;
+      if (g_flags.cache_dir.empty()) {
+        std::fprintf(stderr, "--cache-dir needs a path\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--plan-cache=", 13) == 0) {
+      g_flags.plan_cache = std::atoll(argv[i] + 13);
+      if (g_flags.plan_cache < 0) {
+        std::fprintf(stderr, "--plan-cache must be >= 0 (0 disables the plan cache)\n");
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--result-cache=", 15) == 0) {
+      g_flags.result_cache = std::atoll(argv[i] + 15);
+      if (g_flags.result_cache < 0) {
+        std::fprintf(stderr, "--result-cache must be >= 0 (0 disables the result cache)\n");
+        std::exit(64);
+      }
+    } else if (std::strcmp(argv[i], "--cache-readonly") == 0) {
+      g_flags.cache_readonly = true;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       g_flags.trace_out = argv[i] + 12;
       if (g_flags.trace_out.empty()) {
@@ -275,12 +313,40 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
   return rest;
 }
 
+// cache::CacheStats -> the obs mirror struct the metrics registry takes.
+// Also where ltns_planner_invocations_total comes from: the CI cache job
+// asserts it stays flat across a warm run.
+obs::CacheSample to_cache_sample(const cache::CacheStats* c) {
+  obs::CacheSample s;
+  if (c != nullptr) {
+    const std::pair<const char*, const cache::TierStats*> tiers[] = {{"plan", &c->plan},
+                                                                     {"result", &c->result}};
+    for (const auto& [name, t] : tiers) {
+      obs::CacheTierSample ts;
+      ts.tier = name;
+      ts.memory_hits = t->memory_hits;
+      ts.disk_hits = t->disk_hits;
+      ts.misses = t->misses;
+      ts.evictions = t->evictions;
+      ts.insertions = t->insertions;
+      ts.corrupt_dropped = t->corrupt_dropped;
+      ts.disk_bytes_written = t->disk_bytes_written;
+      ts.memory_entries = t->memory_entries;
+      ts.memory_bytes = t->memory_bytes;
+      s.tiers.push_back(ts);
+    }
+  }
+  s.planner_invocations = path::find_path_invocations();
+  return s;
+}
+
 // Post-run observability flush: the merged Chrome trace (local threads +
 // any ingested worker chunks) and the final metrics snapshot. Failures are
 // reported but never change the exit code — the amplitude already printed.
 void flush_observability(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem,
                          const dist::RebalanceStats& reb, uint64_t tasks_run,
-                         uint64_t reduce_merges, double wall_seconds) {
+                         uint64_t reduce_merges, double wall_seconds,
+                         const cache::CacheStats* cache = nullptr) {
   if (!g_flags.trace_out.empty()) {
     std::string err;
     if (!obs::Tracer::instance().write_chrome_json(g_flags.trace_out, &err))
@@ -289,6 +355,7 @@ void flush_observability(const runtime::ExecutorSnapshot& rt, const runtime::Mem
   if (!g_flags.metrics_out.empty()) {
     obs::MetricsRegistry reg;
     obs::fill_run_metrics(reg, rt, mem, reb, tasks_run, reduce_merges, wall_seconds);
+    obs::fill_cache_metrics(reg, to_cache_sample(cache));
     std::string err;
     if (!reg.write_files(g_flags.metrics_out, &err))
       std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
@@ -322,6 +389,16 @@ void print_rebalance(const dist::RebalanceStats& r) {
   if (r.ranges_replayed > 0)
     std::printf("resume: %llu ranges (%llu tasks) replayed from the spill journal\n",
                 (unsigned long long)r.ranges_replayed, (unsigned long long)r.tasks_replayed);
+}
+
+void print_cache(const cache::CacheStats& c) {
+  if (!g_flags.telemetry || c.hits() + c.misses() == 0) return;
+  std::printf("cache: plan %llu hits (%llu mem, %llu disk) / %llu misses, "
+              "result %llu hits (%llu mem, %llu disk) / %llu misses\n",
+              (unsigned long long)c.plan.hits(), (unsigned long long)c.plan.memory_hits,
+              (unsigned long long)c.plan.disk_hits, (unsigned long long)c.plan.misses,
+              (unsigned long long)c.result.hits(), (unsigned long long)c.result.memory_hits,
+              (unsigned long long)c.result.disk_hits, (unsigned long long)c.result.misses);
 }
 
 void print_telemetry(const runtime::ExecutorSnapshot& rt, const runtime::MemoryStats& mem) {
@@ -446,11 +523,13 @@ int cmd_amp(int argc, char** argv) {
               res.amplitude.imag(), std::norm(res.amplitude));
   std::printf("slices %d, overhead %.4f, flops %.3g\n", res.num_slices, res.slicing.overhead(),
               tel.stats.flops);
+  const auto cstats = sim.cache_stats();
   print_telemetry(tel.runtime_stats, tel.memory);
   print_shards(tel.shards);
   print_rebalance(tel.rebalance);
+  print_cache(cstats);
   flush_observability(tel.runtime_stats, tel.memory, tel.rebalance, tel.runtime_stats.finished,
-                      tel.runtime_stats.reduce.count, res.exec_seconds);
+                      tel.runtime_stats.reduce.count, res.exec_seconds, &cstats);
   if (circ.num_qubits <= 22) {
     auto exact = sv::simulate_amplitude(circ, bits);
     std::printf("statevector check: |diff| = %.3g\n", std::abs(res.amplitude - exact));
@@ -484,12 +563,14 @@ int cmd_sample(int argc, char** argv) {
   std::printf("# open qubits:");
   for (int q : open) std::printf(" %d", q);
   std::printf("\n");
+  const auto cstats = sim.cache_stats();
   print_telemetry(tel.runtime_stats, tel.memory);
   print_shards(tel.shards);
   print_rebalance(tel.rebalance);
+  print_cache(cstats);
   flush_observability(tel.runtime_stats, tel.memory, tel.rebalance,
                       tel.runtime_stats.finished, tel.runtime_stats.reduce.count,
-                      wall_seconds);
+                      wall_seconds, &cstats);
   for (auto s : samples) {
     for (int i = 0; i < n_open; ++i) std::putchar('0' + char((s >> (n_open - 1 - i)) & 1));
     std::putchar('\n');
@@ -616,6 +697,20 @@ int cmd_serve(int argc, char** argv) {
   so.metrics_interval_seconds = g_flags.metrics_interval;
   so.admission.max_queued = size_t(g_flags.max_queue);
   so.admission.max_running = g_flags.max_running;
+  // The server only engages the cache with a persistent tier behind it: a
+  // memory-only cache inside a long-lived daemon would claim fingerprints
+  // that silently vanish on restart. Explicit cache flags without
+  // --cache-dir are therefore a refused combination, not a quiet no-op.
+  if (g_flags.cache_dir.empty() &&
+      (g_flags.plan_cache >= 0 || g_flags.result_cache >= 0 || g_flags.cache_readonly)) {
+    std::fprintf(stderr, "serve: cache flags require --cache-dir (a memory-only cache in a "
+                         "persistent daemon would vanish on restart)\n");
+    return 64;
+  }
+  so.cache.cache_dir = g_flags.cache_dir;
+  if (g_flags.plan_cache >= 0) so.cache.plan_cache_entries = size_t(g_flags.plan_cache);
+  if (g_flags.result_cache >= 0) so.cache.result_cache_entries = size_t(g_flags.result_cache);
+  so.cache.read_only = g_flags.cache_readonly;
   try {
     dist::JobServer server{uint16_t(port), so};
     std::fprintf(stderr, "job server listening on port %u%s\n", unsigned(server.port()),
@@ -786,6 +881,10 @@ int main(int raw_argc, char** raw_argv) {
                  "  --stall-timeout=S\n"
                  "durability (options.durability):\n"
                  "  --spill-dir=PATH --resume --spill-fsync=S\n"
+                 "cache (options.cache, docs/caching.md):\n"
+                 "  --cache-dir=PATH   persistent plan/result store (amp/sample/serve share it)\n"
+                 "  --plan-cache=N --result-cache=N   LRU entries (0 disables that cache)\n"
+                 "  --cache-readonly   consult but never write the on-disk store\n"
                  "observability (options.observability):\n"
                  "  --trace-out=PATH --metrics-out=PATH --metrics-interval=S --no-telemetry\n"
                  "service:\n"

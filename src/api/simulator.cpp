@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "cache/cache.hpp"
 #include "circuit/io.hpp"
 #include "device/backend.hpp"
 #include "dist/checkpoint.hpp"
@@ -10,28 +11,67 @@
 
 namespace ltns::api {
 
-Simulator::Simulator(circuit::Circuit c, SimulatorOptions opt)
-    : circuit_(std::move(c)), opt_(std::move(opt)) {}
-
-namespace {
-
-struct Prepared {
+// The pinned planning state behind a PreparedPlan handle. Allocated once,
+// never moved: `plan.tree` holds a raw pointer to `lowered.net`, so the
+// network must reach its final address before make_plan (or a cache
+// rebuild) runs against it.
+struct PreparedPlan::State {
+  std::vector<int> bits;
+  std::vector<int> open_qubits;
   circuit::LoweredNetwork lowered;
   core::Plan plan;
   double plan_seconds = 0;
+  bool plan_from_cache = false;
+  std::string plan_cache_key;
+  std::string result_cache_key;
 };
 
-Prepared prepare(const circuit::Circuit& c, const SimulatorOptions& opt,
-                 const std::vector<int>& bits, const std::vector<int>& open_qubits) {
-  Timer t;
-  circuit::LoweringOptions lo;
-  lo.output_bits = bits;
-  lo.open_qubits = open_qubits;
-  Prepared p{circuit::lower(c, lo), core::Plan{}, 0};
-  circuit::simplify(p.lowered);
-  p.plan = core::make_plan(p.lowered.net, opt.plan);
-  p.plan_seconds = t.seconds();
-  return p;
+bool PreparedPlan::plan_from_cache() const { return state_ != nullptr && state_->plan_from_cache; }
+double PreparedPlan::plan_seconds() const { return state_ != nullptr ? state_->plan_seconds : 0; }
+int PreparedPlan::num_slices() const { return state_ != nullptr ? state_->plan.num_slices() : 0; }
+
+const std::vector<int>& PreparedPlan::bits() const {
+  static const std::vector<int> empty;
+  return state_ != nullptr ? state_->bits : empty;
+}
+
+const std::vector<int>& PreparedPlan::open_qubits() const {
+  static const std::vector<int> empty;
+  return state_ != nullptr ? state_->open_qubits : empty;
+}
+
+const core::SlicedMetrics& PreparedPlan::slicing() const {
+  static const core::SlicedMetrics empty;
+  return state_ != nullptr ? state_->plan.metrics : empty;
+}
+
+const std::string& PreparedPlan::plan_cache_key() const {
+  static const std::string empty;
+  return state_ != nullptr ? state_->plan_cache_key : empty;
+}
+
+Simulator::Simulator(circuit::Circuit c, SimulatorOptions opt)
+    : circuit_(std::move(c)), opt_(std::move(opt)) {
+  if (opt_.cache.plan_enabled()) plan_cache_ = std::make_shared<cache::PlanCache>(opt_.cache);
+  if (opt_.cache.result_enabled())
+    result_cache_ = std::make_shared<cache::ResultCache>(opt_.cache);
+}
+
+namespace {
+
+// Canonical key preimage forms, shared with dist::run_fingerprint: '0'/'1'
+// text for the output bits, "q0,q1," text for the open-qubit list.
+std::string bit_text(const std::vector<int>& bits) {
+  std::string t;
+  t.reserve(bits.size());
+  for (int b : bits) t += b != 0 ? '1' : '0';
+  return t;
+}
+
+std::string open_text(const std::vector<int>& open_qubits) {
+  std::string t;
+  for (int q : open_qubits) t += std::to_string(q) + ",";
+  return t;
 }
 
 struct RunOutput {
@@ -59,23 +99,20 @@ void fill_telemetry(RunTelemetry& t, RunOutput& out) {
 std::string run_fingerprint(const circuit::Circuit& c, const SimulatorOptions& opt,
                             const std::vector<int>& bits, const std::vector<int>& open_qubits,
                             const core::Plan& plan) {
-  std::string bit_text;
-  bit_text.reserve(bits.size());
-  for (int b : bits) bit_text += b != 0 ? '1' : '0';
-  std::string open_text;
-  for (int q : open_qubits) open_text += std::to_string(q) + ",";
-  return dist::run_fingerprint(circuit::circuit_to_string(c), bit_text, open_text, opt.fused,
-                               opt.ldm_elems, plan.path, plan.slices.to_vector());
+  return dist::run_fingerprint(circuit::circuit_to_string(c), bit_text(bits),
+                               open_text(open_qubits), opt.fused, opt.ldm_elems, plan.path,
+                               plan.slices.to_vector());
 }
 
-RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* fused_storage,
+RunOutput run(const circuit::LoweredNetwork& lowered, const core::Plan& plan,
+              const SimulatorOptions& opt, exec::FusedPlan* fused_storage,
               const std::string& spill_run_id) {
   const exec::FusedPlan* fused = nullptr;
   if (opt.fused) {
-    *fused_storage = exec::plan_fused(p.plan.stem, p.plan.slices.to_vector(), opt.ldm_elems);
+    *fused_storage = exec::plan_fused(plan.stem, plan.slices.to_vector(), opt.ldm_elems);
     fused = fused_storage;
   }
-  auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
+  auto leaves = [&ln = lowered](tn::VertId v) -> const exec::Tensor& {
     return ln.tensors[size_t(v)];
   };
 
@@ -105,7 +142,7 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
     so.backend = opt.backend;  // each worker constructs it after the fork
     so.metrics_out = opt.observability.metrics_out;
     so.metrics_interval_seconds = opt.observability.metrics_interval_seconds;
-    auto sr = exec::run_sharded(*p.plan.tree, leaves, p.plan.slices, so);
+    auto sr = exec::run_sharded(*plan.tree, leaves, plan.slices, so);
     out.r.accumulated = std::move(sr.accumulated);
     out.r.completed = sr.completed;
     out.r.tasks_run = sr.tasks_run;
@@ -129,7 +166,7 @@ RunOutput run(const Prepared& p, const SimulatorOptions& opt, exec::FusedPlan* f
   ro.pool = opt.pool != nullptr ? opt.pool : &ThreadPool::global();
   ro.fused = fused;
   ro.backend = backend.get();
-  out.r = exec::run_sliced(*p.plan.tree, leaves, p.plan.slices, ro);
+  out.r = exec::run_sliced(*plan.tree, leaves, plan.slices, ro);
   return out;
 }
 
@@ -144,22 +181,98 @@ std::string validate_options(const SimulatorOptions& opt) {
   if (opt.observability.metrics_out.empty() &&
       opt.observability.metrics_interval_seconds != 0)
     return "--metrics-interval requires --metrics-out";
-  return {};
+  return cache::validate_cache_options(opt.cache);
+}
+
+std::string Simulator::plan_key_for(const std::vector<int>& bits,
+                                    const std::vector<int>& open_qubits) const {
+  return cache::plan_key(circuit::circuit_to_string(circuit_), bit_text(bits),
+                         open_text(open_qubits), opt_.plan);
+}
+
+std::string Simulator::result_key_for(const std::vector<int>& bits,
+                                      const std::vector<int>& open_qubits) const {
+  return cache::result_key(circuit::circuit_to_string(circuit_), bit_text(bits),
+                           open_text(open_qubits), opt_.plan, opt_.fused, opt_.ldm_elems);
+}
+
+PreparedPlan Simulator::prepare(const std::vector<int>& bits,
+                                const std::vector<int>& open_qubits) const {
+  Timer t;
+  auto st = std::make_shared<PreparedPlan::State>();
+  st->bits = bits;
+  st->open_qubits = open_qubits;
+  st->plan_cache_key = plan_key_for(bits, open_qubits);
+  st->result_cache_key = result_key_for(bits, open_qubits);
+  circuit::LoweringOptions lo;
+  lo.output_bits = bits;
+  lo.open_qubits = open_qubits;
+  // The network lands at its FINAL heap address before any plan (cached or
+  // fresh) is built over it — the tree keeps a raw pointer into it.
+  st->lowered = circuit::lower(circuit_, lo);
+  circuit::simplify(st->lowered);
+  if (plan_cache_ != nullptr &&
+      plan_cache_->lookup(st->plan_cache_key, st->lowered.net, &st->plan)) {
+    st->plan_from_cache = true;
+  } else {
+    st->plan = core::make_plan(st->lowered.net, opt_.plan);
+    if (plan_cache_ != nullptr) plan_cache_->insert(st->plan_cache_key, st->plan);
+  }
+  st->plan_seconds = t.seconds();
+  PreparedPlan p;
+  p.state_ = std::move(st);
+  return p;
+}
+
+bool Simulator::amplitude_from_cache(const std::string& key, double plan_seconds,
+                                     AmplitudeResult* out) const {
+  if (result_cache_ == nullptr) return false;
+  cache::AmplitudeEntry e;
+  if (!result_cache_->lookup_amplitude(key, &e)) return false;
+  out->amplitude = e.amplitude;
+  out->completed = true;
+  out->slicing = e.slicing;
+  out->num_slices = e.num_slices;
+  out->telemetry = std::move(e.telemetry);
+  out->plan_seconds = plan_seconds;
+  out->exec_seconds = 0;
+  return true;
 }
 
 AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
-  auto p = prepare(circuit_, opt_, bits, {});
+  // A cached completed result answers before ANY planning work — but only
+  // when the options would validate, so a misconfigured run still reports
+  // its configuration error instead of silently serving stale bytes.
+  if (result_cache_ != nullptr && validate_options(opt_).empty()) {
+    AmplitudeResult res;
+    if (amplitude_from_cache(result_key_for(bits, {}), /*plan_seconds=*/0, &res)) return res;
+  }
+  return amplitude(prepare(bits));
+}
+
+AmplitudeResult Simulator::amplitude(const PreparedPlan& plan) const {
   AmplitudeResult res;
-  res.slicing = p.plan.metrics;
-  res.num_slices = p.plan.num_slices();
-  res.plan_seconds = p.plan_seconds;
+  if (!plan.valid()) {
+    res.telemetry.error = "amplitude() called with an invalid (default) PreparedPlan";
+    return res;
+  }
+  const auto& st = *plan.state_;
+  if (!st.open_qubits.empty()) {
+    res.telemetry.error =
+        "amplitude() needs a plan prepared without open qubits (use batch_amplitudes)";
+    return res;
+  }
+  res.slicing = st.plan.metrics;
+  res.num_slices = st.plan.num_slices();
+  res.plan_seconds = st.plan_seconds;
+  if (amplitude_from_cache(st.result_cache_key, st.plan_seconds, &res)) return res;
 
   Timer t;
   exec::FusedPlan fused;
-  auto out = run(p, opt_, &fused,
+  auto out = run(st.lowered, st.plan, opt_, &fused,
                  opt_.durability.spill_dir.empty()
                      ? std::string{}
-                     : run_fingerprint(circuit_, opt_, bits, {}, p.plan));
+                     : run_fingerprint(circuit_, opt_, st.bits, {}, st.plan));
   const auto& rr = out.r;
   res.exec_seconds = t.seconds();
   res.completed = rr.completed;
@@ -168,24 +281,67 @@ AmplitudeResult Simulator::amplitude(const std::vector<int>& bits) const {
   // amplitude rather than reading a scalar that was never accumulated.
   if (!rr.completed || rr.accumulated.size() == 0) return res;
   assert(rr.accumulated.rank() == 0);
-  res.amplitude = std::complex<double>(rr.accumulated.data()[0]) * p.lowered.scalar;
+  res.amplitude = std::complex<double>(rr.accumulated.data()[0]) * st.lowered.scalar;
+  if (result_cache_ != nullptr && res.telemetry.error.empty()) {
+    cache::AmplitudeEntry e;
+    e.amplitude = res.amplitude;
+    e.num_slices = res.num_slices;
+    e.slicing = res.slicing;
+    e.tasks_run = rr.tasks_run;
+    e.wall_seconds = rr.wall_seconds;
+    e.telemetry = res.telemetry;
+    result_cache_->insert_amplitude(st.result_cache_key, e);
+  }
   return res;
 }
 
 BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
                                         const std::vector<int>& open_qubits) const {
   assert(!open_qubits.empty() && open_qubits.size() <= 24);
-  auto p = prepare(circuit_, opt_, bits, open_qubits);
+  if (result_cache_ != nullptr && validate_options(opt_).empty()) {
+    cache::BatchEntry e;
+    if (result_cache_->lookup_batch(result_key_for(bits, open_qubits), &e)) {
+      BatchResult res;
+      res.amplitudes = std::move(e.amplitudes);
+      res.completed = true;
+      res.open_qubits = std::move(e.open_qubits);
+      res.slicing = e.slicing;
+      res.telemetry = std::move(e.telemetry);
+      return res;
+    }
+  }
+  return batch_amplitudes(prepare(bits, open_qubits));
+}
+
+BatchResult Simulator::batch_amplitudes(const PreparedPlan& plan) const {
   BatchResult res;
-  res.open_qubits = open_qubits;
-  res.slicing = p.plan.metrics;
+  if (!plan.valid()) {
+    res.telemetry.error = "batch_amplitudes() called with an invalid (default) PreparedPlan";
+    return res;
+  }
+  const auto& st = *plan.state_;
+  if (st.open_qubits.empty()) {
+    res.telemetry.error =
+        "batch_amplitudes() needs a plan prepared with open qubits (use amplitude)";
+    return res;
+  }
+  res.open_qubits = st.open_qubits;
+  res.slicing = st.plan.metrics;
+  if (result_cache_ != nullptr) {
+    cache::BatchEntry e;
+    if (result_cache_->lookup_batch(st.result_cache_key, &e)) {
+      res.amplitudes = std::move(e.amplitudes);
+      res.completed = true;
+      res.telemetry = std::move(e.telemetry);
+      return res;
+    }
+  }
 
   exec::FusedPlan fused;
-  auto out =
-      run(p, opt_, &fused,
-          opt_.durability.spill_dir.empty()
-              ? std::string{}
-              : run_fingerprint(circuit_, opt_, bits, open_qubits, p.plan));
+  auto out = run(st.lowered, st.plan, opt_, &fused,
+                 opt_.durability.spill_dir.empty()
+                     ? std::string{}
+                     : run_fingerprint(circuit_, opt_, st.bits, st.open_qubits, st.plan));
   const auto& rr = out.r;
   res.completed = rr.completed;
   fill_telemetry(res.telemetry, out);
@@ -194,26 +350,41 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   // re-index so open_qubits[0] is the most significant bit.
   const exec::Tensor& t = rr.accumulated;
   if (!rr.completed || t.size() == 0) return res;  // cancelled: no amplitudes
-  assert(t.rank() == int(open_qubits.size()));
-  std::vector<int> axis_for_qubit(open_qubits.size());
-  for (size_t i = 0; i < open_qubits.size(); ++i) {
-    int edge = p.lowered.output_edge[size_t(open_qubits[i])];
+  assert(t.rank() == int(st.open_qubits.size()));
+  std::vector<int> axis_for_qubit(st.open_qubits.size());
+  for (size_t i = 0; i < st.open_qubits.size(); ++i) {
+    int edge = st.lowered.output_edge[size_t(st.open_qubits[i])];
     int ax = t.axis_of(edge);
     assert(ax >= 0);
     axis_for_qubit[i] = ax;
   }
-  const size_t n = size_t(1) << open_qubits.size();
+  const size_t n = size_t(1) << st.open_qubits.size();
   res.amplitudes.resize(n);
   const int r = t.rank();
   for (size_t k = 0; k < n; ++k) {
     size_t off = 0;
-    for (size_t i = 0; i < open_qubits.size(); ++i) {
-      size_t bit = (k >> (open_qubits.size() - 1 - i)) & 1;
+    for (size_t i = 0; i < st.open_qubits.size(); ++i) {
+      size_t bit = (k >> (st.open_qubits.size() - 1 - i)) & 1;
       off |= bit << (r - 1 - axis_for_qubit[i]);
     }
-    res.amplitudes[k] = std::complex<double>(t.data()[off]) * p.lowered.scalar;
+    res.amplitudes[k] = std::complex<double>(t.data()[off]) * st.lowered.scalar;
+  }
+  if (result_cache_ != nullptr && res.telemetry.error.empty()) {
+    cache::BatchEntry e;
+    e.amplitudes = res.amplitudes;
+    e.open_qubits = res.open_qubits;
+    e.slicing = res.slicing;
+    e.telemetry = res.telemetry;
+    result_cache_->insert_batch(st.result_cache_key, e);
   }
   return res;
+}
+
+cache::CacheStats Simulator::cache_stats() const {
+  cache::CacheStats s;
+  if (plan_cache_ != nullptr) s.plan = plan_cache_->stats();
+  if (result_cache_ != nullptr) s.result = result_cache_->stats();
+  return s;
 }
 
 std::vector<uint64_t> Simulator::sample_from_batch(const BatchResult& batch, int n,

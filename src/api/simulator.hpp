@@ -15,10 +15,16 @@
 #include <vector>
 
 #include "api/telemetry.hpp"
+#include "cache/options.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
 #include "exec/shard_runner.hpp"
 #include "exec/slice_runner.hpp"
+
+namespace ltns::cache {
+class PlanCache;
+class ResultCache;
+}  // namespace ltns::cache
 
 namespace ltns::api {
 
@@ -82,6 +88,9 @@ struct SimulatorOptions {
   ShardingOptions sharding;
   DurabilityOptions durability;
   ObservabilityOptions observability;
+  // Content-addressed plan & result cache (src/cache/): in-memory LRU
+  // tiers by default, persistent across processes with `cache_dir` set.
+  cache::CacheOptions cache;
 };
 
 // One shared gate for the flag combinations that would otherwise be
@@ -114,6 +123,34 @@ struct BatchResult {
   RunTelemetry telemetry;  // shared tail; `telemetry.error` on failure
 };
 
+// A resolved, reusable plan: the output of Simulator::prepare(), accepted
+// by amplitude()/batch_amplitudes() so many queries share one planning
+// pass. The underlying state (lowered network + plan) is heap-allocated
+// and pinned — the plan's ContractionTree stores a raw pointer into the
+// lowered network, so the state must never move after planning (the same
+// rule dist::prepare_job documents). The handle itself is a shared_ptr
+// wrapper: cheap to copy, safe to move, shareable across queries.
+class PreparedPlan {
+ public:
+  PreparedPlan() = default;  // invalid until assigned from prepare()
+
+  bool valid() const { return state_ != nullptr; }
+  const std::vector<int>& bits() const;
+  const std::vector<int>& open_qubits() const;
+  int num_slices() const;
+  const core::SlicedMetrics& slicing() const;
+  double plan_seconds() const;
+  // True when the plan came out of the cache (src/path/ never ran).
+  bool plan_from_cache() const;
+  // The content-addressed key (input fingerprint) this plan is filed under.
+  const std::string& plan_cache_key() const;
+
+ private:
+  friend class Simulator;
+  struct State;
+  std::shared_ptr<const State> state_;
+};
+
 class Simulator {
  public:
   explicit Simulator(circuit::Circuit c, SimulatorOptions opt = {});
@@ -121,22 +158,50 @@ class Simulator {
   const circuit::Circuit& circuit() const { return circuit_; }
   const SimulatorOptions& options() const { return opt_; }
 
-  // Single closed amplitude <bits|C|0...0>.
+  // Resolves the plan for one output configuration: lower -> simplify ->
+  // plan cache lookup, falling back to make_plan (and populating the
+  // cache). The returned handle can be passed to amplitude() /
+  // batch_amplitudes() any number of times.
+  PreparedPlan prepare(const std::vector<int>& bits,
+                       const std::vector<int>& open_qubits = {}) const;
+
+  // Single closed amplitude <bits|C|0...0>. Prepares internally (through
+  // the plan cache); a cached completed result returns without planning or
+  // contraction.
   AmplitudeResult amplitude(const std::vector<int>& bits) const;
+  // Same query against an already-prepared plan (must have been prepared
+  // with empty open_qubits).
+  AmplitudeResult amplitude(const PreparedPlan& plan) const;
 
   // Correlated batch: qubits in `open_qubits` are left open, the rest fixed
   // to `bits`; one contraction yields all 2^|open| amplitudes (§6.2's "1M
   // correlated samples" method).
   BatchResult batch_amplitudes(const std::vector<int>& bits,
                                const std::vector<int>& open_qubits) const;
+  BatchResult batch_amplitudes(const PreparedPlan& plan) const;
 
   // Draws `n` samples of the open qubits from the batch distribution
   // |amplitude|^2 (renormalized over the batch).
   static std::vector<uint64_t> sample_from_batch(const BatchResult& batch, int n, uint64_t seed);
 
+  // Live counters of this Simulator's plan/result caches (zeros when the
+  // caches are disabled). Exported as the ltns_cache_* metric series.
+  cache::CacheStats cache_stats() const;
+
  private:
+  bool amplitude_from_cache(const std::string& key, double plan_seconds,
+                            AmplitudeResult* out) const;
+  std::string plan_key_for(const std::vector<int>& bits,
+                           const std::vector<int>& open_qubits) const;
+  std::string result_key_for(const std::vector<int>& bits,
+                             const std::vector<int>& open_qubits) const;
+
   circuit::Circuit circuit_;
   SimulatorOptions opt_;
+  // Query methods are const; the caches are deliberately shared mutable
+  // state (internally locked), created once at construction.
+  std::shared_ptr<cache::PlanCache> plan_cache_;
+  std::shared_ptr<cache::ResultCache> result_cache_;
 };
 
 }  // namespace ltns::api

@@ -1,0 +1,63 @@
+// Knobs and counters of the content-addressed plan & result cache.
+//
+// Split from cache.hpp so option aggregates (api::SimulatorOptions,
+// dist::ServerOptions) can embed CacheOptions without pulling the cache
+// implementation — cache.hpp includes api/telemetry.hpp, and the API layer
+// includes this file, so the dependency must stay one-way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ltns::cache {
+
+// Grouped like ShardingOptions/DurabilityOptions: one sub-struct, mirrored
+// one-to-one by the CLI's cache flag group.
+struct CacheOptions {
+  // Directory of the persistent tier ("" = in-memory tiers only). Shared
+  // freely between processes and transports: a solo `amp` run warms the
+  // same store a `serve` daemon reads, because keys are content-addressed.
+  std::string cache_dir;
+  // In-memory LRU capacities, in entries. 0 disables that cache entirely
+  // (both tiers) — the disk tier is only reachable through its LRU front.
+  size_t plan_cache_entries = 32;
+  size_t result_cache_entries = 64;
+  // Consult but never write the on-disk store (e.g. a read-only replica
+  // warming from a shared volume). The in-memory LRU still fills — it is
+  // process-private and vanishes on exit.
+  bool read_only = false;
+
+  bool plan_enabled() const { return plan_cache_entries > 0; }
+  bool result_enabled() const { return result_cache_entries > 0; }
+  bool any_enabled() const { return plan_enabled() || result_enabled(); }
+};
+
+// Counters of one tiered store (the plan cache and the result cache each
+// own one). memory_* describe the LRU front, disk_* the persistent tier.
+struct TierStats {
+  uint64_t memory_hits = 0;
+  uint64_t disk_hits = 0;        // missed the LRU, found on disk (promoted)
+  uint64_t misses = 0;           // missed both tiers
+  uint64_t evictions = 0;        // LRU entries displaced by capacity
+  uint64_t insertions = 0;
+  uint64_t corrupt_dropped = 0;  // bad magic/CRC/shape: unlinked + recomputed
+  uint64_t disk_bytes_written = 0;
+  // Gauges (current state, not monotone).
+  uint64_t memory_entries = 0;
+  uint64_t memory_bytes = 0;
+
+  uint64_t hits() const { return memory_hits + disk_hits; }
+};
+
+// Snapshot surfaced by Simulator::cache_stats() / the server status probe
+// and folded into obs::MetricsRegistry as the ltns_cache_* series.
+struct CacheStats {
+  TierStats plan;
+  TierStats result;
+
+  uint64_t hits() const { return plan.hits() + result.hits(); }
+  uint64_t misses() const { return plan.misses + result.misses; }
+};
+
+}  // namespace ltns::cache

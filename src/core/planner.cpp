@@ -1,8 +1,26 @@
 #include "core/planner.hpp"
 
+#include <sstream>
+
 #include "core/greedy_slicer.hpp"
 
 namespace ltns::core {
+
+std::string plan_options_text(const PlanOptions& opt) {
+  std::ostringstream o;
+  o.precision(17);  // doubles round-trip exactly
+  o << "path:" << opt.path.greedy_trials << ',' << opt.path.partition_trials << ','
+    << opt.path.community_trials << ',' << opt.path.temperature << ','
+    << int(opt.path.tune) << ',' << opt.path.tune_max_leaves << ',' << opt.path.tune_sweeps
+    << ',' << opt.path.seed;
+  o << "|target:" << opt.target_log2size;
+  o << "|slicer:" << int(opt.slicer);
+  o << "|refiner:" << opt.refiner.target_log2size << ',' << opt.refiner.initial_temperature
+    << ',' << opt.refiner.final_temperature << ',' << opt.refiner.alpha << ','
+    << opt.refiner.moves_per_temperature << ',' << opt.refiner.seed;
+  o << "|seed:" << opt.seed;
+  return o.str();
+}
 
 Plan make_plan(const tn::TensorNetwork& net, const PlanOptions& opt) {
   auto pr = path::find_path(net, opt.path);

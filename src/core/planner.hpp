@@ -46,4 +46,12 @@ struct Plan {
 
 Plan make_plan(const tn::TensorNetwork& net, const PlanOptions& opt);
 
+// Canonical text of EVERY plan knob (including the nested optimizer and
+// refiner options), for content-addressed fingerprinting: two PlanOptions
+// with equal text produce identical plans (make_plan is deterministic),
+// and any knob change — which may change the resolved plan — changes the
+// text. New fields MUST be appended here or the cache would serve stale
+// plans across the change.
+std::string plan_options_text(const PlanOptions& opt);
+
 }  // namespace ltns::core

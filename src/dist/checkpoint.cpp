@@ -45,22 +45,7 @@ static_assert(sizeof(RecordHeader) == 24, "journal header layout is on-disk ABI"
 // before it becomes an allocation bomb.
 constexpr uint64_t kMaxRecordPayload = uint64_t(1) << 40;
 
-// CRC-32 (IEEE, reflected), table computed once. Standard polynomial so an
-// external tool can verify a journal.
-uint32_t crc32(const uint8_t* p, size_t n) {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+uint32_t crc32(const uint8_t* p, size_t n) { return crc32_ieee(p, n); }
 
 std::string journal_path(const std::string& dir) { return dir + "/ledger.journal"; }
 
@@ -165,6 +150,24 @@ ScannedRecord read_record(int fd) {
 
 }  // namespace
 
+// Table computed once. Standard polynomial so an external tool can verify
+// a journal or cache entry.
+uint32_t crc32_ieee(const void* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
 std::string fnv1a_hex(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   uint64_t h = 1469598103934665603ull;
@@ -195,6 +198,12 @@ std::unique_ptr<CheckpointWriter> open_or_resume_journal(
     const std::string& dir, const CheckpointMeta& meta, bool resume,
     double fsync_interval_seconds, LeaseLedger* ledger, ShardMerger* merger) {
   if (resume) {
+    try {
+      compact_checkpoint(dir);
+    } catch (const CheckpointIoError&) {
+      // Compaction is an optimization: when the rewrite cannot land
+      // (ENOSPC, read-only spill), the uncompacted journal replays fine.
+    }
     auto scan = replay_checkpoint(dir, meta, ledger, merger);
     if (scan.has_meta)
       return std::make_unique<CheckpointWriter>(dir, scan.valid_bytes, fsync_interval_seconds);
@@ -275,12 +284,13 @@ CheckpointScan replay_checkpoint(const std::string& dir, const CheckpointMeta& e
           break;  // structurally damaged despite CRC: stop, recompute the rest
         }
         // Retire the range FIRST: if it does not match the ledger tiling,
-        // nothing may reach the merger.
-        if (!ledger->mark_range_done(range.first, range.count))
+        // nothing may reach the merger. mark_span_done accepts both a raw
+        // lease record and a compacted span covering several leases.
+        if (!ledger->mark_span_done(range.first, range.count))
           throw std::runtime_error(
               "dist checkpoint: journal range [" + std::to_string(range.first) + ", " +
               std::to_string(range.first + range.count) +
-              ") does not match a pending ledger range (duplicate record or config skew)");
+              ") does not tile pending ledger ranges (duplicate record or config skew)");
         for (auto& b : range.blocks) merger->add(b.level, b.index, std::move(b.partial));
         scan.ranges += 1;
         scan.tasks += range.count;
@@ -297,6 +307,165 @@ CheckpointScan replay_checkpoint(const std::string& dir, const CheckpointMeta& e
   }
   ::close(fd);
   return scan;
+}
+
+CompactionStats compact_checkpoint(const std::string& dir) {
+  CompactionStats st;
+  const std::string path = journal_path(dir);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return st;  // no journal: nothing to compact
+
+  // Phase 1: scan the valid prefix, keeping every record in memory (the
+  // journal is bounded by the run's slice count, and completion-time
+  // compaction runs when the coordinator's merger just held the same
+  // tensors anyway).
+  CheckpointMeta meta;
+  bool has_meta = false;
+  std::vector<RangeRecord> records;
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+  try {
+    for (;;) {
+      auto rec = read_record(fd);
+      if (!rec.ok) break;
+      ByteReader r(rec.payload);
+      try {
+        if (rec.type == RecordType::kRunMeta && !has_meta) {
+          meta = get_meta(r);
+          has_meta = true;
+        } else if (rec.type == RecordType::kRangeDone && has_meta) {
+          records.push_back(get_range(r));
+        } else {
+          break;
+        }
+      } catch (const std::exception&) {
+        break;  // structurally damaged despite CRC: compact the prefix
+      }
+      valid_bytes += sizeof(RecordHeader) + rec.payload.size();
+    }
+    const off_t end = ::lseek(fd, 0, SEEK_END);
+    st.bytes_before = end > 0 ? uint64_t(end) : 0;
+    torn_tail = st.bytes_before > valid_bytes;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  st.ranges_before = records.size();
+  st.bytes_after = st.bytes_before;
+  st.ranges_after = records.size();
+  if (!has_meta) return st;  // fresh or foreign file: leave it to replay
+
+  // Phase 2: coalesce contiguous completed ranges into spans. Records are
+  // disjoint (the ledger retires each range exactly once) but land in
+  // completion order, so sort by task range first.
+  std::sort(records.begin(), records.end(),
+            [](const RangeRecord& a, const RangeRecord& b) { return a.first < b.first; });
+  struct Span {
+    uint64_t first = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Span> spans;
+  for (const auto& rec : records) {
+    if (!spans.empty() && spans.back().first + spans.back().count == rec.first)
+      spans.back().count += rec.count;
+    else
+      spans.push_back({rec.first, rec.count});
+  }
+  st.ranges_after = spans.size();
+  if (spans.size() == records.size() && !torn_tail) return st;  // already minimal
+
+  // Phase 3: tournament-merge every recorded block. The drained result is
+  // the maximally-merged decomposition of everything journaled so far; a
+  // merged node is by construction fully covered, so each drained block
+  // lies inside exactly one span. Re-adding these blocks at replay performs
+  // the remaining merges in the same tree positions an uninterrupted run
+  // would, keeping the root bit-identical.
+  std::vector<MergedBlock> blocks;
+  try {
+    ShardMerger merger(meta.total);
+    for (auto& rec : records)
+      for (auto& b : rec.blocks) merger.add(b.level, b.index, std::move(b.partial));
+    blocks = merger.drain_blocks();
+  } catch (const std::exception&) {
+    return st;  // overlapping/out-of-range blocks: let replay reject it loudly
+  }
+
+  // Partition the drained blocks into spans and insist each span is tiled
+  // exactly (block nominal sizes clip at `total` for promoted ragged-edge
+  // nodes). A mismatch means the journal violates the ledger's invariants —
+  // leave the file alone so replay reports it against the original bytes.
+  std::vector<std::pair<size_t, size_t>> span_blocks;
+  {
+    size_t bi = 0;
+    for (const auto& s : spans) {
+      const size_t begin = bi;
+      uint64_t covered = 0;
+      while (bi < blocks.size() && (blocks[bi].index << blocks[bi].level) < s.first + s.count) {
+        const uint64_t f = blocks[bi].index << blocks[bi].level;
+        covered += std::min(meta.total - f, uint64_t(1) << blocks[bi].level);
+        ++bi;
+      }
+      if (covered != s.count || bi - begin > 128) return st;
+      span_blocks.emplace_back(begin, bi);
+    }
+    if (bi != blocks.size()) return st;
+  }
+
+  // Phase 4: tmp + rename, same record framing the writer uses. The
+  // original journal stays valid until the atomic rename lands.
+  const std::string tmp = path + ".compact.tmp";
+  int wfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0666);
+  if (wfd < 0) fail_errno("open " + tmp);
+  uint64_t written = 0;
+  try {
+    auto append = [&](RecordType type, const std::vector<uint8_t>& payload) {
+      RecordHeader h{kCheckpointMagic, kCheckpointVersion, host_endian(), uint8_t(type),
+                     uint64_t(payload.size()), crc32(payload.data(), payload.size()), 0};
+      write_exact(wfd, &h, sizeof(h));
+      if (!payload.empty()) write_exact(wfd, payload.data(), payload.size());
+      written += sizeof(h) + payload.size();
+    };
+    ByteWriter mw;
+    put_meta(mw, meta);
+    append(RecordType::kRunMeta, mw.buffer());
+    for (size_t si = 0; si < spans.size(); ++si) {
+      ByteWriter w;
+      w.put<uint64_t>(spans[si].first);
+      w.put<uint64_t>(spans[si].count);
+      w.put<uint32_t>(uint32_t(span_blocks[si].second - span_blocks[si].first));
+      for (size_t i = span_blocks[si].first; i < span_blocks[si].second; ++i) {
+        w.put<int32_t>(int32_t(blocks[i].level));
+        w.put<uint64_t>(blocks[i].index);
+        put_tensor(w, blocks[i].partial);
+      }
+      append(RecordType::kRangeDone, w.buffer());
+    }
+    if (::fsync(wfd) != 0) fail_errno("fsync " + tmp);
+  } catch (...) {
+    ::close(wfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(wfd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("close " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("rename " + tmp);
+  }
+  // Make the replacement durable: a crash after compaction must find the
+  // compacted file, not a unlinked original.
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  st.bytes_after = written;
+  st.compacted = true;
+  obs::trace_instant(obs::EventKind::kCheckpointAppend, st.bytes_before, st.bytes_after);
+  return st;
 }
 
 CheckpointWriter::CheckpointWriter(const std::string& dir, const CheckpointMeta& meta,

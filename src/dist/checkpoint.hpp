@@ -18,7 +18,8 @@
 //
 // Restart: replay_checkpoint() walks the journal, re-feeds every recorded
 // block into a fresh ShardMerger and retires the matching pending range in
-// a freshly-built LeaseLedger (mark_range_done). Because the merger's
+// a freshly-built LeaseLedger (mark_span_done — a compacted record's span
+// covers several consecutive leases). Because the merger's
 // tournament is order-independent and the payloads are raw bit patterns,
 // the resumed run's accumulated tensor is bitwise identical to an
 // uninterrupted run: replayed ranges contribute the exact bytes they
@@ -58,6 +59,11 @@ class CheckpointIoError : public std::runtime_error {
 
 // FNV-1a 64 as a 16-char hex string — the run_id fingerprint hash.
 std::string fnv1a_hex(const void* data, size_t n);
+inline std::string fnv1a_hex(const std::string& s) { return fnv1a_hex(s.data(), s.size()); }
+
+// CRC-32 (IEEE, reflected) over a byte range — the journal's record
+// checksum, shared with the cache entry headers (src/cache/).
+uint32_t crc32_ieee(const void* data, size_t n);
 
 // THE canonical job fingerprint, shared by every driver (fork runner via
 // the Simulator, TCP service): hashes the job inputs AND the resolved
@@ -110,12 +116,36 @@ CheckpointScan scan_checkpoint(const std::string& dir);
 CheckpointScan replay_checkpoint(const std::string& dir, const CheckpointMeta& expect,
                                  LeaseLedger* ledger, ShardMerger* merger);
 
+// Journal compaction outcome (numbers refer to the journal file).
+struct CompactionStats {
+  bool compacted = false;  // file was rewritten
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  uint64_t ranges_before = 0;  // kRangeDone records before/after
+  uint64_t ranges_after = 0;
+};
+
+// Rewrites `<dir>/ledger.journal` into its minimal equivalent: contiguous
+// completed ranges coalesce into one span record whose block payloads are
+// tournament-merged to their maximal aligned blocks (a fully-journaled run
+// shrinks to a single root record), and any torn tail is dropped. Replay
+// of the compacted journal reproduces the exact merger state — the
+// tournament performs the same `left += right` additions in the same tree
+// positions whether they happen at compaction time or at merge time, so
+// the resumed output stays byte-identical. Runs at resume (before replay)
+// and after successful completion, so long elastic runs do not grow their
+// spill dir unboundedly. The rewrite is tmp+rename; a missing, empty or
+// already-minimal journal is a no-op. Throws CheckpointIoError on I/O
+// failure; structural damage is not an error (the valid prefix compacts,
+// the tail drops — the same contract as replay).
+CompactionStats compact_checkpoint(const std::string& dir);
+
 // One-stop journal setup shared by every driver (fork runner, TCP
-// service): with `resume`, replays an existing journal into ledger +
-// merger and reopens it for appending (truncating any torn tail);
-// otherwise — or when no journal exists yet — starts a fresh journal for
-// `meta`. Throws like replay_checkpoint / the CheckpointWriter
-// constructors.
+// service): with `resume`, first compacts the existing journal, then
+// replays it into ledger + merger and reopens it for appending; otherwise
+// — or when no journal exists yet — starts a fresh journal for `meta`.
+// Throws like replay_checkpoint / the CheckpointWriter constructors
+// (compaction failure is non-fatal: the uncompacted journal replays).
 std::unique_ptr<class CheckpointWriter> open_or_resume_journal(
     const std::string& dir, const CheckpointMeta& meta, bool resume,
     double fsync_interval_seconds, LeaseLedger* ledger, ShardMerger* merger);

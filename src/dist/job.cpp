@@ -173,6 +173,13 @@ JobResultRecord get_result_record(ByteReader& r) {
 
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vector<int>& bits,
                                       double target, uint64_t seed) {
+  return prepare_job(c, /*circuit_text=*/"", bits, target, seed, /*plan_cache=*/nullptr);
+}
+
+std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::string& circuit_text,
+                                      const std::vector<int>& bits, double target, uint64_t seed,
+                                      cache::PlanCache* plan_cache, bool* from_cache) {
+  if (from_cache != nullptr) *from_cache = false;
   circuit::LoweringOptions lo;
   lo.output_bits = bits;
   // The network must reach its FINAL address before make_plan runs: the
@@ -184,6 +191,19 @@ std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vect
   core::PlanOptions po;
   po.target_log2size = target;
   po.seed = seed;
+  if (plan_cache != nullptr && plan_cache->enabled()) {
+    std::string bit_text;
+    bit_text.reserve(bits.size());
+    for (int b : bits) bit_text += b != 0 ? '1' : '0';
+    const auto key = cache::plan_key(circuit_text, bit_text, /*open_qubits=*/"", po);
+    if (plan_cache->lookup(key, p->lowered.net, &p->plan)) {
+      if (from_cache != nullptr) *from_cache = true;
+      return p;
+    }
+    p->plan = core::make_plan(p->lowered.net, po);
+    plan_cache->insert(key, p->plan);
+    return p;
+  }
   p->plan = core::make_plan(p->lowered.net, po);
   return p;
 }

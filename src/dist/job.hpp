@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/telemetry.hpp"
+#include "cache/cache.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
@@ -56,7 +57,10 @@ struct JobSpec {
   std::string circuit_text;
   std::string bits;              // '0'/'1' per qubit
   double target_log2size = 16;
-  uint64_t plan_seed = 0;
+  // Default matches the solo path's PlanOptions seed so a submitted spec
+  // derives the same plan/result cache keys a solo `amp` run would — the
+  // store is shared across transports (docs/caching.md).
+  uint64_t plan_seed = core::PlanOptions{}.seed;
   uint32_t fused = 1;
   uint64_t ldm_elems = 32768;
 };
@@ -115,6 +119,16 @@ struct Prepared {
 // Returning unique_ptr keeps the pointee at one address for its lifetime.
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vector<int>& bits,
                                       double target, uint64_t seed);
+
+// Cache-aware variant: consults `plan_cache` (content-addressed over the
+// job inputs and the exact PlanOptions this function derives) before
+// invoking the path optimizer, and inserts a freshly computed plan on a
+// miss. `circuit_text` must be the text `c` was parsed from — the key
+// hashes the text, not the parsed form. `plan_cache` may be null (plain
+// prepare). `from_cache` (optional) reports whether planning was skipped.
+std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::string& circuit_text,
+                                      const std::vector<int>& bits, double target, uint64_t seed,
+                                      cache::PlanCache* plan_cache, bool* from_cache = nullptr);
 
 // --- small socket helpers shared by every TCP driver ----------------------
 

@@ -153,6 +153,46 @@ bool LeaseLedger::mark_range_done(uint64_t first, uint64_t count) {
   return true;
 }
 
+bool LeaseLedger::mark_span_done(uint64_t first, uint64_t count) {
+  if (count == 0) return false;
+  if (first + count > total_) return false;
+  // Validate pass: walk the span range-by-range without mutating. Each
+  // lookup repeats mark_range_done's home binary search — replay-time
+  // queues are still the constructor's sorted tiling.
+  uint64_t cur = first;
+  const uint64_t end = first + count;
+  while (cur < end) {
+    auto home_it = std::upper_bound(home_first_.begin(), home_first_.end(), cur);
+    if (home_it == home_first_.begin()) return false;
+    const auto& q = by_home_[size_t(home_it - home_first_.begin()) - 1];
+    auto it = std::lower_bound(q.begin(), q.end(), cur,
+                               [](const PendingRange& r, uint64_t f) { return r.first < f; });
+    if (it == q.end() || it->first != cur) return false;
+    if (cur + it->count > end) return false;  // span splits a lease: foreign tiling
+    cur += it->count;
+  }
+  // Commit pass: every boundary checked out, retire for real. Stats count
+  // the original lease ranges, not the span, so "ranges_replayed" means
+  // the same thing for compacted and uncompacted journals.
+  cur = first;
+  while (cur < end) {
+    auto home_it = std::upper_bound(home_first_.begin(), home_first_.end(), cur);
+    const size_t h = size_t(home_it - home_first_.begin()) - 1;
+    auto& q = by_home_[h];
+    auto it = std::lower_bound(q.begin(), q.end(), cur,
+                               [](const PendingRange& r, uint64_t f) { return r.first < f; });
+    const uint64_t c = it->count;
+    home_load_[h] -= c;
+    q.erase(it);
+    --pending_count_;
+    tasks_done_ += c;
+    ++stats_.ranges_replayed;
+    stats_.tasks_replayed += c;
+    cur += c;
+  }
+  return true;
+}
+
 void LeaseLedger::revoke_worker(int worker, bool lost) {
   if (lost) ++stats_.workers_lost;
   obs::trace_instant(obs::EventKind::kLeaseRevoke, uint64_t(worker));

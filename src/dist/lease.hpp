@@ -111,6 +111,15 @@ class LeaseLedger {
   // unchanged.
   bool mark_range_done(uint64_t first, uint64_t count);
 
+  // Like mark_range_done, but for a COMPACTED journal record: retires every
+  // pending range inside [first, first+count). Compaction coalesces
+  // contiguous completed ranges into one span, so a span must cover a whole
+  // number of consecutive pending lease ranges; boundaries are validated
+  // against the whole span BEFORE anything is retired, so a false return
+  // (different tiling) leaves the ledger unchanged. A single-lease span
+  // degenerates to mark_range_done.
+  bool mark_span_done(uint64_t first, uint64_t count);
+
   // Revokes every lease `worker` holds and requeues the ranges at the
   // front of the queue (they block the tournament root, so they go first).
   // `lost` marks a dead worker rather than a stall quarantine.

@@ -22,6 +22,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "cache/cache.hpp"
 #include "circuit/io.hpp"
 #include "core/planner.hpp"
 #include "device/backend.hpp"
@@ -259,9 +260,34 @@ struct ServerImpl {
   std::string fatal;
   uint64_t submitted = 0, rejected = 0, cancelled = 0, completed = 0, failed = 0;
   uint64_t late_frames_dropped = 0;
+  uint64_t served_from_cache = 0;
   Timer metrics_last, admission_last;
 
-  ServerImpl(int fd, const ServerOptions& o) : listen_fd(fd), opt(o), admission(o.admission) {}
+  // Shared content-addressed cache (disk-backed only — see ServerOptions).
+  std::unique_ptr<cache::PlanCache> plan_cache;
+  std::unique_ptr<cache::ResultCache> result_cache;
+
+  ServerImpl(int fd, const ServerOptions& o) : listen_fd(fd), opt(o), admission(o.admission) {
+    if (!opt.cache.cache_dir.empty()) {
+      if (opt.cache.plan_enabled()) plan_cache = std::make_unique<cache::PlanCache>(opt.cache);
+      if (opt.cache.result_enabled())
+        result_cache = std::make_unique<cache::ResultCache>(opt.cache);
+    }
+  }
+
+  // The exact PlanOptions prepare_job derives from a spec — the cache keys
+  // must hash the same preimage a solo `amp` run with these knobs hashes,
+  // or the two transports would stop sharing entries.
+  static core::PlanOptions spec_plan_options(const JobSpec& s) {
+    core::PlanOptions po;
+    po.target_log2size = s.target_log2size;
+    po.seed = s.plan_seed;
+    return po;
+  }
+  static std::string spec_result_key(const JobSpec& s) {
+    return cache::result_key(s.circuit_text, s.bits, /*open_qubits=*/"", spec_plan_options(s),
+                             s.fused != 0, s.ldm_elems);
+  }
 
   static bool terminal(JobState s) {
     return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
@@ -331,6 +357,18 @@ struct ServerImpl {
       }
       shares.set_weight(j.spec.tenant, j.spec.weight);
       next_job_id = std::max(next_job_id, id + 1);
+      // Re-seed the shared result cache from results persisted before the
+      // cache existed (or under a different cache dir), so a restarted
+      // server short-circuits duplicates of everything it ever finished.
+      if (result_cache != nullptr && j.state == JobState::kDone && j.result.error.empty()) {
+        cache::AmplitudeEntry e;
+        e.amplitude = {j.result.amplitude_re, j.result.amplitude_im};
+        e.num_slices = j.result.num_slices;
+        e.tasks_run = j.result.tasks_run;
+        e.wall_seconds = j.result.wall_seconds;
+        e.telemetry = j.result.telemetry;
+        result_cache->insert_amplitude(spec_result_key(j.spec), e);
+      }
       jobs.emplace(id, std::move(j));
     }
     ::closedir(d);
@@ -377,7 +415,11 @@ struct ServerImpl {
       std::vector<int> bits;
       bits.reserve(j.spec.bits.size());
       for (char ch : j.spec.bits) bits.push_back(ch == '1');
-      j.prepared = prepare_job(circ, bits, j.spec.target_log2size, j.spec.plan_seed);
+      // Plan-cache aware: a repeated circuit (same knobs) skips the path
+      // optimizer and the slicers entirely; the rebuilt plan is identical,
+      // so the job's amplitude stays byte-identical either way.
+      j.prepared = prepare_job(circ, j.spec.circuit_text, bits, j.spec.target_log2size,
+                               j.spec.plan_seed, plan_cache.get());
     } catch (const std::exception& e) {
       fail_job(j, std::string("planning failed: ") + e.what());
       return;
@@ -529,6 +571,18 @@ struct ServerImpl {
         rec.amplitude_re = amp.real();
         rec.amplitude_im = amp.imag();
         rec.state = JobState::kDone;
+        if (result_cache != nullptr) {
+          // Populate the shared cache: the next identical submit — here or
+          // in a solo run pointed at the same --cache-dir — short-circuits.
+          cache::AmplitudeEntry e;
+          e.amplitude = amp;
+          e.num_slices = rec.num_slices;
+          e.slicing = j.prepared->plan.metrics;
+          e.tasks_run = rec.tasks_run;
+          e.wall_seconds = rec.wall_seconds;
+          e.telemetry = rec.telemetry;
+          result_cache->insert_amplitude(spec_result_key(j.spec), e);
+        }
       }
     }
     finalize_job(j, std::move(rec));
@@ -572,6 +626,16 @@ struct ServerImpl {
     j.ledger.reset();
     j.merger.reset();
     j.journal.reset();
+    // With the writer closed, shrink a finished job's spill journal to its
+    // single-span form (PR 5 carry-over: long-lived state dirs must not
+    // accumulate one record per lease forever).
+    if (!opt.state_dir.empty() && j.state == JobState::kDone) {
+      try {
+        compact_checkpoint(job_dir(j.id) + "/spill");
+      } catch (const std::exception&) {
+        // Compaction is an optimization; the full journal still resumes.
+      }
+    }
     j.prepared.reset();
     j.worker_tel.clear();
     for (auto& p : peers) {
@@ -636,9 +700,37 @@ struct ServerImpl {
     j.spec = std::move(spec);
     if (j.spec.name.empty()) j.spec.name = "job-" + std::to_string(id);
     shares.set_weight(j.spec.tenant, j.spec.weight);  // latest submit wins
+    ++submitted;
+    // Duplicate-submit short-circuit: a spec whose result fingerprint is
+    // already cached turns terminal AT SUBMIT TIME — it never queues, never
+    // plans, never touches the fleet. The new job id gets its own spec.job
+    // and result.bin (identity rewritten) so fetch/status work as usual.
+    cache::AmplitudeEntry hit;
+    if (result_cache != nullptr && result_cache->lookup_amplitude(spec_result_key(j.spec), &hit)) {
+      JobResultRecord rec;
+      rec.job_id = id;
+      rec.name = j.spec.name;
+      rec.tenant = j.spec.tenant;
+      rec.state = JobState::kDone;
+      rec.amplitude_re = hit.amplitude.real();
+      rec.amplitude_im = hit.amplitude.imag();
+      rec.num_slices = hit.num_slices;
+      rec.wall_seconds = hit.wall_seconds;  // the run that earned the entry
+      rec.tasks_run = hit.tasks_run;
+      rec.telemetry = hit.telemetry;
+      j.result = std::move(rec);
+      j.state = JobState::kDone;
+      j.total = uint64_t(1) << uint32_t(std::max<int32_t>(0, j.result.num_slices));
+      persist_spec(j);
+      persist_result(j);
+      jobs.emplace(id, std::move(j));
+      ++completed;
+      ++served_from_cache;
+      reply_submit(p.fd, true, id, "done (served from cache)");
+      return;
+    }
     persist_spec(j);
     jobs.emplace(id, std::move(j));
-    ++submitted;
     reply_submit(p.fd, true, id, "queued");
   }
 
@@ -916,12 +1008,36 @@ struct ServerImpl {
     return s;
   }
 
+  obs::CacheSample cache_sample() const {
+    obs::CacheSample s;
+    auto tier = [](const char* name, const cache::TierStats& t) {
+      obs::CacheTierSample o;
+      o.tier = name;
+      o.memory_hits = t.memory_hits;
+      o.disk_hits = t.disk_hits;
+      o.misses = t.misses;
+      o.evictions = t.evictions;
+      o.insertions = t.insertions;
+      o.corrupt_dropped = t.corrupt_dropped;
+      o.disk_bytes_written = t.disk_bytes_written;
+      o.memory_entries = t.memory_entries;
+      o.memory_bytes = t.memory_bytes;
+      return o;
+    };
+    if (plan_cache != nullptr) s.tiers.push_back(tier("plan", plan_cache->stats()));
+    if (result_cache != nullptr) s.tiers.push_back(tier("result", result_cache->stats()));
+    s.planner_invocations = path::find_path_invocations();
+    s.served_results = served_from_cache;
+    return s;
+  }
+
   void maybe_write_metrics(bool force = false) {
     if (opt.metrics_interval_seconds <= 0 || opt.metrics_out.empty()) return;
     if (!force && metrics_last.seconds() < opt.metrics_interval_seconds) return;
     metrics_last.reset();
     obs::MetricsRegistry reg;
     obs::fill_server_metrics(reg, metrics_sample());
+    obs::fill_cache_metrics(reg, cache_sample());
     reg.write_files(opt.metrics_out);  // best effort
   }
 
@@ -973,7 +1089,21 @@ struct ServerImpl {
       << ",\"submitted_total\":" << submitted << ",\"rejected_total\":" << rejected
       << ",\"completed_total\":" << completed << ",\"failed_total\":" << failed
       << ",\"cancelled_total\":" << cancelled
-      << ",\"late_frames_dropped\":" << late_frames_dropped;
+      << ",\"late_frames_dropped\":" << late_frames_dropped
+      << ",\"served_from_cache_total\":" << served_from_cache;
+    if (plan_cache != nullptr || result_cache != nullptr) {
+      auto tier_json = [&o](const char* name, const cache::TierStats& t, bool lead_comma) {
+        o << (lead_comma ? "," : "") << "\"" << name << "\":{\"memory_hits\":" << t.memory_hits
+          << ",\"disk_hits\":" << t.disk_hits << ",\"misses\":" << t.misses
+          << ",\"evictions\":" << t.evictions << ",\"insertions\":" << t.insertions
+          << ",\"corrupt_dropped\":" << t.corrupt_dropped << ",\"memory_entries\":"
+          << t.memory_entries << "}";
+      };
+      o << ",\"cache\":{\"dir\":\"" << json_escape(opt.cache.cache_dir) << "\"";
+      if (plan_cache != nullptr) tier_json("plan", plan_cache->stats(), true);
+      if (result_cache != nullptr) tier_json("result", result_cache->stats(), true);
+      o << "}";
+    }
     const double mean = fleet_mean_utilization();
     o << ",\"admission\":{\"running_limit\":" << admission.running_limit()
       << ",\"min_running\":" << admission.options().min_running

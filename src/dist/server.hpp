@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/options.hpp"
 #include "dist/job.hpp"
 
 namespace ltns::dist {
@@ -129,6 +130,11 @@ struct ServerOptions {
   std::string metrics_out;  // ltns_server_*/ltns_tenant_* snapshot target
   double metrics_interval_seconds = 0;
   AdmissionOptions admission;
+  // Content-addressed plan & result cache. The server only engages it when
+  // cache_dir is set: a memory-only cache behind a long-lived daemon would
+  // silently serve results that vanish on restart while claiming the same
+  // fingerprints — the CLI refuses that combination up front.
+  cache::CacheOptions cache;
 };
 
 // The daemon behind `ltns_cli serve`. Single-threaded poll loop over one

@@ -155,6 +155,17 @@ CoordinatorResult CoordinatorServer::run_amplitude(int num_workers, const circui
       }
     }
     res.error = coord.run(&merger);
+    if (journal && res.error.empty()) {
+      // Clean finish: close the writer, then shrink the journal to its
+      // single-span form so an unconditional --resume replays one record.
+      coord.set_journal(nullptr);
+      journal.reset();
+      try {
+        compact_checkpoint(opt.spill_dir);
+      } catch (const std::exception&) {
+        // Compaction is an optimization; the full journal still resumes.
+      }
+    }
     res.shards = coord.telemetry();
     res.rebalance = coord.ledger().stats();
     for (const auto& t : res.shards) res.tasks_run += t.tasks_run;

@@ -1,5 +1,6 @@
 #include "dist/shard_merge.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -45,6 +46,7 @@ void ShardMerger::add(int level, uint64_t index, exec::Tensor partial) {
       if (root_set_) throw std::runtime_error("dist merge: duplicate root contribution");
       root_ = std::move(r);
       root_set_ = true;
+      root_level_ = l;
       return;
     }
     if (!subtree_nonempty(l, idx ^ 1)) {
@@ -76,6 +78,22 @@ void ShardMerger::add(int level, uint64_t index, exec::Tensor partial) {
 }
 
 bool ShardMerger::complete() const { return root_set_ && pending_.empty(); }
+
+std::vector<MergedBlock> ShardMerger::drain_blocks() {
+  std::vector<MergedBlock> out;
+  out.reserve(pending_.size() + 1);
+  for (auto& [key, t] : pending_)
+    out.push_back({int(key >> 57), key & ((uint64_t(1) << 57) - 1), std::move(t)});
+  pending_.clear();
+  if (root_set_ && total_ > 0) {
+    out.push_back({root_level_, 0, std::move(root_)});
+    root_set_ = false;
+  }
+  std::sort(out.begin(), out.end(), [](const MergedBlock& a, const MergedBlock& b) {
+    return (a.index << a.level) < (b.index << b.level);
+  });
+  return out;
+}
 
 exec::Tensor ShardMerger::take_root() {
   assert(complete() && "shard merge incomplete");

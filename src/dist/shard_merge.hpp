@@ -13,10 +13,19 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/tensor.hpp"
 
 namespace ltns::dist {
+
+// One maximally-merged block as drained from a ShardMerger — the journal
+// compactor's unit of storage (checkpoint.cpp).
+struct MergedBlock {
+  int level = 0;
+  uint64_t index = 0;
+  exec::Tensor partial;
+};
 
 class ShardMerger {
  public:
@@ -34,6 +43,15 @@ class ShardMerger {
   // The accumulated tensor; only valid when complete().
   exec::Tensor take_root();
 
+  // Journal-compaction support: drains every held partial — the pending
+  // interior nodes plus the root when set — ordered by task range. Because
+  // add() greedily performs every ready merge, re-adding the drained
+  // blocks to a fresh merger reproduces this merger's state (and
+  // ultimately the same root) bit for bit; the drained set is the
+  // maximally-merged representation of everything contributed so far.
+  // Leaves this merger empty.
+  std::vector<MergedBlock> drain_blocks();
+
  private:
   bool subtree_nonempty(int level, uint64_t idx) const;
 
@@ -41,6 +59,7 @@ class ShardMerger {
   std::unordered_map<uint64_t, exec::Tensor> pending_;  // key: (level, idx)
   exec::Tensor root_;
   bool root_set_ = false;
+  int root_level_ = 0;  // level the root was formed at (drain_blocks)
   uint64_t merges_ = 0;
 };
 

@@ -201,6 +201,18 @@ ShardRunResult run_sharded(const tn::ContractionTree& tree, const LeafProvider& 
     for (const auto& t : coord.telemetry())
       if (t.shard >= 0 && t.shard < processes) res.shards[size_t(t.shard)] = t;
     res.rebalance = coord.ledger().stats();
+    if (journal && res.error.empty()) {
+      // Clean finish: close the writer, then shrink the journal to its
+      // single-span form — a crash-loop supervisor's unconditional --resume
+      // replays one record instead of re-parsing every lease ever spilled.
+      coord.set_journal(nullptr);
+      journal.reset();
+      try {
+        dist::compact_checkpoint(opt.spill_dir);
+      } catch (const std::exception&) {
+        // Compaction is an optimization; the full journal still resumes.
+      }
+    }
   } else {
     // Static: drain every worker's fixed-window frame stream; a worker
     // that dies mid-run closes its socket, so the read loop ends in EOF

@@ -289,4 +289,22 @@ void fill_server_metrics(MetricsRegistry& reg, const ServerSample& s) {
   }
 }
 
+void fill_cache_metrics(MetricsRegistry& reg, const CacheSample& s) {
+  for (const auto& t : s.tiers) {
+    const Labels tier = {{"tier", t.tier}};
+    reg.counter("ltns_cache_hits_total", double(t.memory_hits),
+                {{"tier", t.tier + "_memory"}});
+    reg.counter("ltns_cache_hits_total", double(t.disk_hits), {{"tier", t.tier + "_disk"}});
+    reg.counter("ltns_cache_misses_total", double(t.misses), tier);
+    reg.counter("ltns_cache_evictions_total", double(t.evictions), tier);
+    reg.counter("ltns_cache_insertions_total", double(t.insertions), tier);
+    reg.counter("ltns_cache_corrupt_dropped_total", double(t.corrupt_dropped), tier);
+    reg.counter("ltns_cache_bytes_total", double(t.disk_bytes_written), tier);
+    reg.gauge("ltns_cache_entries", double(t.memory_entries), tier);
+    reg.gauge("ltns_cache_memory_bytes", double(t.memory_bytes), tier);
+  }
+  reg.counter("ltns_planner_invocations_total", double(s.planner_invocations));
+  reg.counter("ltns_cache_served_results_total", double(s.served_results));
+}
+
 }  // namespace ltns::obs

@@ -106,4 +106,33 @@ struct ServerSample {
 // {tenant=...} labelled family per tenant.
 void fill_server_metrics(MetricsRegistry& reg, const ServerSample& s);
 
+// One tier of the content-addressed plan/result cache (cache::TierStats,
+// mirrored as a plain struct so obs stays free of cache headers).
+struct CacheTierSample {
+  std::string tier;  // "plan" | "result"
+  uint64_t memory_hits = 0;
+  uint64_t disk_hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  uint64_t corrupt_dropped = 0;
+  uint64_t disk_bytes_written = 0;
+  uint64_t memory_entries = 0;  // gauge
+  uint64_t memory_bytes = 0;    // gauge
+};
+
+// The cache's live counters plus the planner-invocation counter the CI
+// cache job asserts on ("a warm run performs zero path optimizations").
+struct CacheSample {
+  std::vector<CacheTierSample> tiers;
+  uint64_t planner_invocations = 0;  // path::find_path_invocations()
+  uint64_t served_results = 0;       // server submits answered from cache
+};
+
+// The ltns_cache_* series: hits split {tier=<name>_memory|<name>_disk},
+// misses/evictions/insertions/corruption/bytes per {tier=<name>}, entry
+// and byte gauges for the LRU fronts, ltns_planner_invocations_total and
+// ltns_cache_served_results_total.
+void fill_cache_metrics(MetricsRegistry& reg, const CacheSample& s);
+
 }  // namespace ltns::obs

@@ -5,9 +5,18 @@
 #include "path/local_tune.hpp"
 #include "path/partition.hpp"
 
+#include <atomic>
+
 namespace ltns::path {
 
+namespace {
+std::atomic<uint64_t> g_find_path_calls{0};
+}
+
+uint64_t find_path_invocations() { return g_find_path_calls.load(std::memory_order_relaxed); }
+
 PathResult find_path(const tn::TensorNetwork& net, const OptimizerOptions& opt) {
+  g_find_path_calls.fetch_add(1, std::memory_order_relaxed);
   PathResult best;
   bool have = false;
   auto consider = [&](tn::SsaPath p, const char* method) {

@@ -34,4 +34,10 @@ struct PathResult {
 
 PathResult find_path(const tn::TensorNetwork& net, const OptimizerOptions& opt = {});
 
+// Monotone process-wide count of find_path calls. The plan cache's "a warm
+// run performs zero path-optimization work" guarantee is asserted against
+// this counter (exported as ltns_planner_invocations_total): tests and the
+// CI cache job read it before and after a cached run.
+uint64_t find_path_invocations();
+
 }  // namespace ltns::path

@@ -726,6 +726,138 @@ TEST(Checkpoint, MismatchedJournalIsRefused) {
   }
 }
 
+// Journal compaction (the PR 5 carry-over): coalescing completed ranges
+// into spans and rewriting the journal must change NOTHING observable —
+// the compacted journal replays to the same ledger state, and the resumed
+// run produces the exact bytes of an uninterrupted one. Property-tested
+// over random partial runs, like the save/replay test above.
+TEST(Checkpoint, CompactedJournalResumesBitwiseIdentical) {
+  for (uint64_t seed = 21; seed <= 28; ++seed) {
+    std::mt19937_64 rng(seed);
+    const uint64_t total = 1 + rng() % 200;
+    const int homes = 1 + int(rng() % 5);
+    const uint64_t lease_size = 1 + rng() % 9;
+    auto value = [seed](uint64_t t) { return std::sin(double(t) * 0.9 + double(seed)); };
+
+    runtime::ReductionTree ref(0, total);
+    for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+    auto expect = ref.take_root();
+
+    ScopedTempDir dir;
+    uint64_t journaled_tasks = 0;
+    CheckpointMeta meta;
+    {
+      LeaseLedger a(total, homes, lease_size);
+      meta = CheckpointMeta{total, int32_t(homes), a.lease_size(),
+                            "compact-" + std::to_string(seed)};
+      CheckpointWriter w(dir.path, meta, 0);
+      ShardMerger ma(total);
+      const uint64_t stop_after = rng() % (total / a.lease_size() + 2);
+      uint64_t journaled_ranges = 0;
+      while (!a.done() && journaled_ranges < stop_after) {
+        const int worker = int(rng() % uint64_t(homes));
+        Lease l;
+        if (!a.acquire(worker, &l)) continue;
+        if (rng() % 5 == 0) {
+          a.revoke_worker(worker, /*lost=*/false);
+          continue;
+        }
+        compute_lease(a, worker, l, value);
+        ASSERT_TRUE(a.complete(worker, l.id, &ma, &w));
+        ++journaled_ranges;
+        journaled_tasks += l.count;
+      }
+    }
+
+    const auto st = compact_checkpoint(dir.path);
+    if (st.compacted) {
+      EXPECT_LE(st.bytes_after, st.bytes_before) << "seed=" << seed;
+      EXPECT_LE(st.ranges_after, st.ranges_before) << "seed=" << seed;
+    }
+    // The compacted journal claims the same work (record COUNT may shrink
+    // — spans coalesce leases — but the task sum must not move a task).
+    auto scan0 = scan_checkpoint(dir.path);
+    EXPECT_EQ(scan0.tasks, journaled_tasks) << "seed=" << seed;
+    EXPECT_FALSE(scan0.torn_tail);
+
+    // Resume from the compacted journal and drain the remainder: the root
+    // must equal the uninterrupted reference bit for bit.
+    LeaseLedger b(total, homes, lease_size);
+    ShardMerger mb(total);
+    auto scan = replay_checkpoint(dir.path, meta, &b, &mb);
+    ASSERT_TRUE(scan.has_meta) << "seed=" << seed;
+    EXPECT_EQ(b.tasks_done(), journaled_tasks) << "seed=" << seed;
+    EXPECT_EQ(b.stats().tasks_replayed, journaled_tasks);
+
+    CheckpointWriter w2(dir.path, scan.valid_bytes, 0);
+    while (!b.done()) {
+      const int worker = int(rng() % uint64_t(homes));
+      Lease l;
+      if (!b.acquire(worker, &l)) continue;
+      compute_lease(b, worker, l, value);
+      ASSERT_TRUE(b.complete(worker, l.id, &mb, &w2));
+    }
+    ASSERT_TRUE(mb.complete()) << "seed=" << seed;
+    auto got = mb.take_root();
+    EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0)
+        << "compacted-then-resumed run diverged, seed=" << seed;
+
+    // Compacting twice is a no-op (already minimal), and compacting a
+    // journal-less directory is a clean no-op, not an error.
+    auto again = compact_checkpoint(dir.path);
+    auto scan1 = scan_checkpoint(dir.path);
+    EXPECT_EQ(scan1.tasks, total) << "seed=" << seed;
+    (void)again;
+    EXPECT_FALSE(compact_checkpoint(dir.path + "/nonexistent").compacted);
+  }
+}
+
+// A fully completed run's journal compacts to ONE span record covering
+// [0, total) — the shape the post-completion compaction hooks leave on
+// disk — and a torn tail is dropped by the rewrite.
+TEST(Checkpoint, CompactionCoalescesCompletedRunToOneSpan) {
+  const uint64_t total = 32;
+  auto value = [](uint64_t t) { return double(t) * 0.25; };
+  ScopedTempDir dir;
+  CheckpointMeta meta;
+  {
+    LeaseLedger a(total, 2, 4);
+    meta = CheckpointMeta{total, 2, a.lease_size(), "one-span"};
+    CheckpointWriter w(dir.path, meta, 0);
+    ShardMerger ma(total);
+    Lease l;
+    while (a.acquire(0, &l)) {
+      compute_lease(a, 0, l, value);
+      ASSERT_TRUE(a.complete(0, l.id, &ma, &w));
+    }
+    ASSERT_TRUE(a.done());
+  }
+  {
+    std::ofstream f(dir.path + "/ledger.journal", std::ios::app | std::ios::binary);
+    f.write("torn-tail-junk", 14);
+  }
+  const auto st = compact_checkpoint(dir.path);
+  EXPECT_TRUE(st.compacted);
+  EXPECT_EQ(st.ranges_after, 1u);
+  EXPECT_GT(st.ranges_before, 1u);
+  auto scan = scan_checkpoint(dir.path);
+  EXPECT_EQ(scan.ranges, 1u);
+  EXPECT_EQ(scan.tasks, total);
+  EXPECT_FALSE(scan.torn_tail);
+
+  // The single span replays into a COMPLETE ledger and merger.
+  LeaseLedger b(total, 2, 4);
+  ShardMerger mb(total);
+  replay_checkpoint(dir.path, meta, &b, &mb);
+  EXPECT_TRUE(b.done());
+  ASSERT_TRUE(mb.complete());
+  runtime::ReductionTree ref(0, total);
+  for (uint64_t t = 0; t < total; ++t) ref.add(t, scalar_tensor(value(t)));
+  auto expect = ref.take_root();
+  auto got = mb.take_root();
+  EXPECT_EQ(std::memcmp(expect.raw(), got.raw(), sizeof(exec::cfloat)), 0);
+}
+
 // Satellite: `coordinate --status` reports spill-dir health once
 // checkpointing is on — journal size and fsync age ride the JSON.
 TEST(Checkpoint, StatusJsonReportsSpillHealth) {
