@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/simulator.hpp"
 #include "bench_common.hpp"
 #include "core/greedy_slicer.hpp"
 #include "core/slice_finder.hpp"
@@ -30,6 +31,8 @@
 #include "exec/slice_runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "query/engine.hpp"
+#include "query/query.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "sunway/cost_model.hpp"
 #include "util/timer.hpp"
@@ -277,6 +280,63 @@ int main(int argc, char** argv) {
               traced_stable ? "EQUAL" : "DIFFERENT", (unsigned long long)trace_events,
               reg.metrics().size());
 
+  // ---- batched query engine throughput (src/query) ----
+  // 64 amp queries over 32 distinct bitstrings against one circuit:
+  // answered one `amp` run at a time (the pre-engine workflow, replanning
+  // every query), then through the grouped engine (one open-batch
+  // contraction covers all of them) cold, then warm (same Simulator, plans
+  // served from the in-memory plan cache; the result cache is disabled so
+  // the warm number still measures contraction, not lookup).
+  std::printf("\nQUERY ENGINE throughput: 64 amp queries, 32 distinct bitstrings\n");
+  const auto qcirc =
+      circuit::random_quantum_circuit(circuit::Device::grid(3, 3), [] {
+        circuit::RqcOptions o;
+        o.cycles = 8;
+        o.seed = 2019;
+        return o;
+      }());
+  std::string qtext;
+  for (int i = 0; i < 64; ++i) {
+    std::string bits(size_t(qcirc.num_qubits), '0');
+    for (int j = 0; j < 5; ++j)
+      if (((i % 32) >> j) & 1) bits[size_t(2 * j)] = '1';  // vary qubits {0,2,4,6,8}
+    qtext += "amp " + bits + "\n";
+  }
+  auto qp = query::parse_queries(qtext, qcirc.num_qubits);
+  const size_t n_queries = qp.queries.size();
+
+  api::SimulatorOptions qo;
+  qo.plan.target_log2size = 12;
+  qo.cache.plan_cache_entries = 0;  // the baseline replans every query
+  qo.cache.result_cache_entries = 0;
+  Timer ti;
+  {
+    api::Simulator qsim(qcirc, qo);
+    for (const auto& q : qp.queries) qsim.amplitude(qsim.prepare(q.bits));
+  }
+  const double individual_seconds = ti.seconds();
+
+  qo.cache.plan_cache_entries = 32;  // engine runs: warm leg reuses plans
+  api::Simulator qsim(qcirc, qo);
+  query::EngineOptions eo;
+  eo.group_amplitudes = true;
+  eo.max_open = 6;
+  Timer tc;
+  query::Engine cold(qsim, eo);
+  const auto qs_cold = cold.run(qp.queries, [](const query::QueryResult&) {});
+  const double grouped_cold_seconds = tc.seconds();
+  Timer tw2;
+  query::Engine warm(qsim, eo);
+  const auto qs_warm = warm.run(qp.queries, [](const query::QueryResult&) {});
+  const double grouped_warm_seconds = tw2.seconds();
+  std::printf("individual: %.3fs (%.0f amps/s); grouped cold: %.3fs (%.0f amps/s, "
+              "%llu groups, %llu contractions); grouped warm: %.3fs (%.0f amps/s, "
+              "%llu planner passes)\n",
+              individual_seconds, n_queries / individual_seconds, grouped_cold_seconds,
+              n_queries / grouped_cold_seconds, (unsigned long long)qs_cold.groups,
+              (unsigned long long)qs_cold.contractions, grouped_warm_seconds,
+              n_queries / grouped_warm_seconds, (unsigned long long)qs_warm.planner_passes);
+
   // JSON for the bench trajectory.
   std::ofstream json("fig11_runtime.json");
   json << "{\n  \"skew\": " << skew << ",\n  \"tasks\": " << n_skew << ",\n  \"rows\": [\n";
@@ -303,7 +363,20 @@ int main(int argc, char** argv) {
        << ", \"bit_stable\": " << std::boolalpha << elastic_stable
        << "},\n  \"observability\": {\"traced_bit_stable\": " << std::boolalpha << traced_stable
        << ", \"trace_events\": " << trace_events
-       << ", \"metrics\": " << reg.metrics().size() << "}\n}\n";
+       << ", \"metrics\": " << reg.metrics().size()
+       << "},\n  \"query_throughput\": {\"queries\": " << n_queries
+       << ", \"individual_seconds\": " << individual_seconds
+       << ", \"individual_amps_per_sec\": " << n_queries / individual_seconds
+       << ", \"grouped_cold_seconds\": " << grouped_cold_seconds
+       << ", \"grouped_cold_amps_per_sec\": " << n_queries / grouped_cold_seconds
+       << ", \"grouped_warm_seconds\": " << grouped_warm_seconds
+       << ", \"grouped_warm_amps_per_sec\": " << n_queries / grouped_warm_seconds
+       << ", \"groups\": " << qs_cold.groups << ", \"contractions\": " << qs_cold.contractions
+       << ", \"warm_planner_passes\": " << qs_warm.planner_passes
+       << ", \"speedup_vs_individual\": " << individual_seconds / grouped_cold_seconds
+       << "}\n}\n";
   std::printf("wrote fig11_runtime.json\n");
-  return bit_stable && shard_stable && elastic_stable && traced_stable ? 0 : 1;
+  const bool query_ok =
+      qs_cold.errors == 0 && qs_warm.errors == 0 && qs_cold.contractions < n_queries;
+  return bit_stable && shard_stable && elastic_stable && traced_stable && query_ok ? 0 : 1;
 }

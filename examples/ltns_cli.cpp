@@ -5,6 +5,7 @@
 //   ltns_cli plan  <circuit-file> [depth]                 # path + lifetime slicing report
 //   ltns_cli amp   <circuit-file> <bitstring>             # one amplitude (verified vs sv if <=22q)
 //   ltns_cli sample <circuit-file> <n_open> <n_samples>   # correlated samples
+//   ltns_cli query <circuit-file> <query-file>            # batched queries, shared contractions
 //
 //   ltns_cli coordinate <port> <nworkers> <circuit-file> <bitstring>
 //   ltns_cli coordinate --status <host> <port>            # live lease state as JSON
@@ -52,6 +53,10 @@
 //                                (ltns.metrics.v1 JSON + a .prom twin)
 //   --metrics-interval=SECONDS   ALSO rewrite --metrics-out periodically while
 //                                an elastic run is live (scraper cadence)
+//   --max-open=N                 query grouper merge bound (default 6)
+//   --amp-mode=exact|grouped     query amp answers: byte-exact standalone runs
+//                                (default) or sliced from grouped batches
+//   --queries=FILE               submit: queue FILE as one batched query job
 //   --no-telemetry               suppress the executor/memory stats report
 //   --version                    print the build stamp (git describe, compiler,
 //                                flags) and exit
@@ -78,6 +83,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "path/optimizer.hpp"
+#include "query/engine.hpp"
 #include "sv/statevector.hpp"
 #include "util/timer.hpp"
 
@@ -120,6 +126,10 @@ struct RuntimeFlags {
   int priority = 0;
   std::string job_name;
   bool wait = false;
+  // Query verbs (query / submit --queries).
+  int max_open = 6;
+  std::string amp_mode = "exact";
+  std::string queries_file;
 };
 
 RuntimeFlags g_flags;
@@ -287,6 +297,25 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
       g_flags.priority = std::atoi(argv[i] + 11);
     } else if (std::strncmp(argv[i], "--job-name=", 11) == 0) {
       g_flags.job_name = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--max-open=", 11) == 0) {
+      g_flags.max_open = std::atoi(argv[i] + 11);
+      if (g_flags.max_open < 0 || g_flags.max_open > query::kMaxOpenQubits) {
+        std::fprintf(stderr, "--max-open must be in [0, %d]\n", query::kMaxOpenQubits);
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--amp-mode=", 11) == 0) {
+      g_flags.amp_mode = argv[i] + 11;
+      if (g_flags.amp_mode != "exact" && g_flags.amp_mode != "grouped") {
+        std::fprintf(stderr, "unknown --amp-mode '%s' (exact|grouped)\n",
+                     g_flags.amp_mode.c_str());
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      g_flags.queries_file = argv[i] + 10;
+      if (g_flags.queries_file.empty()) {
+        std::fprintf(stderr, "--queries needs a path\n");
+        std::exit(64);
+      }
     } else if (std::strcmp(argv[i], "--wait") == 0) {
       g_flags.wait = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
@@ -335,9 +364,76 @@ obs::CacheSample to_cache_sample(const cache::CacheStats* c) {
       ts.memory_bytes = t->memory_bytes;
       s.tiers.push_back(ts);
     }
+    s.superset_hits = c->superset_hits;
   }
   s.planner_invocations = path::find_path_invocations();
   return s;
+}
+
+// query::EngineStats -> the obs mirror struct (obs stays free of query
+// headers, so the copy lives with the caller).
+obs::QuerySample to_query_sample(const query::EngineStats& e) {
+  obs::QuerySample s;
+  s.queries = e.queries;
+  s.amp_queries = e.amp_queries;
+  s.batch_queries = e.batch_queries;
+  s.sample_queries = e.sample_queries;
+  s.expect_queries = e.expect_queries;
+  s.groups = e.groups;
+  s.closed_groups = e.closed_groups;
+  s.open_groups = e.open_groups;
+  s.contractions = e.contractions;
+  s.planner_passes = e.planner_passes;
+  s.plan_cache_hits = e.plan_cache_hits;
+  s.plan_rebuilds = e.plan_rebuilds;
+  s.result_cache_hits = e.result_cache_hits;
+  s.superset_hits = e.superset_hits;
+  s.amplitudes_returned = e.amplitudes_returned;
+  s.samples_drawn = e.samples_drawn;
+  s.errors = e.errors;
+  s.plan_seconds = e.plan_seconds;
+  s.exec_seconds = e.exec_seconds;
+  return s;
+}
+
+// One query answer. Shared by the solo `query` verb and `result` on a
+// query job, so the two transports emit the SAME bytes per query — and an
+// amp answer's `amplitude = ` line is the exact line a standalone `amp`
+// run prints (scripts/query_e2e.sh byte-diffs all three). Returns 1 when
+// the answer carries an error.
+int print_query_result(const query::QueryResult& r) {
+  std::printf("# query %d: %s\n", r.id, r.text.c_str());
+  if (!r.error.empty()) {
+    std::printf("error: %s\n", r.error.c_str());
+    return 1;
+  }
+  switch (r.kind) {
+    case query::QueryKind::kAmplitude:
+      std::printf("amplitude = %+.10e %+.10ei  (|a|^2 = %.3e)\n", r.amplitudes[0].real(),
+                  r.amplitudes[0].imag(), std::norm(r.amplitudes[0]));
+      break;
+    case query::QueryKind::kBatch: {
+      // Index bits in open-set order, open_qubits[0] most significant —
+      // the layout eval.hpp documents.
+      int n_open = 0;
+      while ((size_t(1) << n_open) < r.amplitudes.size()) ++n_open;
+      for (size_t k = 0; k < r.amplitudes.size(); ++k) {
+        std::string pattern(size_t(n_open), '0');
+        for (int i = 0; i < n_open; ++i)
+          if ((k >> (n_open - 1 - i)) & 1) pattern[size_t(i)] = '1';
+        std::printf("amplitude[%s] = %+.10e %+.10ei\n", pattern.c_str(), r.amplitudes[k].real(),
+                    r.amplitudes[k].imag());
+      }
+      break;
+    }
+    case query::QueryKind::kSample:
+      for (const auto& s : r.samples) std::printf("%s\n", s.c_str());
+      break;
+    case query::QueryKind::kExpectation:
+      std::printf("expectation = %+.10f\n", r.expectation);
+      break;
+  }
+  return 0;
 }
 
 // Post-run observability flush: the merged Chrome trace (local threads +
@@ -578,6 +674,66 @@ int cmd_sample(int argc, char** argv) {
   return 0;
 }
 
+// Batched query engine (docs/queries.md): a whole query file against ONE
+// circuit, answered through shared contractions and streamed per query as
+// its group completes. All run flags apply — --processes/--elastic shard
+// each group's contraction, --cache-dir shares plans and results with
+// amp/sample/serve. "-" reads the query file from stdin.
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) return 64;
+  auto circ = load_circuit(argv[2]);
+  const auto parsed = query::parse_queries(load_circuit_text(argv[3]), circ.num_qubits);
+  if (!parsed.ok()) {
+    // parse_queries also rejects an EMPTY file, so parsed.queries is
+    // non-empty past this point.
+    std::fprintf(stderr, "query file: %s\n", parsed.error.c_str());
+    return 2;
+  }
+
+  api::Simulator sim(circ, make_sim_options());
+  query::EngineOptions eo;
+  eo.max_open = g_flags.max_open;
+  eo.group_amplitudes = g_flags.amp_mode == "grouped";
+  query::Engine engine(sim, eo);
+
+  Timer wall;
+  int errors = 0;
+  const auto st = engine.run(parsed.queries, [&](const query::QueryResult& r) {
+    errors += print_query_result(r);
+  });
+  const double wall_seconds = wall.seconds();
+
+  // The acceptance invariant is readable straight off this line:
+  // contractions < queries whenever grouping shared any work.
+  std::printf("# queries %llu -> groups %llu (%llu closed, %llu open), contractions %llu\n",
+              (unsigned long long)st.queries, (unsigned long long)st.groups,
+              (unsigned long long)st.closed_groups, (unsigned long long)st.open_groups,
+              (unsigned long long)st.contractions);
+  std::printf("# plans: %llu planned, %llu cached, %llu rebuilt; reuse: %llu exact, "
+              "%llu superset; wall %.3fs (plan %.3fs, exec %.3fs)\n",
+              (unsigned long long)st.planner_passes, (unsigned long long)st.plan_cache_hits,
+              (unsigned long long)st.plan_rebuilds, (unsigned long long)st.result_cache_hits,
+              (unsigned long long)st.superset_hits, wall_seconds, st.plan_seconds,
+              st.exec_seconds);
+  const auto cstats = sim.cache_stats();
+  print_cache(cstats);
+
+  if (!g_flags.trace_out.empty()) {
+    std::string err;
+    if (!obs::Tracer::instance().write_chrome_json(g_flags.trace_out, &err))
+      std::fprintf(stderr, "trace-out: %s\n", err.c_str());
+  }
+  if (!g_flags.metrics_out.empty()) {
+    obs::MetricsRegistry reg;
+    obs::fill_query_metrics(reg, to_query_sample(st));
+    obs::fill_cache_metrics(reg, to_cache_sample(&cstats));
+    std::string err;
+    if (!reg.write_files(g_flags.metrics_out, &err))
+      std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 // Multi-host mode: `coordinate` shards one amplitude job across `nworkers`
 // TCP workers (started separately with `worker`) and prints the same
 // amplitude line as `amp`, so the two paths can be diffed byte-for-byte.
@@ -728,7 +884,12 @@ int cmd_serve(int argc, char** argv) {
 }
 
 int cmd_submit(int argc, char** argv) {
-  if (argc < 6) return 64;
+  const bool query_job = !g_flags.queries_file.empty();
+  if (argc < (query_job ? 5 : 6)) return 64;
+  if (query_job && argc > 5) {
+    std::fprintf(stderr, "submit --queries=FILE takes no bitstring argument\n");
+    return 64;
+  }
   const int port = std::atoi(argv[3]);
   if (port <= 0 || port > 65535) return 64;
   dist::JobSpec spec;
@@ -737,12 +898,30 @@ int cmd_submit(int argc, char** argv) {
   spec.weight = g_flags.weight;
   spec.priority = g_flags.priority;
   spec.circuit_text = load_circuit_text(argv[4]);
-  spec.bits = argv[5];
   spec.target_log2size = g_flags.target;
-  for (char c : spec.bits) {
-    if (c != '0' && c != '1') {
-      std::fprintf(stderr, "bitstring must be 0s and 1s\n");
+  if (query_job) {
+    // Kind "query": the whole query file rides in the spec; bits carries
+    // the all-zero base string (its length tells the server the qubit
+    // count), so the circuit must parse client-side.
+    spec.kind = "query";
+    spec.query_text = load_circuit_text(g_flags.queries_file.c_str());
+    spec.max_open = g_flags.max_open;
+    spec.amp_mode = g_flags.amp_mode;
+    try {
+      std::istringstream in(spec.circuit_text);
+      const auto circ = circuit::read_circuit(in);
+      spec.bits.assign(size_t(circ.num_qubits), '0');
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot parse circuit: %s\n", e.what());
       return 2;
+    }
+  } else {
+    spec.bits = argv[5];
+    for (char c : spec.bits) {
+      if (c != '0' && c != '1') {
+        std::fprintf(stderr, "bitstring must be 0s and 1s\n");
+        return 2;
+      }
     }
   }
   try {
@@ -800,6 +979,18 @@ int cmd_result(int argc, char** argv) {
       std::fprintf(stderr, "job %llu %s: %s\n", (unsigned long long)rec.job_id,
                    dist::job_state_name(rec.state), rec.error.c_str());
       return 1;
+    }
+    if (rec.kind == "query") {
+      // Per-query blocks in file order, through the SAME printer the solo
+      // `query` verb uses — a served query job's amplitude lines byte-match
+      // both the solo query run and standalone `amp` runs.
+      int errors = 0;
+      for (const auto& q : rec.query_results) errors += print_query_result(q);
+      std::printf("# queries %zu, wall %.3fs\n", rec.query_results.size(), rec.wall_seconds);
+      print_telemetry(rec.telemetry.runtime_stats, rec.telemetry.memory);
+      print_shards(rec.telemetry.shards);
+      print_rebalance(rec.telemetry.rebalance);
+      return errors > 0 ? 1 : 0;
     }
     const std::complex<double> amp(rec.amplitude_re, rec.amplitude_im);
     // The exact line `amp`/`coordinate` print — the service e2e byte-diffs
@@ -861,6 +1052,8 @@ int main(int raw_argc, char** raw_argv) {
                  "one-shot runs:\n"
                  "  amp|run <circuit|-> <bitstring>         one amplitude (sv check <= 22q)\n"
                  "  sample <circuit|-> <n_open> <n_samples> correlated samples\n"
+                 "  query <circuit|-> <queries|->           batched queries over one planned\n"
+                 "                                          circuit (docs/queries.md)\n"
                  "  coordinate <port> <n> <circuit|-> <bits> shard one job over TCP workers\n"
                  "  coordinate --status <host> <port>       live lease state as JSON\n"
                  "  worker <host> <port>                    serve a coordinator OR a fleet\n"
@@ -876,6 +1069,10 @@ int main(int raw_argc, char** raw_argv) {
                  "run flags:\n"
                  "  --runtime=ws|static|serial --grain=N --backend=host|blocked|cuda|help\n"
                  "  --target=N   planner slicing bound, log2 elems (default 16)\n"
+                 "query (docs/queries.md):\n"
+                 "  --max-open=N       batch-group merge bound (default 6)\n"
+                 "  --amp-mode=exact|grouped   amp answers byte-match solo runs (exact,\n"
+                 "                     default) or may slice from grouped batches\n"
                  "sharding (options.sharding):\n"
                  "  --processes=N --workers=N --elastic --lease=N --heartbeat=S\n"
                  "  --stall-timeout=S\n"
@@ -890,6 +1087,8 @@ int main(int raw_argc, char** raw_argv) {
                  "service:\n"
                  "  serve:  --state-dir=PATH --max-queue=N --max-running=N\n"
                  "  submit: --tenant=NAME --weight=N --priority=N --job-name=NAME\n"
+                 "          --queries=FILE  queue the query file as one batched job\n"
+                 "                          (then no <bits> argument; docs/queries.md)\n"
                  "  result: --wait\n"
                  "misc:\n"
                  "  --version --help\n");
@@ -902,6 +1101,7 @@ int main(int raw_argc, char** raw_argv) {
   else if (cmd == "plan") rc = cmd_plan(argc, argv);
   else if (cmd == "amp" || cmd == "run") rc = cmd_amp(argc, argv);
   else if (cmd == "sample") rc = cmd_sample(argc, argv);
+  else if (cmd == "query") rc = cmd_query(argc, argv);
   else if (cmd == "coordinate") rc = cmd_coordinate(argc, argv);
   else if (cmd == "worker") rc = cmd_worker(argc, argv);
   else if (cmd == "serve") rc = cmd_serve(argc, argv);

@@ -6,7 +6,7 @@
 #include "circuit/io.hpp"
 #include "device/backend.hpp"
 #include "dist/checkpoint.hpp"
-#include "util/rng.hpp"
+#include "query/eval.hpp"
 #include "util/timer.hpp"
 
 namespace ltns::api {
@@ -53,8 +53,13 @@ const std::string& PreparedPlan::plan_cache_key() const {
 Simulator::Simulator(circuit::Circuit c, SimulatorOptions opt)
     : circuit_(std::move(c)), opt_(std::move(opt)) {
   if (opt_.cache.plan_enabled()) plan_cache_ = std::make_shared<cache::PlanCache>(opt_.cache);
-  if (opt_.cache.result_enabled())
+  if (opt_.cache.result_enabled()) {
     result_cache_ = std::make_shared<cache::ResultCache>(opt_.cache);
+    // The covering-batch index scope: a result key with bits/open blanked,
+    // i.e. the circuit + every knob that selects WHICH numbers come out.
+    result_scope_ = cache::result_key(circuit::circuit_to_string(circuit_), "", "", opt_.plan,
+                                      opt_.fused, opt_.ldm_elems);
+  }
 }
 
 namespace {
@@ -224,6 +229,34 @@ PreparedPlan Simulator::prepare(const std::vector<int>& bits,
   return p;
 }
 
+PreparedPlan Simulator::prepare_like(const PreparedPlan& rep, const std::vector<int>& bits,
+                                     const std::vector<int>& open_qubits) const {
+  if (!rep.valid() || rep.state_->open_qubits != open_qubits) return {};
+  Timer t;
+  auto st = std::make_shared<PreparedPlan::State>();
+  st->bits = bits;
+  st->open_qubits = open_qubits;
+  st->plan_cache_key = plan_key_for(bits, open_qubits);
+  st->result_cache_key = result_key_for(bits, open_qubits);
+  circuit::LoweringOptions lo;
+  lo.output_bits = bits;
+  lo.open_qubits = open_qubits;
+  st->lowered = circuit::lower(circuit_, lo);
+  circuit::simplify(st->lowered);
+  // Re-target the representative's resolved plan at this network. Lowering
+  // is value-blind, so the rebuild is expected to fit; if it ever does not
+  // (e.g. simplify folded differently), return invalid and let the caller
+  // fall back to a full prepare().
+  if (!cache::decode_plan(cache::encode_plan(rep.state_->plan), st->lowered.net, &st->plan))
+    return {};
+  st->plan_from_cache = true;  // the planner never ran
+  if (plan_cache_ != nullptr) plan_cache_->insert(st->plan_cache_key, st->plan);
+  st->plan_seconds = t.seconds();
+  PreparedPlan p;
+  p.state_ = std::move(st);
+  return p;
+}
+
 bool Simulator::amplitude_from_cache(const std::string& key, double plan_seconds,
                                      AmplitudeResult* out) const {
   if (result_cache_ == nullptr) return false;
@@ -233,6 +266,7 @@ bool Simulator::amplitude_from_cache(const std::string& key, double plan_seconds
   out->completed = true;
   out->slicing = e.slicing;
   out->num_slices = e.num_slices;
+  out->from_cache = true;
   out->telemetry = std::move(e.telemetry);
   out->plan_seconds = plan_seconds;
   out->exec_seconds = 0;
@@ -300,12 +334,13 @@ BatchResult Simulator::batch_amplitudes(const std::vector<int>& bits,
   assert(!open_qubits.empty() && open_qubits.size() <= 24);
   if (result_cache_ != nullptr && validate_options(opt_).empty()) {
     cache::BatchEntry e;
-    if (result_cache_->lookup_batch(result_key_for(bits, open_qubits), &e)) {
+    if (result_cache_->lookup_batch(result_key_for(bits, open_qubits), &e, result_scope_)) {
       BatchResult res;
       res.amplitudes = std::move(e.amplitudes);
       res.completed = true;
       res.open_qubits = std::move(e.open_qubits);
       res.slicing = e.slicing;
+      res.from_cache = true;
       res.telemetry = std::move(e.telemetry);
       return res;
     }
@@ -329,9 +364,10 @@ BatchResult Simulator::batch_amplitudes(const PreparedPlan& plan) const {
   res.slicing = st.plan.metrics;
   if (result_cache_ != nullptr) {
     cache::BatchEntry e;
-    if (result_cache_->lookup_batch(st.result_cache_key, &e)) {
+    if (result_cache_->lookup_batch(st.result_cache_key, &e, result_scope_)) {
       res.amplitudes = std::move(e.amplitudes);
       res.completed = true;
+      res.from_cache = true;
       res.telemetry = std::move(e.telemetry);
       return res;
     }
@@ -346,36 +382,20 @@ BatchResult Simulator::batch_amplitudes(const PreparedPlan& plan) const {
   res.completed = rr.completed;
   fill_telemetry(res.telemetry, out);
 
-  // The result tensor's axes are the open output edges in some order;
-  // re-index so open_qubits[0] is the most significant bit.
   const exec::Tensor& t = rr.accumulated;
   if (!rr.completed || t.size() == 0) return res;  // cancelled: no amplitudes
-  assert(t.rank() == int(st.open_qubits.size()));
-  std::vector<int> axis_for_qubit(st.open_qubits.size());
-  for (size_t i = 0; i < st.open_qubits.size(); ++i) {
-    int edge = st.lowered.output_edge[size_t(st.open_qubits[i])];
-    int ax = t.axis_of(edge);
-    assert(ax >= 0);
-    axis_for_qubit[i] = ax;
-  }
-  const size_t n = size_t(1) << st.open_qubits.size();
-  res.amplitudes.resize(n);
-  const int r = t.rank();
-  for (size_t k = 0; k < n; ++k) {
-    size_t off = 0;
-    for (size_t i = 0; i < st.open_qubits.size(); ++i) {
-      size_t bit = (k >> (st.open_qubits.size() - 1 - i)) & 1;
-      off |= bit << (r - 1 - axis_for_qubit[i]);
-    }
-    res.amplitudes[k] = std::complex<double>(t.data()[off]) * st.lowered.scalar;
-  }
+  // Canonical re-index (open_qubits[0] = MSB) lives in query::eval so the
+  // server's query jobs derive the identical bytes from the same tensor.
+  res.amplitudes = query::amplitudes_from_tensor(t, st.lowered, st.open_qubits);
   if (result_cache_ != nullptr && res.telemetry.error.empty()) {
     cache::BatchEntry e;
     e.amplitudes = res.amplitudes;
     e.open_qubits = res.open_qubits;
+    e.base_bits = st.bits;
+    for (int q : e.open_qubits) e.base_bits[size_t(q)] = 0;  // canonical form
     e.slicing = res.slicing;
     e.telemetry = res.telemetry;
-    result_cache_->insert_batch(st.result_cache_key, e);
+    result_cache_->insert_batch(st.result_cache_key, e, result_scope_);
   }
   return res;
 }
@@ -383,31 +403,23 @@ BatchResult Simulator::batch_amplitudes(const PreparedPlan& plan) const {
 cache::CacheStats Simulator::cache_stats() const {
   cache::CacheStats s;
   if (plan_cache_ != nullptr) s.plan = plan_cache_->stats();
-  if (result_cache_ != nullptr) s.result = result_cache_->stats();
+  if (result_cache_ != nullptr) {
+    s.result = result_cache_->stats();
+    s.superset_hits = result_cache_->superset_hits();
+  }
   return s;
+}
+
+bool Simulator::find_covering_batch(const std::vector<int>& bits,
+                                    const std::vector<int>& open_qubits,
+                                    cache::BatchEntry* out) const {
+  if (result_cache_ == nullptr || !validate_options(opt_).empty()) return false;
+  return result_cache_->find_covering_batch(result_scope_, bits, open_qubits, out);
 }
 
 std::vector<uint64_t> Simulator::sample_from_batch(const BatchResult& batch, int n,
                                                    uint64_t seed) {
-  Rng rng(seed);
-  double total = 0;
-  for (const auto& a : batch.amplitudes) total += std::norm(a);
-  std::vector<uint64_t> out;
-  out.reserve(size_t(n));
-  for (int i = 0; i < n; ++i) {
-    double u = rng.next_double() * total;
-    double acc = 0;
-    uint64_t pick = 0;
-    for (size_t k = 0; k < batch.amplitudes.size(); ++k) {
-      acc += std::norm(batch.amplitudes[k]);
-      if (u <= acc) {
-        pick = k;
-        break;
-      }
-    }
-    out.push_back(pick);
-  }
-  return out;
+  return query::sample_from_amplitudes(batch.amplitudes, n, seed);
 }
 
 }  // namespace ltns::api

@@ -24,6 +24,7 @@
 namespace ltns::cache {
 class PlanCache;
 class ResultCache;
+struct BatchEntry;
 }  // namespace ltns::cache
 
 namespace ltns::api {
@@ -108,6 +109,8 @@ struct AmplitudeResult {
   bool completed = false;
   core::SlicedMetrics slicing;
   int num_slices = 0;
+  // True when the answer came out of the result cache (no contraction ran).
+  bool from_cache = false;
   RunTelemetry telemetry;  // shared tail; `telemetry.error` on failure
   double plan_seconds = 0;
   double exec_seconds = 0;
@@ -120,6 +123,8 @@ struct BatchResult {
   bool completed = false;  // false: cancelled mid-flight, amplitudes empty
   std::vector<int> open_qubits;
   core::SlicedMetrics slicing;
+  // True when the answer came out of the result cache (no contraction ran).
+  bool from_cache = false;
   RunTelemetry telemetry;  // shared tail; `telemetry.error` on failure
 };
 
@@ -165,6 +170,17 @@ class Simulator {
   PreparedPlan prepare(const std::vector<int>& bits,
                        const std::vector<int>& open_qubits = {}) const;
 
+  // Re-targets an already-resolved plan at a DIFFERENT output bitstring
+  // with the SAME open-qubit set: lowers the new network and rebuilds
+  // `rep`'s encoded plan over it (cache::decode_plan) — the planner never
+  // runs, because lowering is value-blind across output bit values. The
+  // query engine resolves each open-set signature once and re-targets it
+  // for every later group. Returns an invalid handle when `rep` is invalid,
+  // its open set differs, or the rebuild does not fit (caller falls back
+  // to prepare()).
+  PreparedPlan prepare_like(const PreparedPlan& rep, const std::vector<int>& bits,
+                            const std::vector<int>& open_qubits) const;
+
   // Single closed amplitude <bits|C|0...0>. Prepares internally (through
   // the plan cache); a cached completed result returns without planning or
   // contraction.
@@ -181,8 +197,20 @@ class Simulator {
   BatchResult batch_amplitudes(const PreparedPlan& plan) const;
 
   // Draws `n` samples of the open qubits from the batch distribution
-  // |amplitude|^2 (renormalized over the batch).
+  // |amplitude|^2 (renormalized over the batch). Delegates to
+  // query::sample_from_amplitudes — platform-stable xoshiro256** RNG over
+  // a fixed-order prefix-sum CDF, so the sample stream is byte-reproducible
+  // across runs, hosts and process counts (regression-tested).
   static std::vector<uint64_t> sample_from_batch(const BatchResult& batch, int n, uint64_t seed);
+
+  // Probes the result cache for a batch whose open-qubit set covers
+  // `open_qubits` and whose base bits agree with `bits` outside it — the
+  // caller slices its answer out without any contraction (the query
+  // engine's superset probe; proper supersets count as
+  // ltns_cache_superset_hits_total). False when the cache is disabled or
+  // holds no covering batch.
+  bool find_covering_batch(const std::vector<int>& bits, const std::vector<int>& open_qubits,
+                           cache::BatchEntry* out) const;
 
   // Live counters of this Simulator's plan/result caches (zeros when the
   // caches are disabled). Exported as the ltns_cache_* metric series.
@@ -198,6 +226,9 @@ class Simulator {
 
   circuit::Circuit circuit_;
   SimulatorOptions opt_;
+  // Everything the result key hashes besides bits/open qubits — the scope
+  // the covering-batch index partitions on (see ResultCache).
+  std::string result_scope_;
   // Query methods are const; the caches are deliberately shared mutable
   // state (internally locked), created once at construction.
   std::shared_ptr<cache::PlanCache> plan_cache_;

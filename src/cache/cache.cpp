@@ -1,5 +1,6 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -229,15 +230,10 @@ TierStats TieredStore::stats() const {
   return s;
 }
 
-// --- PlanCache -------------------------------------------------------------
+// --- Plan encoding ---------------------------------------------------------
 
-PlanCache::PlanCache(const CacheOptions& opt)
-    : store_(opt, kKindPlan, "plan", opt.plan_cache_entries) {}
-
-void PlanCache::insert(const std::string& key, const core::Plan& plan) {
-  if (!store_.enabled()) return;
+std::vector<uint8_t> encode_plan(const core::Plan& plan) {
   dist::ByteWriter w;
-  w.put_string(key);  // self-identifying: guards collisions and copied files
   w.put<uint64_t>(plan.path.leaf_vertices.size());
   for (tn::VertId v : plan.path.leaf_vertices) w.put<int32_t>(int32_t(v));
   w.put<uint64_t>(plan.path.steps.size());
@@ -250,19 +246,17 @@ void PlanCache::insert(const std::string& key, const core::Plan& plan) {
   for (int e : edges) w.put<int32_t>(int32_t(e));
   put_metrics(w, plan.metrics);
   w.put_string(plan.path_method);
-  store_.put(key, w.buffer());
+  return w.buffer();
 }
 
-bool PlanCache::lookup(const std::string& key, const tn::TensorNetwork& net, core::Plan* out) {
-  std::vector<uint8_t> payload;
-  if (!store_.get(key, &payload)) return false;
+bool decode_plan(const std::vector<uint8_t>& payload, const tn::TensorNetwork& net,
+                 core::Plan* out) {
   // Deserialization and structural validation may fail even behind a good
   // CRC (foreign file, hash collision, network drift): treat every failure
   // as a miss and let the caller recompute — never abort, never return a
   // plan that does not fit `net`.
   try {
     dist::ByteReader r(payload);
-    if (r.get_string() != key) return false;
     core::Plan plan;
     const auto nleaves = r.get<uint64_t>();
     if (nleaves > uint64_t(net.num_vertices())) return false;
@@ -302,6 +296,37 @@ bool PlanCache::lookup(const std::string& key, const tn::TensorNetwork& net, cor
     for (int e : edges) plan.slices.add(e);
     *out = std::move(plan);
     return true;
+  } catch (const std::exception&) {
+    return false;  // short payload / bad string length: corrupt entry
+  }
+}
+
+// --- PlanCache -------------------------------------------------------------
+
+PlanCache::PlanCache(const CacheOptions& opt)
+    : store_(opt, kKindPlan, "plan", opt.plan_cache_entries) {}
+
+void PlanCache::insert(const std::string& key, const core::Plan& plan) {
+  if (!store_.enabled()) return;
+  dist::ByteWriter w;
+  w.put_string(key);  // self-identifying: guards collisions and copied files
+  const auto blob = encode_plan(plan);
+  w.put<uint64_t>(blob.size());
+  w.put_bytes(blob.data(), blob.size());
+  store_.put(key, w.buffer());
+}
+
+bool PlanCache::lookup(const std::string& key, const tn::TensorNetwork& net, core::Plan* out) {
+  std::vector<uint8_t> payload;
+  if (!store_.get(key, &payload)) return false;
+  try {
+    dist::ByteReader r(payload);
+    if (r.get_string() != key) return false;
+    const auto len = r.get<uint64_t>();
+    if (len > kMaxEntryPayload) return false;
+    std::vector<uint8_t> blob(size_t(len), uint8_t{0});
+    r.get_bytes(blob.data(), blob.size());
+    return decode_plan(blob, net, out);
   } catch (const std::exception&) {
     return false;  // short payload / bad string length: corrupt entry
   }
@@ -349,7 +374,8 @@ bool ResultCache::lookup_amplitude(const std::string& key, AmplitudeEntry* out) 
   }
 }
 
-void ResultCache::insert_batch(const std::string& key, const BatchEntry& e) {
+void ResultCache::insert_batch(const std::string& key, const BatchEntry& e,
+                               const std::string& scope) {
   if (!batches_.enabled()) return;
   dist::ByteWriter w;
   w.put_string(key);
@@ -362,10 +388,13 @@ void ResultCache::insert_batch(const std::string& key, const BatchEntry& e) {
   for (int q : e.open_qubits) w.put<int32_t>(int32_t(q));
   put_metrics(w, e.slicing);
   dist::put_run_telemetry(w, e.telemetry);
+  w.put<uint64_t>(e.base_bits.size());
+  for (int b : e.base_bits) w.put<int32_t>(int32_t(b));
   batches_.put(key, w.buffer());
+  if (!scope.empty()) index_batch(key, scope, e.base_bits, e.open_qubits);
 }
 
-bool ResultCache::lookup_batch(const std::string& key, BatchEntry* out) {
+bool ResultCache::lookup_batch(const std::string& key, BatchEntry* out, const std::string& scope) {
   std::vector<uint8_t> payload;
   if (!batches_.get(key, &payload)) return false;
   try {
@@ -386,11 +415,68 @@ bool ResultCache::lookup_batch(const std::string& key, BatchEntry* out) {
     for (uint64_t i = 0; i < nq; ++i) e.open_qubits.push_back(r.get<int32_t>());
     e.slicing = get_metrics(r);
     e.telemetry = dist::get_run_telemetry(r);
+    const auto nb = r.get<uint64_t>();
+    if (nb > (uint64_t(1) << 20)) return false;
+    e.base_bits.reserve(size_t(nb));
+    for (uint64_t i = 0; i < nb; ++i) e.base_bits.push_back(r.get<int32_t>());
+    if (!scope.empty()) index_batch(key, scope, e.base_bits, e.open_qubits);
     *out = std::move(e);
     return true;
   } catch (const std::exception&) {
     return false;
   }
+}
+
+void ResultCache::index_batch(const std::string& key, const std::string& scope,
+                              const std::vector<int>& base_bits,
+                              const std::vector<int>& open_qubits) {
+  if (base_bits.empty() || open_qubits.empty()) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (auto& ie : batch_index_) {
+    if (ie.key == key) return;  // already known
+  }
+  // Bounded FIFO, far above any realistic working set; newest kept.
+  constexpr size_t kMaxIndexEntries = 4096;
+  if (batch_index_.size() >= kMaxIndexEntries) batch_index_.erase(batch_index_.begin());
+  batch_index_.push_back({key, scope, base_bits, open_qubits});
+}
+
+bool ResultCache::find_covering_batch(const std::string& scope, const std::vector<int>& bits,
+                                      const std::vector<int>& open_qubits, BatchEntry* out) {
+  if (scope.empty()) return false;
+  std::vector<std::pair<std::string, bool>> candidates;  // key, proper superset?
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    // Newest first: a recently inserted batch is most likely still in the
+    // LRU (and most likely what the caller just computed a sibling of).
+    for (auto it = batch_index_.rbegin(); it != batch_index_.rend(); ++it) {
+      const auto& ie = *it;
+      if (ie.scope != scope || ie.base_bits.size() != bits.size()) continue;
+      if (!std::includes(ie.open_qubits.begin(), ie.open_qubits.end(), open_qubits.begin(),
+                         open_qubits.end()))
+        continue;
+      bool agree = true;
+      for (size_t q = 0; q < bits.size() && agree; ++q) {
+        if (std::binary_search(ie.open_qubits.begin(), ie.open_qubits.end(), int(q))) continue;
+        agree = bits[q] == ie.base_bits[q];
+      }
+      if (agree) candidates.emplace_back(ie.key, ie.open_qubits != open_qubits);
+    }
+  }
+  for (const auto& [key, proper] : candidates) {
+    if (!lookup_batch(key, out)) continue;  // evicted since indexed: next
+    if (proper) {
+      std::lock_guard<std::mutex> lock(index_mu_);
+      ++superset_hits_;
+    }
+    return true;
+  }
+  return false;
+}
+
+uint64_t ResultCache::superset_hits() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return superset_hits_;
 }
 
 TierStats ResultCache::stats() const {

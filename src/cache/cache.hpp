@@ -44,8 +44,11 @@
 namespace ltns::cache {
 
 // Entry-file header constants, mirroring result.bin / ledger.journal.
+// v2: plan payloads carry the portable plan blob (encode_plan) behind the
+// key; batch payloads gain the entry's base bits (covering-batch probes).
+// Old entries fail the version check, are dropped and recomputed.
 inline constexpr uint32_t kCacheMagic = 0x4C544E43u;  // "LTNC"
-inline constexpr uint16_t kCacheVersion = 1;
+inline constexpr uint16_t kCacheVersion = 2;
 
 // Content-addressed keys (16-char FNV-1a hex). `bits` is the '0'/'1'
 // output bitstring, `open_qubits` a textual open-qubit list ("" when
@@ -101,7 +104,23 @@ class TieredStore {
   TierStats stats_;
 };
 
-// Serialized resolved plan: SSA path + sliced edges + metrics + method.
+// Portable form of a resolved plan: SSA path + sliced edges + metrics +
+// method — everything EXCEPT the network-pointing derived structures
+// (ContractionTree/Stem/SliceSet), which decode_plan rebuilds over the
+// caller's network. Because lowering is value-blind (the network structure
+// is identical across output bit VALUES at the same open positions), a
+// plan encoded against one bitstring decodes against any other with the
+// same open set — api::Simulator::prepare_like re-targets plans this way,
+// so a query run plans each open-set signature exactly once.
+std::vector<uint8_t> encode_plan(const core::Plan& plan);
+
+// Rebuilds the encoded plan over `net` (freshly lowered + simplified).
+// False when the payload is corrupt or does not fit `net` — callers
+// recompute; never aborts.
+bool decode_plan(const std::vector<uint8_t>& payload, const tn::TensorNetwork& net,
+                 core::Plan* out);
+
+// Serialized resolved plan: a key preamble plus the encode_plan blob.
 // The ContractionTree/Stem/SliceSet are NOT stored — they hold pointers
 // into one specific TensorNetwork and are rebuilt deterministically over
 // the caller's network on every hit.
@@ -138,6 +157,9 @@ struct AmplitudeEntry {
 struct BatchEntry {
   std::vector<std::complex<double>> amplitudes;
   std::vector<int> open_qubits;
+  // The closed qubits' bit values (full-length; open positions zeroed).
+  // Lets find_covering_batch decide whether this batch covers a request.
+  std::vector<int> base_bits;
   core::SlicedMetrics slicing;
   api::RunTelemetry telemetry;
 };
@@ -148,18 +170,44 @@ class ResultCache {
 
   bool lookup_amplitude(const std::string& key, AmplitudeEntry* out);
   void insert_amplitude(const std::string& key, const AmplitudeEntry& e);
-  bool lookup_batch(const std::string& key, BatchEntry* out);
-  void insert_batch(const std::string& key, const BatchEntry& e);
+  // `scope` fingerprints everything the result key hashes BESIDES the bits
+  // and open qubits (circuit + plan + exec knobs) and feeds the in-memory
+  // covering-batch index; "" skips indexing. Hits and inserts both index,
+  // so a cold process warms the index through its first exact lookups.
+  bool lookup_batch(const std::string& key, BatchEntry* out, const std::string& scope = {});
+  void insert_batch(const std::string& key, const BatchEntry& e, const std::string& scope = {});
+
+  // Probes the index for a batch in `scope` whose open set is a superset
+  // of `open_qubits` and whose base bits agree with `bits` outside it; the
+  // caller slices its answer out (query::restrict_amplitudes). An exact
+  // match can be returned too — compare out->open_qubits to distinguish;
+  // only proper supersets count toward superset_hits().
+  bool find_covering_batch(const std::string& scope, const std::vector<int>& bits,
+                           const std::vector<int>& open_qubits, BatchEntry* out);
+  uint64_t superset_hits() const;
 
   bool enabled() const { return amps_.enabled(); }
   TierStats stats() const;
 
  private:
+  void index_batch(const std::string& key, const std::string& scope,
+                   const std::vector<int>& base_bits, const std::vector<int>& open_qubits);
+
   // Amplitudes and batches are distinct entry kinds in one keyspace (the
   // key already encodes the open-qubit list, so they cannot collide; the
   // header kind is belt-and-braces).
   TieredStore amps_;
   TieredStore batches_;
+  // Covering-batch index: which (base_bits, open_qubits) each known batch
+  // key answers, per scope. Process-local (the disk tier has no scan);
+  // bounded FIFO, newest matches win.
+  struct BatchIndexEntry {
+    std::string key, scope;
+    std::vector<int> base_bits, open_qubits;
+  };
+  mutable std::mutex index_mu_;
+  std::vector<BatchIndexEntry> batch_index_;
+  uint64_t superset_hits_ = 0;
 };
 
 // Option coherence for the cache group, shared by validate_options and the

@@ -55,6 +55,10 @@ struct TierStats {
 struct CacheStats {
   TierStats plan;
   TierStats result;
+  // Amplitude-query misses answered by slicing a cached batch whose open
+  // set covers the request (ResultCache::find_covering_batch). Exported as
+  // ltns_cache_superset_hits_total.
+  uint64_t superset_hits = 0;
 
   uint64_t hits() const { return plan.hits() + result.hits(); }
   uint64_t misses() const { return plan.misses + result.misses; }

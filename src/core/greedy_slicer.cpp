@@ -17,7 +17,13 @@ std::vector<EdgeId> oversized_candidates(const ContractionTree& tree, const Slic
     cand |= tree.node(i).ixs;
   }
   cand -= S.edges();
-  return cand.to_vector();
+  // Open edges carry the batch output and must survive to the root un-sliced
+  // (the runners merge subtask results by addition over closed edges only).
+  std::vector<EdgeId> out;
+  cand.for_each([&](int e) {
+    if (tree.network()->edge(EdgeId(e)).b != tn::kNone) out.push_back(EdgeId(e));
+  });
+  return out;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "core/planner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/greedy_slicer.hpp"
@@ -25,6 +26,16 @@ std::string plan_options_text(const PlanOptions& opt) {
 Plan make_plan(const tn::TensorNetwork& net, const PlanOptions& opt) {
   auto pr = path::find_path(net, opt.path);
 
+  // Open (output) edges survive to the root, so no slicing set can push the
+  // root below their combined width — and the sliced runners merge subtask
+  // results by addition, which is only sound over CLOSED edges. Clamp the
+  // bound to the open width (the slicers themselves never pick open edges):
+  // a batch with more open qubits than the target still plans, it just
+  // holds a root of exactly 2^|open| elements.
+  double open_log2 = 0;
+  for (tn::EdgeId e : net.open_edges()) open_log2 += net.edge(e).log2w;
+  const double target = std::max(opt.target_log2size, open_log2);
+
   Plan plan{std::move(pr.path),
             nullptr,
             tn::Stem{},
@@ -37,22 +48,22 @@ Plan make_plan(const tn::TensorNetwork& net, const PlanOptions& opt) {
   switch (opt.slicer) {
     case SlicerKind::kGreedyBaseline: {
       GreedySlicerOptions g;
-      g.target_log2size = opt.target_log2size;
+      g.target_log2size = target;
       plan.slices = greedy_slice(*plan.tree, g, &plan.metrics);
       break;
     }
     case SlicerKind::kLifetime: {
       SliceFinderOptions f;
-      f.target_log2size = opt.target_log2size;
+      f.target_log2size = target;
       plan.slices = lifetime_slice_finder(plan.stem, f, &plan.metrics);
       break;
     }
     case SlicerKind::kLifetimeRefined: {
       SliceFinderOptions f;
-      f.target_log2size = opt.target_log2size;
+      f.target_log2size = target;
       SliceSet s = lifetime_slice_finder(plan.stem, f);
       SliceRefinerOptions r = opt.refiner;
-      r.target_log2size = opt.target_log2size;
+      r.target_log2size = target;
       r.seed = opt.seed;
       plan.slices = refine_slices(plan.stem, std::move(s), r);
       plan.metrics = evaluate_slicing(*plan.tree, plan.slices);

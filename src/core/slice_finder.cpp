@@ -61,7 +61,10 @@ SliceSet lifetime_slice_finder(const tn::Stem& stem, const SliceFinderOptions& o
       int best_len = -1;
       LifetimeInterval best_iv;
       tree.node(stem.nodes[size_t(sT)]).ixs.for_each([&](int e) {
-        if (S.contains(e)) return;
+        // Open edges carry the batch output — slicing one would make the
+        // runners' additive merge scramble the result (see make_plan, which
+        // clamps the target so a non-open candidate always exists here).
+        if (S.contains(e) || net.edge(EdgeId(e)).b == tn::kNone) return;
         const auto& iv = lifetimes.of(e);
         int len = remaining_length(iv, alive);
         // Tie-break on the raw interval, then the id, for determinism.
@@ -97,6 +100,7 @@ SliceSet lifetime_slice_finder(const tn::Stem& stem, const SliceFinderOptions& o
       EdgeId best = tn::kNone;
       double best_cost = 0;
       cand.for_each([&](int e) {
+        if (net.edge(EdgeId(e)).b == tn::kNone) return;  // open: never sliced
         S.add(e);
         double c = evaluate_slicing(tree, S).log2_total_cost;
         S.remove(e);

@@ -32,8 +32,11 @@ std::vector<EdgeId> find_candidate_indices(const tn::Stem& stem, const StemLifet
   // Any covering edge must be an index of the first critical tensor; scan
   // those instead of the whole edge universe.
   const auto& first_ixs = stem.tree->node(stem.nodes[size_t(crit.front())]).ixs;
+  const auto& net = *stem.tree->network();
   first_ixs.for_each([&](int e) {
-    if (e == skip || S.contains(e)) return;
+    // Never swap an open (output) edge in: the runners only merge additively
+    // over closed edges, so open edges must survive to the root un-sliced.
+    if (e == skip || S.contains(e) || net.edge(EdgeId(e)).b == tn::kNone) return;
     const auto& iv = lt.of(e);
     bool covers = true;
     for (int p : crit)

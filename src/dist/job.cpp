@@ -26,6 +26,8 @@ void put_job(ByteWriter& w, const Job& j) {
   w.put<double>(j.heartbeat_seconds);
   w.put_string(j.backend);
   w.put<uint32_t>(j.trace);
+  w.put<uint64_t>(j.open_qubits.size());  // v6
+  for (int q : j.open_qubits) w.put<int32_t>(int32_t(q));
 }
 
 Job get_job(ByteReader& r) {
@@ -48,6 +50,9 @@ Job get_job(ByteReader& r) {
   j.heartbeat_seconds = r.get<double>();
   j.backend = r.get_string();
   j.trace = r.get<uint32_t>();
+  const auto nq = r.get<uint64_t>();  // v6
+  j.open_qubits.reserve(size_t(nq));
+  for (uint64_t i = 0; i < nq; ++i) j.open_qubits.push_back(r.get<int32_t>());
   return j;
 }
 
@@ -62,6 +67,10 @@ void put_job_spec(ByteWriter& w, const JobSpec& s) {
   w.put<uint64_t>(s.plan_seed);
   w.put<uint32_t>(s.fused);
   w.put<uint64_t>(s.ldm_elems);
+  w.put_string(s.kind);  // v6
+  w.put_string(s.query_text);
+  w.put<int32_t>(s.max_open);
+  w.put_string(s.amp_mode);
 }
 
 JobSpec get_job_spec(ByteReader& r) {
@@ -76,6 +85,10 @@ JobSpec get_job_spec(ByteReader& r) {
   s.plan_seed = r.get<uint64_t>();
   s.fused = r.get<uint32_t>();
   s.ldm_elems = r.get<uint64_t>();
+  s.kind = r.get_string();  // v6
+  s.query_text = r.get_string();
+  s.max_open = r.get<int32_t>();
+  s.amp_mode = r.get_string();
   return s;
 }
 
@@ -141,6 +154,41 @@ api::RunTelemetry get_run_telemetry(ByteReader& r) {
   return t;
 }
 
+void put_query_result(ByteWriter& w, const query::QueryResult& q) {
+  w.put<uint32_t>(uint32_t(q.kind));
+  w.put<uint64_t>(q.id);
+  w.put_string(q.text);
+  w.put_string(q.error);
+  w.put<uint64_t>(q.amplitudes.size());
+  for (const auto& a : q.amplitudes) {
+    w.put<double>(a.real());
+    w.put<double>(a.imag());
+  }
+  w.put<uint64_t>(q.samples.size());
+  for (const auto& s : q.samples) w.put_string(s);
+  w.put<double>(q.expectation);
+}
+
+query::QueryResult get_query_result(ByteReader& r) {
+  query::QueryResult q;
+  q.kind = query::QueryKind(r.get<uint32_t>());
+  q.id = r.get<uint64_t>();
+  q.text = r.get_string();
+  q.error = r.get_string();
+  const auto na = r.get<uint64_t>();
+  q.amplitudes.reserve(size_t(na));
+  for (uint64_t i = 0; i < na; ++i) {
+    const double re = r.get<double>();
+    const double im = r.get<double>();
+    q.amplitudes.emplace_back(re, im);
+  }
+  const auto ns = r.get<uint64_t>();
+  q.samples.reserve(size_t(ns));
+  for (uint64_t i = 0; i < ns; ++i) q.samples.push_back(r.get_string());
+  q.expectation = r.get<double>();
+  return q;
+}
+
 void put_result_record(ByteWriter& w, const JobResultRecord& rec) {
   w.put<uint64_t>(rec.job_id);
   w.put<uint32_t>(uint32_t(rec.state));
@@ -153,6 +201,9 @@ void put_result_record(ByteWriter& w, const JobResultRecord& rec) {
   w.put<double>(rec.wall_seconds);
   w.put<uint64_t>(rec.tasks_run);
   put_run_telemetry(w, rec.telemetry);
+  w.put_string(rec.kind);  // v6
+  w.put<uint64_t>(rec.query_results.size());
+  for (const auto& q : rec.query_results) put_query_result(w, q);
 }
 
 JobResultRecord get_result_record(ByteReader& r) {
@@ -168,20 +219,28 @@ JobResultRecord get_result_record(ByteReader& r) {
   rec.wall_seconds = r.get<double>();
   rec.tasks_run = r.get<uint64_t>();
   rec.telemetry = get_run_telemetry(r);
+  rec.kind = r.get_string();  // v6
+  const auto nq = r.get<uint64_t>();
+  rec.query_results.reserve(size_t(nq));
+  for (uint64_t i = 0; i < nq; ++i) rec.query_results.push_back(get_query_result(r));
   return rec;
 }
 
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vector<int>& bits,
-                                      double target, uint64_t seed) {
-  return prepare_job(c, /*circuit_text=*/"", bits, target, seed, /*plan_cache=*/nullptr);
+                                      double target, uint64_t seed,
+                                      const std::vector<int>& open_qubits) {
+  return prepare_job(c, /*circuit_text=*/"", bits, target, seed, /*plan_cache=*/nullptr,
+                     /*from_cache=*/nullptr, open_qubits);
 }
 
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::string& circuit_text,
                                       const std::vector<int>& bits, double target, uint64_t seed,
-                                      cache::PlanCache* plan_cache, bool* from_cache) {
+                                      cache::PlanCache* plan_cache, bool* from_cache,
+                                      const std::vector<int>& open_qubits) {
   if (from_cache != nullptr) *from_cache = false;
   circuit::LoweringOptions lo;
   lo.output_bits = bits;
+  lo.open_qubits = open_qubits;
   // The network must reach its FINAL address before make_plan runs: the
   // contraction tree keeps a raw pointer to it, and a later move of the
   // Prepared would leave that pointer dangling.
@@ -195,7 +254,9 @@ std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::stri
     std::string bit_text;
     bit_text.reserve(bits.size());
     for (int b : bits) bit_text += b != 0 ? '1' : '0';
-    const auto key = cache::plan_key(circuit_text, bit_text, /*open_qubits=*/"", po);
+    std::string open_text;
+    for (int q : open_qubits) open_text += std::to_string(q) + ",";
+    const auto key = cache::plan_key(circuit_text, bit_text, open_text, po);
     if (plan_cache->lookup(key, p->lowered.net, &p->plan)) {
       if (from_cache != nullptr) *from_cache = true;
       return p;

@@ -17,6 +17,7 @@
 #include "circuit/lowering.hpp"
 #include "core/planner.hpp"
 #include "dist/wire.hpp"
+#include "query/query.hpp"
 
 namespace ltns::dist {
 
@@ -41,6 +42,11 @@ struct Job {
   double heartbeat_seconds = 0.2;
   std::string backend = "host";  // default device backend; workers may override
   uint32_t trace = 0;  // arm the worker's event tracer; chunk ships via kTrace
+  // v6: open output qubits (sorted ascending; empty = closed amplitude
+  // job). Workers lower with these open and accumulate a rank-|open| shard
+  // instead of a scalar — the query engine's batch groups run through the
+  // same lease protocol as classic jobs.
+  std::vector<int> open_qubits;
 };
 
 void put_job(ByteWriter& w, const Job& j);
@@ -63,6 +69,14 @@ struct JobSpec {
   uint64_t plan_seed = core::PlanOptions{}.seed;
   uint32_t fused = 1;
   uint64_t ldm_elems = 32768;
+  // v6: job kind. "amp" (default) is the classic single-amplitude job;
+  // "query" submits a whole query file (`query_text`, the format
+  // query::parse_queries reads) answered through shared batch contractions.
+  // `bits` then carries the all-zero base string (its length = num qubits).
+  std::string kind = "amp";
+  std::string query_text;
+  int32_t max_open = 6;           // query grouper merge bound
+  std::string amp_mode = "exact"; // "exact" | "grouped" (docs/queries.md)
 };
 
 void put_job_spec(ByteWriter& w, const JobSpec& s);
@@ -92,10 +106,18 @@ struct JobResultRecord {
   double wall_seconds = 0;
   uint64_t tasks_run = 0;
   api::RunTelemetry telemetry;
+  // v6: "amp" records answer with amplitude_re/im as before; "query"
+  // records carry one QueryResult per query in file order.
+  std::string kind = "amp";
+  std::vector<query::QueryResult> query_results;
 };
 
 void put_result_record(ByteWriter& w, const JobResultRecord& r);
 JobResultRecord get_result_record(ByteReader& r);
+
+// One query answer on the wire (shared by result records and tests).
+void put_query_result(ByteWriter& w, const query::QueryResult& q);
+query::QueryResult get_query_result(ByteReader& r);
 
 // RunTelemetry (and its RebalanceStats leg) on the wire — the result frame
 // carries the same telemetry tail a solo api::Simulator run returns.
@@ -118,7 +140,8 @@ struct Prepared {
 // pointer to `lowered.net`, so a Prepared must never move after planning.
 // Returning unique_ptr keeps the pointee at one address for its lifetime.
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vector<int>& bits,
-                                      double target, uint64_t seed);
+                                      double target, uint64_t seed,
+                                      const std::vector<int>& open_qubits = {});
 
 // Cache-aware variant: consults `plan_cache` (content-addressed over the
 // job inputs and the exact PlanOptions this function derives) before
@@ -126,9 +149,12 @@ std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::vect
 // miss. `circuit_text` must be the text `c` was parsed from — the key
 // hashes the text, not the parsed form. `plan_cache` may be null (plain
 // prepare). `from_cache` (optional) reports whether planning was skipped.
+// `open_qubits` (v6) leaves those qubits open: the plan contracts to a
+// rank-|open| batch tensor instead of a scalar.
 std::unique_ptr<Prepared> prepare_job(const circuit::Circuit& c, const std::string& circuit_text,
                                       const std::vector<int>& bits, double target, uint64_t seed,
-                                      cache::PlanCache* plan_cache, bool* from_cache = nullptr);
+                                      cache::PlanCache* plan_cache, bool* from_cache = nullptr,
+                                      const std::vector<int>& open_qubits = {});
 
 // --- small socket helpers shared by every TCP driver ----------------------
 

@@ -33,6 +33,8 @@
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "query/eval.hpp"
+#include "query/grouper.hpp"
 #include "runtime/slice_scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -43,8 +45,10 @@ namespace {
 // On-disk header of spec.job / result.bin under <state_dir>/jobs/<id>/.
 // Versioned separately from the wire: a protocol bump that leaves the
 // JobSpec/JobResultRecord layouts alone must not orphan a state dir.
+// v2: specs carry the v6 query-job tail (kind/query_text/max_open/
+// amp_mode) and result records the kind + per-query result list.
 constexpr uint32_t kStateMagic = 0x4C544A53u;  // "LTJS"
-constexpr uint16_t kStateVersion = 1;
+constexpr uint16_t kStateVersion = 2;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -250,6 +254,27 @@ struct ServerImpl {
     std::map<int, ShardTelemetry> worker_tel;  // latest cumulative per worker
     JobResultRecord result;                    // valid once terminal
     Timer run_wall;
+
+    // v6 query jobs (spec.kind == "query"). The PARENT job holds the
+    // parsed queries and the grouper's cover; each group that needs a
+    // contraction runs as a hidden internal CHILD job (fresh id, `parent`
+    // set) through the very same ledger/merger/lease machinery as a
+    // classic amp job — workers cannot tell the difference. Children are
+    // never persisted and never appear in status or admission counts; the
+    // parent evaluates every member query once the last group lands.
+    uint64_t parent = 0;  // != 0: internal child of that query job
+    uint64_t child = 0;   // parent: id of the currently running child (0 = none)
+    circuit::Circuit qcircuit;
+    query::ParsedQueries queries;
+    std::vector<query::GroupSpec> groups;
+    size_t next_group = 0;
+    uint64_t query_groups = 0;       // |groups| at start (survives cleanup)
+    uint64_t query_contractions = 0; // groups actually contracted
+    uint64_t query_cache_groups = 0; // groups answered from the result cache
+    std::vector<ShardTelemetry> query_tel;  // accumulated across children
+    std::vector<std::vector<std::complex<double>>> group_amps;
+
+    bool internal() const { return parent != 0; }
   };
   std::map<uint64_t, ServerJob> jobs;
   uint64_t next_job_id = 1;
@@ -288,20 +313,46 @@ struct ServerImpl {
     return cache::result_key(s.circuit_text, s.bits, /*open_qubits=*/"", spec_plan_options(s),
                              s.fused != 0, s.ldm_elems);
   }
+  // The canonical key preimage forms the Simulator hashes ('0'/'1' bit
+  // text, "q0,q1," open text) — a batch the server computes must be
+  // addressable by a solo run pointed at the same --cache-dir.
+  static std::string bit_text(const std::vector<int>& bits) {
+    std::string t;
+    t.reserve(bits.size());
+    for (int b : bits) t += b != 0 ? '1' : '0';
+    return t;
+  }
+  static std::string open_text(const std::vector<int>& open_qubits) {
+    std::string t;
+    for (int q : open_qubits) t += std::to_string(q) + ",";
+    return t;
+  }
+  // Everything the result key hashes besides bits/open — the scope the
+  // covering-batch index partitions on (mirrors api::Simulator).
+  static std::string spec_scope(const JobSpec& s) {
+    return cache::result_key(s.circuit_text, "", "", spec_plan_options(s), s.fused != 0,
+                             s.ldm_elems);
+  }
+  static std::string group_result_key(const JobSpec& s, const query::GroupSpec& g) {
+    return cache::result_key(s.circuit_text, bit_text(g.base_bits), open_text(g.open_qubits),
+                             spec_plan_options(s), s.fused != 0, s.ldm_elems);
+  }
 
   static bool terminal(JobState s) {
     return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
   }
+  // Internal children ride their parent's admission slot: only the parent
+  // counts, or a query job would consume two running slots.
   int running_count() const {
     int n = 0;
     for (const auto& [id, j] : jobs)
-      if (j.state == JobState::kRunning) ++n;
+      if (j.state == JobState::kRunning && !j.internal()) ++n;
     return n;
   }
   size_t queued_count() const {
     size_t n = 0;
     for (const auto& [id, j] : jobs)
-      if (j.state == JobState::kQueued) ++n;
+      if (j.state == JobState::kQueued && !j.internal()) ++n;
     return n;
   }
 
@@ -360,7 +411,8 @@ struct ServerImpl {
       // Re-seed the shared result cache from results persisted before the
       // cache existed (or under a different cache dir), so a restarted
       // server short-circuits duplicates of everything it ever finished.
-      if (result_cache != nullptr && j.state == JobState::kDone && j.result.error.empty()) {
+      if (result_cache != nullptr && j.state == JobState::kDone && j.result.error.empty() &&
+          j.spec.kind == "amp") {
         cache::AmplitudeEntry e;
         e.amplitude = {j.result.amplitude_re, j.result.amplitude_im};
         e.num_slices = j.result.num_slices;
@@ -410,6 +462,10 @@ struct ServerImpl {
   }
 
   void start_job(ServerJob& j) {
+    if (j.spec.kind == "query") {
+      start_query_job(j);
+      return;
+    }
     try {
       auto circ = circuit::circuit_from_string(j.spec.circuit_text);
       std::vector<int> bits;
@@ -477,6 +533,230 @@ struct ServerImpl {
     if (j.ledger->done()) finish_job(j);  // journal already covered the run
   }
 
+  // --- query jobs (v6) -----------------------------------------------------
+
+  void start_query_job(ServerJob& j) {
+    try {
+      j.qcircuit = circuit::circuit_from_string(j.spec.circuit_text);
+      j.queries = query::parse_queries(j.spec.query_text, j.qcircuit.num_qubits);
+    } catch (const std::exception& e) {
+      fail_job(j, std::string("bad circuit: ") + e.what());
+      return;
+    }
+    // Submit-time validation already rejected malformed files; a parse
+    // failure here means the persisted spec was edited — fail loudly.
+    if (!j.queries.ok()) {
+      fail_job(j, "line " + std::to_string(j.queries.error_line) + ": " + j.queries.error);
+      return;
+    }
+    query::GrouperOptions go;
+    go.max_open = std::max(0, int(j.spec.max_open));
+    go.group_amplitudes = j.spec.amp_mode == "grouped";
+    j.groups = query::group_queries(j.queries.queries, go);
+    j.query_groups = j.groups.size();
+    j.group_amps.assign(j.groups.size(), {});
+    j.next_group = 0;
+    j.state = JobState::kRunning;
+    j.run_wall.reset();
+    start_next_group(j);
+  }
+
+  // Advances the parent: serves groups from the result cache until one
+  // needs a contraction (spawn a child, return) or none are left (emit the
+  // parent's record). Called at start and after every child retires.
+  void start_next_group(ServerJob& j) {
+    while (j.next_group < j.groups.size()) {
+      const auto& g = j.groups[j.next_group];
+      std::vector<std::complex<double>> amps;
+      if (probe_group_cache(j, g, &amps)) {
+        j.group_amps[j.next_group] = std::move(amps);
+        ++j.query_cache_groups;
+        ++served_from_cache;
+        ++j.next_group;
+        continue;
+      }
+      start_child(j, g);  // on failure the parent is already terminal
+      return;
+    }
+    finish_query_job(j);
+  }
+
+  // The engine's reuse rule: closed groups in exact amp mode may only take
+  // an EXACT single-amplitude hit (byte contract with solo `amp`); open
+  // groups — and closed ones under grouped mode — also slice their answer
+  // out of any cached batch whose open set covers them.
+  bool probe_group_cache(const ServerJob& j, const query::GroupSpec& g,
+                         std::vector<std::complex<double>>* out) {
+    if (result_cache == nullptr) return false;
+    const bool closed = g.open_qubits.empty();
+    if (closed) {
+      cache::AmplitudeEntry e;
+      if (result_cache->lookup_amplitude(group_result_key(j.spec, g), &e)) {
+        *out = {e.amplitude};
+        return true;
+      }
+      if (j.spec.amp_mode != "grouped") return false;
+    }
+    cache::BatchEntry e;
+    if (!result_cache->find_covering_batch(spec_scope(j.spec), g.base_bits, g.open_qubits, &e))
+      return false;
+    *out = query::restrict_amplitudes(e.amplitudes, e.open_qubits, g.open_qubits, g.base_bits);
+    return true;
+  }
+
+  void start_child(ServerJob& parent, const query::GroupSpec& g) {
+    const uint64_t id = next_job_id++;
+    ServerJob c;
+    c.id = id;
+    c.parent = parent.id;
+    c.spec = parent.spec;
+    c.spec.kind = "amp";
+    c.spec.query_text.clear();
+    c.spec.name = parent.spec.name + "#g" + std::to_string(parent.next_group);
+    try {
+      c.prepared = prepare_job(parent.qcircuit, parent.spec.circuit_text, g.base_bits,
+                               parent.spec.target_log2size, parent.spec.plan_seed,
+                               plan_cache.get(), nullptr, g.open_qubits);
+    } catch (const std::exception& e) {
+      fail_job(parent,
+               "group " + std::to_string(parent.next_group) + " planning failed: " + e.what());
+      return;
+    }
+    const int ns = c.prepared->plan.num_slices();
+    if (ns >= 57) {
+      fail_job(parent, "group " + std::to_string(parent.next_group) + ": too many sliced edges");
+      return;
+    }
+    c.total = uint64_t(1) << ns;
+
+    c.base = Job{};
+    c.base.job_id = id;
+    c.base.circuit_text = parent.spec.circuit_text;
+    c.base.bits = bit_text(g.base_bits);
+    c.base.open_qubits = g.open_qubits;
+    c.base.target_log2size = parent.spec.target_log2size;
+    c.base.plan_seed = parent.spec.plan_seed;
+    c.base.executor = opt.executor;
+    c.base.grain = opt.grain;
+    c.base.workers = opt.workers_per_process;
+    c.base.num_slices = int32_t(ns);
+    c.base.fused = parent.spec.fused;
+    c.base.ldm_elems = parent.spec.ldm_elems;
+    c.base.elastic = 1;
+    c.base.heartbeat_seconds = opt.heartbeat_seconds;
+    c.base.backend = opt.backend.empty() ? "host" : opt.backend;
+
+    c.ledger = std::make_unique<LeaseLedger>(c.total, std::max(1, opt.home_workers),
+                                             opt.lease_size, (id << 32) | 1);
+    c.merger = std::make_unique<ShardMerger>(c.total);
+    // No spill journal: a crashed server re-queues the PARENT (its spec is
+    // persisted, its result is not) and replans every group — the plan
+    // cache makes that cheap, and children stay entirely in memory.
+    c.state = JobState::kRunning;
+    c.run_wall.reset();
+    parent.child = id;
+    jobs.emplace(id, std::move(c));
+  }
+
+  // A child's merger drained: convert its root into the parent's group
+  // amplitudes, retire the child in place (no record, no persistence) and
+  // move the parent forward.
+  void finish_child_job(ServerJob& c) {
+    std::string err;
+    std::vector<std::complex<double>> amps;
+    exec::Tensor root;
+    if (!c.merger->complete()) {
+      err = "reduction incomplete despite a drained ledger";
+    } else {
+      root = c.merger->take_root();
+    }
+    auto pit = jobs.find(c.parent);
+    std::vector<ShardTelemetry> tel;
+    for (const auto& [wid, t] : c.worker_tel) tel.push_back(t);
+    const double child_wall = c.run_wall.seconds();
+    c.state = JobState::kDone;
+    c.ledger.reset();
+    c.merger.reset();
+    c.worker_tel.clear();
+    if (pit == jobs.end() || terminal(pit->second.state)) {
+      c.prepared.reset();  // parent gone (cancelled): drop the work
+      return;
+    }
+    ServerJob& p = pit->second;
+    p.child = 0;
+    for (auto& t : tel) p.query_tel.push_back(std::move(t));
+    const auto& g = p.groups[p.next_group];
+    if (err.empty()) {
+      if (g.open_qubits.empty()) {
+        if (root.rank() != 0 || root.size() != 1) {
+          err = "closed group produced a non-scalar root";
+        } else {
+          amps = {std::complex<double>(root.data()[0]) * c.prepared->lowered.scalar};
+        }
+      } else {
+        amps = query::amplitudes_from_tensor(root, c.prepared->lowered, g.open_qubits);
+        if (amps.empty()) err = "open group produced a mis-shaped root";
+      }
+    }
+    if (!err.empty()) {
+      c.prepared.reset();
+      fail_job(p, "group " + std::to_string(p.next_group) + ": " + err);
+      return;
+    }
+    if (result_cache != nullptr) {
+      if (g.open_qubits.empty()) {
+        // Same entry a solo `amp` run (or an amp-kind submit) would write.
+        cache::AmplitudeEntry e;
+        e.amplitude = amps[0];
+        e.num_slices = c.base.num_slices;
+        e.slicing = c.prepared->plan.metrics;
+        e.wall_seconds = child_wall;
+        result_cache->insert_amplitude(group_result_key(p.spec, g), e);
+      } else {
+        cache::BatchEntry e;
+        e.amplitudes = amps;
+        e.open_qubits = g.open_qubits;
+        e.base_bits = g.base_bits;  // grouper emits canonical (open zeroed) form
+        e.slicing = c.prepared->plan.metrics;
+        result_cache->insert_batch(group_result_key(p.spec, g), e, spec_scope(p.spec));
+      }
+    }
+    c.prepared.reset();
+    p.group_amps[p.next_group] = std::move(amps);
+    ++p.query_contractions;
+    ++p.next_group;
+    start_next_group(p);
+  }
+
+  // Every group answered: evaluate each member query against its group's
+  // amplitudes and emit the parent's terminal record, results in file
+  // order.
+  void finish_query_job(ServerJob& j) {
+    JobResultRecord rec;
+    rec.job_id = j.id;
+    rec.name = j.spec.name;
+    rec.tenant = j.spec.tenant;
+    rec.kind = "query";
+    rec.wall_seconds = j.run_wall.seconds();
+    rec.telemetry.shards = j.query_tel;
+    auto agg = aggregate_telemetry(rec.telemetry.shards);
+    rec.telemetry.stats = agg.stats;
+    rec.telemetry.runtime_stats = agg.executor;
+    rec.telemetry.memory = agg.memory;
+    rec.tasks_run = agg.tasks_run;
+    std::vector<query::QueryResult> results(j.queries.queries.size());
+    for (size_t gi = 0; gi < j.groups.size(); ++gi) {
+      const auto& g = j.groups[gi];
+      for (int member : g.members) {
+        results[size_t(member)] = query::evaluate_query(j.queries.queries[size_t(member)],
+                                                        g.open_qubits, j.group_amps[gi]);
+      }
+    }
+    rec.query_results = std::move(results);
+    rec.state = JobState::kDone;
+    finalize_job(j, std::move(rec));
+  }
+
   void dispatch(Peer& w) {
     if (shutting_down && running_count() == 0) {
       if (!w.draining) {
@@ -541,6 +821,10 @@ struct ServerImpl {
   // --- job completion ------------------------------------------------------
 
   void finish_job(ServerJob& j) {
+    if (j.internal()) {
+      finish_child_job(j);
+      return;
+    }
     JobResultRecord rec;
     rec.job_id = j.id;
     rec.name = j.spec.name;
@@ -589,6 +873,23 @@ struct ServerImpl {
   }
 
   void fail_job(ServerJob& j, const std::string& error) {
+    if (j.internal()) {
+      // A child's failure is its parent's failure: retire the child in
+      // place (no record of its own) and surface the error on the parent.
+      j.state = JobState::kFailed;
+      j.ledger.reset();
+      j.merger.reset();
+      j.journal.reset();
+      j.prepared.reset();
+      j.worker_tel.clear();
+      auto pit = jobs.find(j.parent);
+      if (pit != jobs.end() && !terminal(pit->second.state)) {
+        pit->second.child = 0;
+        fail_job(pit->second,
+                 "group " + std::to_string(pit->second.next_group) + ": " + error);
+      }
+      return;
+    }
     JobResultRecord rec;
     rec.job_id = j.id;
     rec.name = j.spec.name;
@@ -638,6 +939,24 @@ struct ServerImpl {
     }
     j.prepared.reset();
     j.worker_tel.clear();
+    // A terminal query parent takes its running child down with it: the
+    // child's machinery drops so in-flight worker frames become clean late
+    // drops, exactly like a cancelled classic job.
+    if (j.child != 0) {
+      auto cit = jobs.find(j.child);
+      if (cit != jobs.end() && !terminal(cit->second.state)) {
+        cit->second.state = JobState::kCancelled;
+        cit->second.ledger.reset();
+        cit->second.merger.reset();
+        cit->second.prepared.reset();
+        cit->second.worker_tel.clear();
+      }
+      j.child = 0;
+    }
+    j.queries = {};
+    j.groups.clear();
+    j.group_amps.clear();
+    j.query_tel.clear();
     for (auto& p : peers) {
       if (p.kind != Peer::Kind::kWaiter || p.fd < 0 || p.waiting_job != j.id) continue;
       try {
@@ -678,13 +997,26 @@ struct ServerImpl {
     } else if (!admission.admit(queued_count())) {
       reason = "queue full (" + std::to_string(queued_count()) + " of " +
                std::to_string(admission.options().max_queued) + " jobs queued)";
+    } else if (spec.kind != "amp" && spec.kind != "query") {
+      reason = "unknown job kind \"" + spec.kind + "\" (expected \"amp\" or \"query\")";
+    } else if (spec.kind == "query" && spec.amp_mode != "exact" && spec.amp_mode != "grouped") {
+      reason = "unknown amp mode \"" + spec.amp_mode + "\" (expected \"exact\" or \"grouped\")";
     } else {
       try {
         auto circ = circuit::circuit_from_string(spec.circuit_text);
-        if (size_t(circ.num_qubits) != spec.bits.size())
+        if (size_t(circ.num_qubits) != spec.bits.size()) {
           reason = "bitstring length " + std::to_string(spec.bits.size()) +
                    " does not match the circuit's " + std::to_string(circ.num_qubits) +
                    " qubits";
+        } else if (spec.kind == "query") {
+          // Malformed query files are rejected AT SUBMIT, with the parser's
+          // line-tagged message — never queued to fail later.
+          auto parsed = query::parse_queries(spec.query_text, circ.num_qubits);
+          if (!parsed.ok())
+            reason = "line " + std::to_string(parsed.error_line) + ": " + parsed.error;
+          else if (parsed.queries.empty())
+            reason = "query file contains no queries";
+        }
       } catch (const std::exception& e) {
         reason = std::string("bad circuit: ") + e.what();
       }
@@ -706,7 +1038,8 @@ struct ServerImpl {
     // plans, never touches the fleet. The new job id gets its own spec.job
     // and result.bin (identity rewritten) so fetch/status work as usual.
     cache::AmplitudeEntry hit;
-    if (result_cache != nullptr && result_cache->lookup_amplitude(spec_result_key(j.spec), &hit)) {
+    if (result_cache != nullptr && j.spec.kind == "amp" &&
+        result_cache->lookup_amplitude(spec_result_key(j.spec), &hit)) {
       JobResultRecord rec;
       rec.job_id = id;
       rec.name = j.spec.name;
@@ -738,7 +1071,7 @@ struct ServerImpl {
     ByteReader r(f.payload);
     const uint64_t id = r.get<uint64_t>();
     auto it = jobs.find(id);
-    if (it == jobs.end()) {
+    if (it == jobs.end() || it->second.internal()) {
       reply_server(p.fd, false, "unknown job id " + std::to_string(id));
       return;
     }
@@ -757,7 +1090,7 @@ struct ServerImpl {
     const uint64_t id = r.get<uint64_t>();
     const bool wait = r.get<uint32_t>() != 0;
     auto it = jobs.find(id);
-    if (it == jobs.end()) {
+    if (it == jobs.end() || it->second.internal()) {
       send_error(p.fd, "unknown job id " + std::to_string(id));
       ::close(p.fd);
       p.fd = -1;
@@ -832,7 +1165,7 @@ struct ServerImpl {
             json = server_status_json();
           } else {
             auto it = jobs.find(id);
-            if (it == jobs.end()) {
+            if (it == jobs.end() || it->second.internal()) {
               send_error(p.fd, "unknown job id " + std::to_string(id));
               ::close(p.fd);
               p.fd = -1;
@@ -999,7 +1332,7 @@ struct ServerImpl {
       ts.virtual_time = t.virtual_time;
       ts.tasks_charged = t.tasks_charged;
       for (const auto& [id, j] : jobs) {
-        if (j.spec.tenant != t.tenant) continue;
+        if (j.spec.tenant != t.tenant || j.internal()) continue;
         if (j.state == JobState::kQueued) ++ts.queued;
         if (j.state == JobState::kRunning) ++ts.running;
       }
@@ -1025,7 +1358,10 @@ struct ServerImpl {
       return o;
     };
     if (plan_cache != nullptr) s.tiers.push_back(tier("plan", plan_cache->stats()));
-    if (result_cache != nullptr) s.tiers.push_back(tier("result", result_cache->stats()));
+    if (result_cache != nullptr) {
+      s.tiers.push_back(tier("result", result_cache->stats()));
+      s.superset_hits = result_cache->superset_hits();
+    }
     s.planner_invocations = path::find_path_invocations();
     s.served_results = served_from_cache;
     return s;
@@ -1054,6 +1390,14 @@ struct ServerImpl {
       << "\",\"total\":" << j.total << ",\"tasks_done\":" << done_tasks << ",\"progress\":"
       << (j.total > 0 ? double(done_tasks) / double(j.total)
                       : (j.state == JobState::kDone ? 1.0 : 0.0));
+    if (j.spec.kind == "query") {
+      // Query parents progress group by group; per-lease progress lives on
+      // the (hidden) child actually holding the ledger.
+      o << ",\"kind\":\"query\",\"groups\":" << j.query_groups
+        << ",\"groups_done\":" << j.next_group
+        << ",\"groups_from_cache\":" << j.query_cache_groups
+        << ",\"group_contractions\":" << j.query_contractions;
+    }
     if (j.ledger != nullptr) {
       o << ",\"pending_ranges\":" << j.ledger->pending_ranges()
         << ",\"active_leases\":" << j.ledger->active_leases();
@@ -1138,6 +1482,7 @@ struct ServerImpl {
     o << "],\"jobs\":[";
     first = true;
     for (const auto& [id, j] : jobs) {
+      if (j.internal()) continue;  // children are an implementation detail
       o << (first ? "" : ",") << job_status_json(j);
       first = false;
     }
@@ -1352,7 +1697,7 @@ int serve_fleet_worker(int fd, int worker_id, double heartbeat_seconds,
           std::vector<int> bits;
           bits.reserve(job.bits.size());
           for (char ch : job.bits) bits.push_back(ch == '1');
-          ctx->p = prepare_job(circ, bits, job.target_log2size, job.plan_seed);
+          ctx->p = prepare_job(circ, bits, job.target_log2size, job.plan_seed, job.open_qubits);
           if (ctx->p->plan.num_slices() != int(job.num_slices))
             throw std::runtime_error(
                 "plan mismatch for job " + std::to_string(job.job_id) + ": local |S| = " +

@@ -282,7 +282,7 @@ int serve_worker(const std::string& host, uint16_t port, const std::string& back
     std::vector<int> bits;
     bits.reserve(job.bits.size());
     for (char ch : job.bits) bits.push_back(ch == '1');
-    auto prep = prepare_job(circ, bits, job.target_log2size, job.plan_seed);
+    auto prep = prepare_job(circ, bits, job.target_log2size, job.plan_seed, job.open_qubits);
     Prepared& p = *prep;
     if (p.plan.num_slices() != int(job.num_slices))
       throw std::runtime_error("plan mismatch: local |S| = " +

@@ -48,7 +48,12 @@ inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
 //     kCancel/kFetchResult/kResult/kServerReply/kShutdown (client API) and
 //     kWelcome/kJobLease (fleet workers multiplexing leases across
 //     concurrent jobs).
-inline constexpr uint16_t kWireVersion = 5;
+// v6: the batched query engine (src/query/). Job grew an open-qubit list
+//     (workers contract rank-|open| batch shards); JobSpec grew
+//     kind/query_text/max_open/amp_mode (kind "query" submits a whole
+//     query file as one job); JobResultRecord grew kind + the per-query
+//     result list. All appended at the end of their payloads.
+inline constexpr uint16_t kWireVersion = 6;
 
 // Header endianness markers; read_frame rejects a frame whose marker does
 // not match the host's.

@@ -305,6 +305,30 @@ void fill_cache_metrics(MetricsRegistry& reg, const CacheSample& s) {
   }
   reg.counter("ltns_planner_invocations_total", double(s.planner_invocations));
   reg.counter("ltns_cache_served_results_total", double(s.served_results));
+  reg.counter("ltns_cache_superset_hits_total", double(s.superset_hits));
+}
+
+void fill_query_metrics(MetricsRegistry& reg, const QuerySample& s) {
+  reg.counter("ltns_query_queries_total", double(s.queries));
+  reg.counter("ltns_query_queries_by_kind_total", double(s.amp_queries), {{"kind", "amp"}});
+  reg.counter("ltns_query_queries_by_kind_total", double(s.batch_queries), {{"kind", "batch"}});
+  reg.counter("ltns_query_queries_by_kind_total", double(s.sample_queries), {{"kind", "sample"}});
+  reg.counter("ltns_query_queries_by_kind_total", double(s.expect_queries), {{"kind", "expect"}});
+  reg.counter("ltns_query_groups_total", double(s.groups));
+  reg.counter("ltns_query_groups_by_shape_total", double(s.closed_groups), {{"shape", "closed"}});
+  reg.counter("ltns_query_groups_by_shape_total", double(s.open_groups), {{"shape", "open"}});
+  reg.counter("ltns_query_contractions_total", double(s.contractions));
+  reg.counter("ltns_query_plans_total", double(s.planner_passes), {{"source", "planner"}});
+  reg.counter("ltns_query_plans_total", double(s.plan_cache_hits), {{"source", "cache"}});
+  reg.counter("ltns_query_plans_total", double(s.plan_rebuilds), {{"source", "rebuild"}});
+  reg.counter("ltns_query_result_reuse_total", double(s.result_cache_hits),
+              {{"source", "exact"}});
+  reg.counter("ltns_query_result_reuse_total", double(s.superset_hits), {{"source", "superset"}});
+  reg.counter("ltns_query_amplitudes_returned_total", double(s.amplitudes_returned));
+  reg.counter("ltns_query_samples_drawn_total", double(s.samples_drawn));
+  reg.counter("ltns_query_errors_total", double(s.errors));
+  reg.gauge("ltns_query_plan_seconds", s.plan_seconds);
+  reg.gauge("ltns_query_exec_seconds", s.exec_seconds);
 }
 
 }  // namespace ltns::obs

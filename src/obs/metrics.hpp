@@ -127,12 +127,40 @@ struct CacheSample {
   std::vector<CacheTierSample> tiers;
   uint64_t planner_invocations = 0;  // path::find_path_invocations()
   uint64_t served_results = 0;       // server submits answered from cache
+  uint64_t superset_hits = 0;        // queries sliced out of covering batches
 };
 
 // The ltns_cache_* series: hits split {tier=<name>_memory|<name>_disk},
 // misses/evictions/insertions/corruption/bytes per {tier=<name>}, entry
-// and byte gauges for the LRU fronts, ltns_planner_invocations_total and
-// ltns_cache_served_results_total.
+// and byte gauges for the LRU fronts, ltns_planner_invocations_total,
+// ltns_cache_served_results_total and ltns_cache_superset_hits_total.
 void fill_cache_metrics(MetricsRegistry& reg, const CacheSample& s);
+
+// Counters of one batched-query run (query::EngineStats, mirrored as a
+// plain struct so obs stays free of query headers).
+struct QuerySample {
+  uint64_t queries = 0;
+  uint64_t amp_queries = 0, batch_queries = 0, sample_queries = 0, expect_queries = 0;
+  uint64_t groups = 0, closed_groups = 0, open_groups = 0;
+  uint64_t contractions = 0;
+  uint64_t planner_passes = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_rebuilds = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t superset_hits = 0;
+  uint64_t amplitudes_returned = 0;
+  uint64_t samples_drawn = 0;
+  uint64_t errors = 0;
+  double plan_seconds = 0;
+  double exec_seconds = 0;
+};
+
+// The ltns_query_* series: query counts per {kind=...}, group counts per
+// {shape=closed|open}, ltns_query_contractions_total (the acceptance
+// invariant "fewer contractions than queries" is assertable from this plus
+// ltns_query_queries_total), plan provenance counters
+// {source=planner|cache|rebuild}, result reuse counters
+// {source=exact|superset}, answer volume and wall-time gauges.
+void fill_query_metrics(MetricsRegistry& reg, const QuerySample& s);
 
 }  // namespace ltns::obs

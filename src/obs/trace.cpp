@@ -38,6 +38,7 @@ const EventKindInfo kKinds[size_t(EventKind::kKindCount)] = {
     {"journal_fsync", "checkpoint", "journal_bytes", nullptr, nullptr},
     {"wire_send", "wire", "frame", "bytes", nullptr},
     {"wire_recv", "wire", "frame", "bytes", nullptr},
+    {"query_group", "query", "group", "open", "members"},
 };
 
 thread_local void* tls_buf = nullptr;

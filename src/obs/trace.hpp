@@ -46,6 +46,7 @@ enum class EventKind : uint16_t {
   kCheckpointFsync,   // journal fsync                     args: journal_bytes
   kWireSend,          // one frame written                 args: frame_type, bytes
   kWireRecv,          // one frame read (includes waiting) args: frame_type, bytes
+  kQueryGroup,        // one query-engine group answered   args: group, open, members
   kKindCount,
 };
 
@@ -61,7 +62,7 @@ static_assert(sizeof(TraceEvent) == 48, "trace event layout is the chunk ABI");
 
 struct EventKindInfo {
   const char* name;
-  const char* category;  // slice | kernel | lease | device | checkpoint | wire
+  const char* category;  // slice | kernel | lease | device | checkpoint | wire | query
   const char* arg0;      // nullptr = unused
   const char* arg1;
   const char* arg2;

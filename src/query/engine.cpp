@@ -1,0 +1,126 @@
+#include "query/engine.hpp"
+
+#include <map>
+
+#include "cache/cache.hpp"
+#include "obs/trace.hpp"
+#include "query/eval.hpp"
+#include "util/timer.hpp"
+
+namespace ltns::query {
+
+namespace {
+
+std::string open_signature(const std::vector<int>& open) {
+  std::string s;
+  for (int q : open) s += std::to_string(q) + ",";
+  return s;
+}
+
+}  // namespace
+
+EngineStats Engine::run(const std::vector<Query>& queries, const ResultSink& sink) {
+  EngineStats st;
+  st.queries = queries.size();
+  for (const Query& q : queries) {
+    switch (q.kind) {
+      case QueryKind::kAmplitude: ++st.amp_queries; break;
+      case QueryKind::kBatch: ++st.batch_queries; break;
+      case QueryKind::kSample: ++st.sample_queries; break;
+      case QueryKind::kExpectation: ++st.expect_queries; break;
+    }
+  }
+
+  GrouperOptions go;
+  go.max_open = opt_.max_open;
+  go.group_amplitudes = opt_.group_amplitudes;
+  const auto groups = group_queries(queries, go);
+  st.groups = groups.size();
+
+  // One resolved plan per open-set SIGNATURE: the planner is value-blind
+  // (the lowered structure is identical across output bit values at the
+  // same positions), so every later group with the same signature rebuilds
+  // the representative's plan over its own network instead of re-planning.
+  std::map<std::string, api::PreparedPlan> reps;
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const GroupSpec& g = groups[gi];
+    const bool closed = g.open_qubits.empty();
+    closed ? ++st.closed_groups : ++st.open_groups;
+    obs::TraceScope span(obs::EventKind::kQueryGroup, gi, g.open_qubits.size(),
+                         g.members.size());
+
+    std::vector<std::complex<double>> amps;
+    std::string err;
+    bool served = false;
+
+    // Covering-batch probe: a cached batch whose open set is a superset of
+    // this group's answers it with zero contractions. Closed groups only
+    // probe in grouped amp mode — in exact mode a sliced-out amplitude
+    // would break the standalone-`amp` byte contract.
+    if (!closed || opt_.group_amplitudes) {
+      cache::BatchEntry e;
+      if (sim_.find_covering_batch(g.base_bits, g.open_qubits, &e)) {
+        amps = restrict_amplitudes(e.amplitudes, e.open_qubits, g.open_qubits, g.base_bits);
+        e.open_qubits == g.open_qubits ? ++st.result_cache_hits : ++st.superset_hits;
+        served = true;
+      }
+    }
+
+    if (!served) {
+      const std::string sig = open_signature(g.open_qubits);
+      api::PreparedPlan plan;
+      auto it = reps.find(sig);
+      if (it == reps.end()) {
+        plan = sim_.prepare(g.base_bits, g.open_qubits);
+        plan.plan_from_cache() ? ++st.plan_cache_hits : ++st.planner_passes;
+        reps.emplace(sig, plan);
+      } else {
+        plan = sim_.prepare_like(it->second, g.base_bits, g.open_qubits);
+        if (plan.valid()) {
+          ++st.plan_rebuilds;
+        } else {
+          plan = sim_.prepare(g.base_bits, g.open_qubits);
+          plan.plan_from_cache() ? ++st.plan_cache_hits : ++st.planner_passes;
+        }
+      }
+      st.plan_seconds += plan.plan_seconds();
+
+      Timer t;
+      if (closed) {
+        auto ar = sim_.amplitude(plan);
+        err = ar.telemetry.error;
+        if (err.empty() && !ar.completed) err = "run cancelled";
+        ar.from_cache ? ++st.result_cache_hits : ++st.contractions;
+        amps.assign(1, ar.amplitude);
+      } else {
+        auto br = sim_.batch_amplitudes(plan);
+        err = br.telemetry.error;
+        if (err.empty() && !br.completed) err = "run cancelled";
+        br.from_cache ? ++st.result_cache_hits : ++st.contractions;
+        amps = std::move(br.amplitudes);
+      }
+      st.exec_seconds += t.seconds();
+    }
+
+    for (int m : g.members) {
+      const Query& q = queries[size_t(m)];
+      QueryResult r;
+      if (err.empty()) {
+        r = evaluate_query(q, g.open_qubits, amps);
+      } else {
+        r.kind = q.kind;
+        r.id = q.id;
+        r.text = q.text;
+        r.error = err;
+      }
+      if (!r.error.empty()) ++st.errors;
+      st.amplitudes_returned += r.amplitudes.size();
+      st.samples_drawn += r.samples.size();
+      sink(r);
+    }
+  }
+  return st;
+}
+
+}  // namespace ltns::query

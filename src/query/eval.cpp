@@ -1,0 +1,158 @@
+#include "query/eval.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace ltns::query {
+
+std::vector<std::complex<double>> amplitudes_from_tensor(const exec::Tensor& t,
+                                                         const circuit::LoweredNetwork& lowered,
+                                                         const std::vector<int>& open_qubits) {
+  // The result tensor's axes are the open output edges in some order;
+  // re-index so open_qubits[0] is the most significant bit.
+  assert(t.rank() == int(open_qubits.size()));
+  std::vector<int> axis_for_qubit(open_qubits.size());
+  for (size_t i = 0; i < open_qubits.size(); ++i) {
+    int edge = lowered.output_edge[size_t(open_qubits[i])];
+    int ax = t.axis_of(edge);
+    assert(ax >= 0);
+    axis_for_qubit[i] = ax;
+  }
+  const size_t n = size_t(1) << open_qubits.size();
+  std::vector<std::complex<double>> amps(n);
+  const int r = t.rank();
+  for (size_t k = 0; k < n; ++k) {
+    size_t off = 0;
+    for (size_t i = 0; i < open_qubits.size(); ++i) {
+      size_t bit = (k >> (open_qubits.size() - 1 - i)) & 1;
+      off |= bit << (r - 1 - axis_for_qubit[i]);
+    }
+    amps[k] = std::complex<double>(t.data()[off]) * lowered.scalar;
+  }
+  return amps;
+}
+
+std::vector<uint64_t> sample_from_amplitudes(const std::vector<std::complex<double>>& amplitudes,
+                                             int n, uint64_t seed) {
+  // Fixed-order prefix-sum CDF: cdf[k] carries the exact partial sums a
+  // left-to-right accumulation produces, so binary search picks the same
+  // index a linear scan would — in O(log) per sample.
+  std::vector<double> cdf(amplitudes.size());
+  double acc = 0;
+  for (size_t k = 0; k < amplitudes.size(); ++k) {
+    acc += std::norm(amplitudes[k]);
+    cdf[k] = acc;
+  }
+  Rng rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.next_double() * acc;
+    // Smallest k with u <= cdf[k]; rounding can leave u above the final
+    // partial sum, in which case the last index is the honest pick.
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    out.push_back(it == cdf.end() ? uint64_t(cdf.size() - 1) : uint64_t(it - cdf.begin()));
+  }
+  return out;
+}
+
+namespace {
+
+// Index of `bits` within a group amplitude vector (group_open[0] = MSB).
+size_t index_in_group(const std::vector<int>& group_open, const std::vector<int>& bits) {
+  size_t k = 0;
+  for (size_t i = 0; i < group_open.size(); ++i)
+    k = (k << 1) | size_t(bits[size_t(group_open[i])] & 1);
+  return k;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> restrict_amplitudes(
+    const std::vector<std::complex<double>>& amplitudes, const std::vector<int>& group_open,
+    const std::vector<int>& target_open, const std::vector<int>& bits) {
+  std::vector<int> work = bits;
+  const size_t n = size_t(1) << target_open.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < target_open.size(); ++i)
+      work[size_t(target_open[i])] = int((j >> (target_open.size() - 1 - i)) & 1);
+    out[j] = amplitudes[index_in_group(group_open, work)];
+  }
+  return out;
+}
+
+QueryResult evaluate_query(const Query& q, const std::vector<int>& group_open,
+                           const std::vector<std::complex<double>>& amplitudes) {
+  QueryResult res;
+  res.kind = q.kind;
+  res.id = q.id;
+  res.text = q.text;
+  switch (q.kind) {
+    case QueryKind::kAmplitude:
+      res.amplitudes.push_back(amplitudes[index_in_group(group_open, q.bits)]);
+      break;
+    case QueryKind::kBatch:
+      res.amplitudes = restrict_amplitudes(amplitudes, group_open, q.open_qubits, q.bits);
+      break;
+    case QueryKind::kSample: {
+      auto sub = restrict_amplitudes(amplitudes, group_open, q.open_qubits, q.bits);
+      auto picks = sample_from_amplitudes(sub, q.num_samples, q.seed);
+      res.samples.reserve(picks.size());
+      std::string full(q.bits.size(), '0');
+      for (size_t i = 0; i < q.bits.size(); ++i) full[i] = q.bits[i] != 0 ? '1' : '0';
+      for (uint64_t pick : picks) {
+        for (size_t i = 0; i < q.open_qubits.size(); ++i) {
+          const uint64_t bit = (pick >> (q.open_qubits.size() - 1 - i)) & 1;
+          full[size_t(q.open_qubits[i])] = bit != 0 ? '1' : '0';
+        }
+        res.samples.push_back(full);
+      }
+      break;
+    }
+    case QueryKind::kExpectation: {
+      // <P> on the conditional state v of the support qubits: the other
+      // qubits are fixed to the query's base bits, v(x_S) = amplitude of
+      // the assignment, <P> = v'Pv / v'v (P is Hermitian, the value real).
+      const auto v = restrict_amplitudes(amplitudes, group_open, q.open_qubits, q.bits);
+      std::vector<std::complex<double>> w = v;
+      const size_t ns = q.open_qubits.size();
+      for (size_t i = 0; i < ns; ++i) {
+        const char op = q.paulis[size_t(q.open_qubits[i])];
+        const size_t m = size_t(1) << (ns - 1 - i);
+        std::vector<std::complex<double>> next(w.size());
+        for (size_t j = 0; j < w.size(); ++j) {
+          switch (op) {
+            case 'X': next[j] = w[j ^ m]; break;
+            // Y|0> = i|1>, Y|1> = -i|0>  =>  (Yw)[j] = ±i * w[j^m]
+            case 'Y':
+              next[j] = ((j & m) != 0 ? std::complex<double>(0, 1)
+                                      : std::complex<double>(0, -1)) *
+                        w[j ^ m];
+              break;
+            case 'Z': next[j] = ((j & m) != 0 ? -1.0 : 1.0) * w[j]; break;
+            default: next[j] = w[j]; break;
+          }
+        }
+        w = std::move(next);
+      }
+      double denom = 0;
+      std::complex<double> numer{0, 0};
+      for (size_t j = 0; j < v.size(); ++j) {
+        denom += std::norm(v[j]);
+        numer += std::conj(v[j]) * w[j];
+      }
+      if (denom == 0) {
+        res.error = "zero-norm conditional state (every base-bit amplitude is 0)";
+      } else {
+        res.expectation = numer.real() / denom;
+      }
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace ltns::query

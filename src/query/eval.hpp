@@ -1,0 +1,48 @@
+// Deterministic evaluators on top of batch-contraction results — shared
+// verbatim by the solo engine (query/engine.hpp), api::Simulator's batch
+// path, and the job server's query jobs, so every transport derives the
+// identical bytes from the identical group tensor.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/lowering.hpp"
+#include "exec/tensor.hpp"
+#include "query/query.hpp"
+
+namespace ltns::query {
+
+// Re-indexes a finished open-qubit contraction's accumulated tensor into
+// the canonical amplitude vector: amplitudes[k]'s open-qubit bits are the
+// binary digits of k, open_qubits[0] most significant. This IS the mapping
+// api::Simulator::batch_amplitudes applies (factored here so the server's
+// query jobs produce the same bytes); `lowered.scalar` is folded in.
+std::vector<std::complex<double>> amplitudes_from_tensor(const exec::Tensor& t,
+                                                         const circuit::LoweredNetwork& lowered,
+                                                         const std::vector<int>& open_qubits);
+
+// Draws `n` indices from |amplitudes[k]|^2 (renormalized) with the
+// platform-stable xoshiro256** generator (util/rng.hpp). The CDF is a
+// fixed-order prefix sum, so the sample stream is byte-reproducible across
+// runs, hosts and process counts — the regression-tested contract
+// Simulator::sample_from_batch now delegates to.
+std::vector<uint64_t> sample_from_amplitudes(const std::vector<std::complex<double>>& amplitudes,
+                                             int n, uint64_t seed);
+
+// Extracts the sub-vector over `target_open` (subset of `group_open`, both
+// sorted) from a group amplitude vector, fixing every other open qubit to
+// its value in `bits`.
+std::vector<std::complex<double>> restrict_amplitudes(
+    const std::vector<std::complex<double>>& amplitudes, const std::vector<int>& group_open,
+    const std::vector<int>& target_open, const std::vector<int>& bits);
+
+// Answers one query from the amplitude vector of a group that covers it
+// (the query's open set is a subset of `group_open` and its bits agree
+// with the group base outside it). Pure and deterministic.
+QueryResult evaluate_query(const Query& q, const std::vector<int>& group_open,
+                           const std::vector<std::complex<double>>& amplitudes);
+
+}  // namespace ltns::query

@@ -1,0 +1,94 @@
+#include "query/grouper.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ltns::query {
+
+namespace {
+
+// Sorted-set union helper: inserts q keeping `open` sorted, no duplicates.
+void add_open(std::vector<int>* open, int q) {
+  auto it = std::lower_bound(open->begin(), open->end(), q);
+  if (it == open->end() || *it != q) open->insert(it, q);
+}
+
+bool contains(const std::vector<int>& open, int q) {
+  return std::binary_search(open.begin(), open.end(), q);
+}
+
+}  // namespace
+
+std::vector<GroupSpec> pack_items(const std::vector<PackItem>& items, int max_open) {
+  std::vector<GroupSpec> groups;
+  std::vector<char> covered(items.size(), 0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (covered[i]) continue;
+    GroupSpec g;
+    g.base_bits = items[i].bits;
+    g.open_qubits = items[i].open_qubits;
+    g.members.push_back(int(i));
+    covered[i] = 1;
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      if (covered[j]) continue;
+      // The union open set the merge would need: both open sets plus every
+      // position where the base bits disagree outside them.
+      std::vector<int> union_open = g.open_qubits;
+      for (int q : items[j].open_qubits) add_open(&union_open, q);
+      for (size_t q = 0; q < g.base_bits.size(); ++q) {
+        if (g.base_bits[q] != items[j].bits[q] && !contains(union_open, int(q)))
+          add_open(&union_open, int(q));
+      }
+      // Accept when the union respects the merge bound — or grows nothing
+      // at all (duplicates join even a sealed oversized group for free).
+      const bool no_growth = union_open.size() == g.open_qubits.size();
+      if (!no_growth && int(union_open.size()) > max_open) continue;
+      g.open_qubits = std::move(union_open);
+      g.members.push_back(int(j));
+      covered[j] = 1;
+    }
+    for (int q : g.open_qubits) g.base_bits[size_t(q)] = 0;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<GroupSpec> group_queries(const std::vector<Query>& queries,
+                                     const GrouperOptions& opt) {
+  // Exact amp mode: amplitude queries never enter an open cover — each
+  // distinct bitstring becomes one CLOSED group (deduplicated), answered
+  // by the same closed contraction a standalone `amp` run performs.
+  std::vector<GroupSpec> groups;
+  std::vector<PackItem> items;
+  std::vector<int> item_query;  // item index -> query index
+  std::map<std::vector<int>, size_t> closed_by_bits;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    if (q.kind == QueryKind::kAmplitude && !opt.group_amplitudes) {
+      auto [it, fresh] = closed_by_bits.emplace(q.bits, groups.size());
+      if (fresh) {
+        GroupSpec g;
+        g.base_bits = q.bits;
+        groups.push_back(std::move(g));
+      }
+      groups[it->second].members.push_back(int(qi));
+      continue;
+    }
+    PackItem item;
+    item.bits = q.bits;
+    item.open_qubits = q.open_qubits;
+    items.push_back(std::move(item));
+    item_query.push_back(int(qi));
+  }
+  auto packed = pack_items(items, opt.max_open);
+  for (auto& g : packed) {
+    for (int& m : g.members) m = item_query[size_t(m)];
+    groups.push_back(std::move(g));
+  }
+  // One deterministic group order for every transport: by first member.
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupSpec& a, const GroupSpec& b) { return a.members[0] < b.members[0]; });
+  return groups;
+}
+
+}  // namespace ltns::query

@@ -1,0 +1,53 @@
+// BatchGrouper: packs a query set into a minimal cover of shared
+// contractions. Bitstrings (and open-set requests) that agree outside a
+// small varying qubit set share ONE batch_amplitudes contraction; the
+// greedy cover is bounded by `max_open` open qubits per group.
+//
+// Determinism: the cover is a pure function of the query list and the
+// options — groups come out in first-member order, open sets sorted — so
+// every transport (solo, elastic, serve) derives the identical cover and
+// therefore the identical contraction sequence.
+#pragma once
+
+#include <vector>
+
+#include "query/query.hpp"
+
+namespace ltns::query {
+
+// One shared contraction: all member queries agree with `base_bits`
+// outside `open_qubits` and their own open sets are subsets of it.
+// An empty open set is a CLOSED group — one exact single-amplitude
+// contraction (the byte-identity mode for amp queries).
+struct GroupSpec {
+  std::vector<int> base_bits;    // full length; open positions forced to 0
+  std::vector<int> open_qubits;  // sorted ascending; empty = closed
+  std::vector<int> members;      // indices into the query list
+};
+
+struct GrouperOptions {
+  // Upper bound on a group's open set when MERGING queries. A single
+  // batch/sample/expect query whose own open set exceeds this still gets
+  // its (sealed) group — an explicit request is honored, never split.
+  int max_open = 6;
+  // false ("exact" amp mode): amplitude queries are deduplicated into
+  // closed groups only, so each answer comes from the same closed
+  // contraction a standalone `amp` run performs — bitwise identity by
+  // construction. true ("grouped" mode): amplitude queries also pack into
+  // open covers (documented float-rounding contract, docs/queries.md).
+  bool group_amplitudes = false;
+};
+
+// The packing core, exposed for property tests: items are (base bits,
+// required open set) pairs; returns the greedy cover.
+struct PackItem {
+  std::vector<int> bits;
+  std::vector<int> open_qubits;  // sorted ascending
+};
+std::vector<GroupSpec> pack_items(const std::vector<PackItem>& items, int max_open);
+
+// The full grouping policy over a parsed query list (see GrouperOptions).
+std::vector<GroupSpec> group_queries(const std::vector<Query>& queries,
+                                     const GrouperOptions& opt);
+
+}  // namespace ltns::query

@@ -1,0 +1,277 @@
+#include "query/query.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace ltns::query {
+
+const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kAmplitude: return "amp";
+    case QueryKind::kBatch: return "batch";
+    case QueryKind::kSample: return "sample";
+    case QueryKind::kExpectation: return "expect";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool parse_u64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - uint64_t(c - '0')) / 10) return false;
+    v = v * 10 + uint64_t(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Splits a pattern of {0,1,?} into base bits + the sorted '?' positions.
+// Returns the error text ("" on success).
+std::string parse_pattern(const std::string& pat, int num_qubits, bool allow_open,
+                          std::vector<int>* bits, std::vector<int>* open) {
+  if (int(pat.size()) != num_qubits)
+    return "pattern has " + std::to_string(pat.size()) + " chars, circuit has " +
+           std::to_string(num_qubits) + " qubits";
+  bits->assign(size_t(num_qubits), 0);
+  open->clear();
+  for (int q = 0; q < num_qubits; ++q) {
+    const char c = pat[size_t(q)];
+    if (c == '0' || c == '1') {
+      (*bits)[size_t(q)] = c - '0';
+    } else if (c == '?' && allow_open) {
+      open->push_back(q);
+    } else {
+      return std::string("bad pattern char '") + c + "' (want 0/1" +
+             (allow_open ? "/?" : "") + ")";
+    }
+  }
+  if (int(open->size()) > kMaxOpenQubits)
+    return "pattern opens " + std::to_string(open->size()) + " qubits (max " +
+           std::to_string(kMaxOpenQubits) + ")";
+  return {};
+}
+
+std::string canonical_pattern(const std::vector<int>& bits, const std::vector<int>& open) {
+  std::string p;
+  p.reserve(bits.size());
+  size_t oi = 0;
+  for (int q = 0; q < int(bits.size()); ++q) {
+    if (oi < open.size() && open[oi] == q) {
+      p += '?';
+      ++oi;
+    } else {
+      p += bits[size_t(q)] != 0 ? '1' : '0';
+    }
+  }
+  return p;
+}
+
+// Minimal flat-object JSON line: {"kind":"sample","n":4,"seed":7,
+// "pattern":"0??0"}. String and unsigned-integer values only — anything
+// fancier is a parse error, by design (the line format is the primary one).
+std::string parse_json_fields(const std::string& line,
+                              std::vector<std::pair<std::string, std::string>>* fields) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  auto get_string = [&](std::string* out) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') return false;  // escapes unsupported, keep it flat
+      *out += line[i++];
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return "JSON line must start with '{'";
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!get_string(&key)) return "expected a quoted key";
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return "expected ':' after \"" + key + "\"";
+      ++i;
+      skip_ws();
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        if (!get_string(&value)) return "unterminated string value for \"" + key + "\"";
+      } else {
+        while (i < line.size() && (std::isdigit(static_cast<unsigned char>(line[i])))) {
+          value += line[i++];
+        }
+        if (value.empty()) return "expected a string or unsigned integer for \"" + key + "\"";
+      }
+      fields->emplace_back(key, value);
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return "expected ',' or '}'";
+    }
+  }
+  skip_ws();
+  if (i != line.size()) return "trailing characters after '}'";
+  return {};
+}
+
+// Turns one JSON line into the equivalent token list so both syntaxes walk
+// the exact same validation path below.
+std::string json_to_tokens(const std::string& line, std::vector<std::string>* tokens) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string err = parse_json_fields(line, &fields);
+  if (!err.empty()) return err;
+  std::string kind, pattern, paulis, bits, n, seed;
+  for (const auto& [k, v] : fields) {
+    if (k == "kind") kind = v;
+    else if (k == "pattern" || k == "bits") pattern = v;
+    else if (k == "paulis") paulis = v;
+    else if (k == "base") bits = v;
+    else if (k == "n") n = v;
+    else if (k == "seed") seed = v;
+    else return "unknown key \"" + k + "\"";
+  }
+  if (kind.empty()) return "missing \"kind\"";
+  tokens->push_back(kind);
+  if (kind == "sample") {
+    if (n.empty() || seed.empty()) return "sample needs \"n\" and \"seed\"";
+    tokens->push_back(n);
+    tokens->push_back(seed);
+  }
+  if (kind == "expect") {
+    if (paulis.empty()) return "expect needs \"paulis\"";
+    tokens->push_back(paulis);
+    if (!bits.empty()) tokens->push_back(bits);
+    return {};
+  }
+  if (pattern.empty()) return kind + " needs \"pattern\"";
+  tokens->push_back(pattern);
+  return {};
+}
+
+}  // namespace
+
+ParsedQueries parse_queries(const std::string& text, int num_qubits) {
+  ParsedQueries out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    out.queries.clear();
+    out.error = "line " + std::to_string(lineno) + ": " + why;
+    out.error_line = lineno;
+    return out;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::vector<std::string> tokens;
+    if (line[first] == '{') {
+      std::string err = json_to_tokens(line.substr(first), &tokens);
+      if (!err.empty()) return fail(err);
+    } else {
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+    }
+
+    Query q;
+    q.id = int(out.queries.size()) + 1;
+    const std::string& verb = tokens[0];
+    if (verb == "amp") {
+      q.kind = QueryKind::kAmplitude;
+      if (tokens.size() != 2) return fail("amp wants exactly one bitstring");
+      std::string err = parse_pattern(tokens[1], num_qubits, /*allow_open=*/false, &q.bits,
+                                      &q.open_qubits);
+      if (!err.empty()) return fail(err);
+      q.text = "amp " + tokens[1];
+    } else if (verb == "batch") {
+      q.kind = QueryKind::kBatch;
+      if (tokens.size() != 2) return fail("batch wants exactly one pattern");
+      std::string err =
+          parse_pattern(tokens[1], num_qubits, /*allow_open=*/true, &q.bits, &q.open_qubits);
+      if (!err.empty()) return fail(err);
+      if (q.open_qubits.empty()) return fail("batch pattern has no '?' (use amp)");
+      q.text = "batch " + canonical_pattern(q.bits, q.open_qubits);
+    } else if (verb == "sample") {
+      q.kind = QueryKind::kSample;
+      if (tokens.size() != 4) return fail("sample wants <n> <seed> <pattern>");
+      uint64_t n = 0;
+      if (!parse_u64(tokens[1], &n) || n == 0 || n > 1000000)
+        return fail("bad sample count '" + tokens[1] + "' (want 1..1000000)");
+      if (!parse_u64(tokens[2], &q.seed)) return fail("bad sample seed '" + tokens[2] + "'");
+      q.num_samples = int(n);
+      std::string err =
+          parse_pattern(tokens[3], num_qubits, /*allow_open=*/true, &q.bits, &q.open_qubits);
+      if (!err.empty()) return fail(err);
+      if (q.open_qubits.empty()) return fail("sample pattern has no '?' qubits to sample");
+      q.text = "sample " + std::to_string(n) + " " + std::to_string(q.seed) + " " +
+               canonical_pattern(q.bits, q.open_qubits);
+    } else if (verb == "expect") {
+      q.kind = QueryKind::kExpectation;
+      if (tokens.size() != 2 && tokens.size() != 3)
+        return fail("expect wants <paulis> [<bits>]");
+      const std::string& paulis = tokens[1];
+      if (int(paulis.size()) != num_qubits)
+        return fail("pauli string has " + std::to_string(paulis.size()) + " chars, circuit has " +
+                    std::to_string(num_qubits) + " qubits");
+      q.paulis = paulis;
+      for (int i = 0; i < num_qubits; ++i) {
+        const char c = paulis[size_t(i)];
+        if (c == 'X' || c == 'Y' || c == 'Z') {
+          q.open_qubits.push_back(i);
+        } else if (c != 'I') {
+          return fail(std::string("bad pauli char '") + c + "' (want I/X/Y/Z)");
+        }
+      }
+      if (q.open_qubits.empty()) return fail("pauli string is all-I (expectation is 1)");
+      if (int(q.open_qubits.size()) > kMaxOpenQubits)
+        return fail("pauli support has " + std::to_string(q.open_qubits.size()) +
+                    " qubits (max " + std::to_string(kMaxOpenQubits) + ")");
+      q.bits.assign(size_t(num_qubits), 0);
+      if (tokens.size() == 3) {
+        std::vector<int> base_open;
+        std::string err =
+            parse_pattern(tokens[2], num_qubits, /*allow_open=*/false, &q.bits, &base_open);
+        if (!err.empty()) return fail(err);
+        // Support positions have no base value; keep them zero in `bits`.
+        for (int s : q.open_qubits) q.bits[size_t(s)] = 0;
+        q.text = "expect " + paulis + " " + tokens[2];
+      } else {
+        q.text = "expect " + paulis;
+      }
+    } else {
+      return fail("unknown query verb '" + verb + "' (want amp/batch/sample/expect)");
+    }
+    out.queries.push_back(std::move(q));
+  }
+  if (out.queries.empty() && out.error.empty()) {
+    out.error = "query file has no queries";
+    out.error_line = lineno;
+  }
+  return out;
+}
+
+}  // namespace ltns::query

@@ -1,0 +1,80 @@
+// Query model of the batched query engine (src/query/): the parsed form of
+// one line of a query file, plus the per-query answer record.
+//
+// This header is a LEAF on purpose — plain data, no api/dist/cache
+// includes — so both the engine (solo execution over api::Simulator) and
+// the job server (wire v6 query jobs, dist/job.hpp serializes QueryResult
+// into the JobResultRecord) can share one vocabulary without a cycle.
+//
+// Query-file format (docs/queries.md): one query per line, '#' comments
+// and blank lines ignored. A line starting with '{' is a flat JSON object
+// with the same fields. Patterns are one char per qubit, qubit 0 first:
+//
+//   amp    <bits>                  bits in {0,1}            one amplitude
+//   batch  <pattern>               pattern in {0,1,?}       2^|?| amplitudes
+//   sample <n> <seed> <pattern>    pattern in {0,1,?}       n correlated samples
+//   expect <paulis> [<bits>]       paulis in {I,X,Y,Z}      <P> on the
+//                                  conditional state of the non-I qubits
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltns::query {
+
+// Hard cap on any open-qubit set (2^24 amplitudes = 256 MiB of doubles),
+// matching the result cache's batch-entry bound.
+inline constexpr int kMaxOpenQubits = 24;
+
+enum class QueryKind : uint32_t {
+  kAmplitude = 0,
+  kBatch = 1,
+  kSample = 2,
+  kExpectation = 3,
+};
+const char* query_kind_name(QueryKind k);
+
+struct Query {
+  QueryKind kind = QueryKind::kAmplitude;
+  int id = 0;         // 1-based position in the query file
+  std::string text;   // canonical echo of the parsed line
+  // Full-length base bits: the fixed value of every qubit outside the
+  // query's own open set (all kinds; open positions are 0 here).
+  std::vector<int> bits;
+  // The query's own open qubits, sorted ascending. Empty for kAmplitude;
+  // the '?' positions for kBatch/kSample; the non-I support for
+  // kExpectation.
+  std::vector<int> open_qubits;
+  int num_samples = 0;  // kSample
+  uint64_t seed = 0;    // kSample
+  std::string paulis;   // kExpectation: one of I/X/Y/Z per qubit
+};
+
+// Outcome of parse_queries: either a query list or the first error with
+// its 1-based line number (malformed files are rejected, not skipped).
+struct ParsedQueries {
+  std::vector<Query> queries;
+  std::string error;
+  int error_line = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+ParsedQueries parse_queries(const std::string& text, int num_qubits);
+
+// One query's answer. Amplitudes are indexed by the query's OWN open set
+// (open_qubits[0] = most significant bit): one entry for kAmplitude,
+// 2^|open| for kBatch. Samples are full-length bitstrings ('0'/'1' text).
+struct QueryResult {
+  QueryKind kind = QueryKind::kAmplitude;
+  int id = 0;
+  std::string text;
+  std::string error;
+  std::vector<std::complex<double>> amplitudes;
+  std::vector<std::string> samples;
+  double expectation = 0;
+};
+
+}  // namespace ltns::query

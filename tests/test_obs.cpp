@@ -150,7 +150,7 @@ TEST(Tracer, EveryEventKindHasNameAndCategory) {
     EXPECT_GT(std::string(info.name).size(), 0u);
     const std::string cat = info.category;
     EXPECT_TRUE(cat == "slice" || cat == "kernel" || cat == "lease" || cat == "device" ||
-                cat == "checkpoint" || cat == "wire")
+                cat == "checkpoint" || cat == "wire" || cat == "query")
         << "kind " << k << " has unknown category " << cat;
   }
 }
