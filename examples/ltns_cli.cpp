@@ -25,9 +25,14 @@
 //   --grain=N                    scheduler chunk size (tasks per deque pop)
 //   --processes=N                fork N shard processes (amp/sample; default 1)
 //   --workers=N                  scheduler width per process (default: hw/N)
-//   --backend=NAME               device backend (host|blocked|cuda; default
-//                                host; `--backend=help` lists them with
-//                                capabilities; bitwise identical by contract)
+//   --backend=SPEC               device backend (host|blocked|simd|cuda, each
+//                                with an optional +fp32|+bf16 precision
+//                                suffix; default host; `--backend=help` lists
+//                                them with capabilities; fp32 backends are
+//                                bitwise identical by contract)
+//   --precision=fp32|bf16        GEMM operand precision (default fp32); bf16
+//                                keeps fp32 accumulation and is deterministic
+//                                but only ULP-close to fp32 (docs/kernels.md)
 //   --elastic                    lease-based elastic sharding (straggler steal,
 //                                dead-worker requeue; amp/sample/coordinate)
 //   --lease=N                    tasks per lease (default: auto)
@@ -114,6 +119,7 @@ struct RuntimeFlags {
   bool cache_readonly = false;
   std::string backend = "host";
   bool backend_set = false;  // --backend given explicitly (worker override)
+  std::string precision = "fp32";
   std::string trace_out;
   std::string metrics_out;
   double metrics_interval = 0;
@@ -143,12 +149,22 @@ const char* executor_name(exec::SliceExecutor e) {
   return "?";
 }
 
+// --precision folded into the backend spec: the spec string is the one
+// precision channel (api::effective_backend_spec does the same fold). Used
+// by the verbs that ship a backend string directly (coordinate / serve).
+std::string effective_backend() {
+  auto spec = device::parse_backend_spec(g_flags.backend);
+  if (g_flags.precision == "bf16") spec.precision = exec::Precision::kBf16;
+  return spec.spec();
+}
+
 api::SimulatorOptions make_sim_options() {
   api::SimulatorOptions opt;
   opt.plan.target_log2size = g_flags.target;
   opt.executor = g_flags.executor;
   opt.grain = g_flags.grain;
   opt.backend = g_flags.backend;
+  opt.precision = g_flags.precision;
   opt.sharding.processes = g_flags.processes;
   opt.sharding.workers_per_process = g_flags.workers;
   opt.sharding.elastic = g_flags.elastic;
@@ -200,12 +216,26 @@ std::vector<char*> parse_runtime_flags(int argc, char** argv) {
         std::fputs(device::backend_help().c_str(), stdout);
         std::exit(0);
       }
+      // Validate the NAME part only: "simd+bf16" is a full spec, and
+      // parse_backend_spec rejects a bad precision suffix on its own.
       bool known_and_available = false;
-      for (const auto& b : device::available_backends())
-        if (b.name == g_flags.backend) known_and_available = b.caps.available;
+      try {
+        const auto spec = device::parse_backend_spec(g_flags.backend);
+        for (const auto& b : device::available_backends())
+          if (b.name == spec.name) known_and_available = b.caps.available;
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--backend: %s\n", e.what());
+        std::exit(64);
+      }
       if (!known_and_available) {
         std::fprintf(stderr, "unknown or unavailable --backend '%s'\n\n%s",
                      g_flags.backend.c_str(), device::backend_help().c_str());
+        std::exit(64);
+      }
+    } else if (std::strncmp(argv[i], "--precision=", 12) == 0) {
+      g_flags.precision = argv[i] + 12;
+      if (g_flags.precision != "fp32" && g_flags.precision != "bf16") {
+        std::fprintf(stderr, "unknown --precision '%s' (fp32|bf16)\n", g_flags.precision.c_str());
         std::exit(64);
       }
     } else if (std::strcmp(argv[i], "--elastic") == 0) {
@@ -770,7 +800,7 @@ int cmd_coordinate(int argc, char** argv) {
   so.executor = g_flags.executor;
   so.grain = g_flags.grain;
   so.workers_per_process = g_flags.workers;
-  so.backend = g_flags.backend;
+  so.backend = effective_backend();
   so.elastic = g_flags.elastic;
   so.lease_size = g_flags.lease;
   so.heartbeat_seconds = g_flags.heartbeat;
@@ -848,7 +878,7 @@ int cmd_serve(int argc, char** argv) {
   so.workers_per_process = g_flags.workers;
   so.executor = uint32_t(g_flags.executor);
   so.grain = g_flags.grain;
-  so.backend = g_flags.backend;
+  so.backend = effective_backend();
   so.metrics_out = g_flags.metrics_out;
   so.metrics_interval_seconds = g_flags.metrics_interval;
   so.admission.max_queued = size_t(g_flags.max_queue);
@@ -899,6 +929,10 @@ int cmd_submit(int argc, char** argv) {
   spec.priority = g_flags.priority;
   spec.circuit_text = load_circuit_text(argv[4]);
   spec.target_log2size = g_flags.target;
+  // --precision and a +bf16 suffix on --backend are the same request; the
+  // server folds spec.precision into its own backend choice (wire v7).
+  spec.precision =
+      exec::precision_name(device::parse_backend_spec(effective_backend()).precision);
   if (query_job) {
     // Kind "query": the whole query file rides in the spec; bits carries
     // the all-zero base string (its length tells the server the qubit
@@ -1067,7 +1101,10 @@ int main(int raw_argc, char** raw_argv) {
                  "  shutdown <host> <port>                  drain the fleet and exit\n"
                  "\n"
                  "run flags:\n"
-                 "  --runtime=ws|static|serial --grain=N --backend=host|blocked|cuda|help\n"
+                 "  --runtime=ws|static|serial --grain=N\n"
+                 "  --backend=SPEC  host|blocked|simd|cuda with optional +fp32|+bf16 suffix\n"
+                 "                  (help lists capabilities; docs/kernels.md)\n"
+                 "  --precision=fp32|bf16   GEMM operand precision (default fp32)\n"
                  "  --target=N   planner slicing bound, log2 elems (default 16)\n"
                  "query (docs/queries.md):\n"
                  "  --max-open=N       batch-group merge bound (default 6)\n"

@@ -40,6 +40,7 @@ REQUIRED_METRICS = [
     "ltns_memory_bytes_total",
     "ltns_leases_completed_total",
     "ltns_run_wall_seconds",
+    "ltns_kernel_isa_lanes",
 ]
 
 PROM_LINE_RE = re.compile(

@@ -144,7 +144,7 @@ RunOutput run(const circuit::LoweredNetwork& lowered, const core::Plan& plan,
     so.resume = opt.durability.resume;
     so.spill_fsync_seconds = opt.durability.fsync_seconds;
     so.spill_run_id = spill_run_id;
-    so.backend = opt.backend;  // each worker constructs it after the fork
+    so.backend = effective_backend_spec(opt);  // each worker constructs it after the fork
     so.metrics_out = opt.observability.metrics_out;
     so.metrics_interval_seconds = opt.observability.metrics_interval_seconds;
     auto sr = exec::run_sharded(*plan.tree, leaves, plan.slices, so);
@@ -163,7 +163,7 @@ RunOutput run(const circuit::LoweredNetwork& lowered, const core::Plan& plan,
   }
 
   // In-process run: the Simulator owns one backend instance for the run.
-  auto backend = device::make_backend(opt.backend.empty() ? "host" : opt.backend);
+  auto backend = device::make_backend(effective_backend_spec(opt));
   exec::SliceRunOptions ro;
   ro.executor = opt.executor;
   ro.scheduler = opt.scheduler;
@@ -177,7 +177,22 @@ RunOutput run(const circuit::LoweredNetwork& lowered, const core::Plan& plan,
 
 }  // namespace
 
+std::string effective_backend_spec(const SimulatorOptions& opt) {
+  auto spec = device::parse_backend_spec(opt.backend);
+  if (opt.precision == "bf16") spec.precision = exec::Precision::kBf16;
+  return spec.spec();
+}
+
 std::string validate_options(const SimulatorOptions& opt) {
+  if (!opt.precision.empty() && opt.precision != "fp32" && opt.precision != "bf16")
+    return "unknown precision '" + opt.precision + "'; use fp32 or bf16";
+  if (opt.precision == "bf16" && opt.backend.find("+fp32") != std::string::npos)
+    return "precision bf16 conflicts with explicit fp32 backend spec '" + opt.backend + "'";
+  try {
+    device::parse_backend_spec(opt.backend);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
   if (!opt.durability.spill_dir.empty() && !opt.sharding.elastic)
     return "checkpoint spill requires the elastic driver (--elastic)";
   if (opt.durability.spill_dir.empty() &&

@@ -113,38 +113,80 @@ exec::Tensor DeviceBackend::run_stem_window(exec::Tensor w, const exec::Tensor* 
 
 // Factories live in their backend's translation unit; the explicit list
 // (rather than static self-registration) keeps construction order trivial.
-std::unique_ptr<DeviceBackend> make_host_backend();
-std::unique_ptr<DeviceBackend> make_blocked_backend();
-std::unique_ptr<DeviceBackend> make_cuda_backend();  // throws when compiled out
+std::unique_ptr<DeviceBackend> make_host_backend(exec::Precision prec);
+std::unique_ptr<DeviceBackend> make_blocked_backend(exec::Precision prec);
+std::unique_ptr<DeviceBackend> make_simd_backend(exec::Precision prec);
+std::unique_ptr<DeviceBackend> make_cuda_backend(exec::Precision prec);  // throws when compiled out
 DeviceCaps cuda_backend_caps();
 
+std::string BackendSpec::spec() const {
+  if (precision == exec::Precision::kFp32) return name;
+  return name + "+" + exec::precision_name(precision);
+}
+
+BackendSpec parse_backend_spec(const std::string& spec) {
+  BackendSpec out;
+  if (spec.empty()) return out;
+  const size_t plus = spec.find('+');
+  if (plus == std::string::npos) {
+    out.name = spec;
+    return out;
+  }
+  out.name = spec.substr(0, plus);
+  const std::string prec = spec.substr(plus + 1);
+  if (prec == "fp32")
+    out.precision = exec::Precision::kFp32;
+  else if (prec == "bf16")
+    out.precision = exec::Precision::kBf16;
+  else
+    throw std::invalid_argument("unknown backend precision '" + prec + "' in spec '" + spec +
+                                "'; use fp32 or bf16");
+  if (out.name.empty()) out.name = "host";
+  return out;
+}
+
+std::string merge_backend_override(const std::string& job_spec,
+                                   const std::string& override_spec) {
+  if (override_spec.empty()) return job_spec.empty() ? "host" : job_spec;
+  BackendSpec merged = parse_backend_spec(override_spec);
+  if (override_spec.find('+') == std::string::npos)
+    merged.precision = parse_backend_spec(job_spec).precision;
+  return merged.spec();
+}
+
 std::vector<BackendInfo> available_backends() {
+  const exec::Precision fp32 = exec::Precision::kFp32;
   std::vector<BackendInfo> out;
-  out.push_back({"host", make_host_backend()->capabilities()});
-  out.push_back({"blocked", make_blocked_backend()->capabilities()});
+  out.push_back({"host", make_host_backend(fp32)->capabilities()});
+  out.push_back({"blocked", make_blocked_backend(fp32)->capabilities()});
+  out.push_back({"simd", make_simd_backend(fp32)->capabilities()});
   out.push_back({"cuda", cuda_backend_caps()});
   return out;
 }
 
-std::unique_ptr<DeviceBackend> make_backend(const std::string& name) {
-  if (name.empty() || name == "host") return make_host_backend();
-  if (name == "blocked") return make_blocked_backend();
-  if (name == "cuda") return make_cuda_backend();
+std::unique_ptr<DeviceBackend> make_backend(const std::string& spec) {
+  const BackendSpec s = parse_backend_spec(spec);
+  if (s.name == "host") return make_host_backend(s.precision);
+  if (s.name == "blocked") return make_blocked_backend(s.precision);
+  if (s.name == "simd") return make_simd_backend(s.precision);
+  if (s.name == "cuda") return make_cuda_backend(s.precision);
   std::ostringstream msg;
-  msg << "unknown device backend '" << name << "'; known backends:";
+  msg << "unknown device backend '" << s.name << "'; known backends:";
   for (const auto& b : available_backends())
     msg << " " << b.name << (b.caps.available ? "" : " (unavailable)");
+  msg << " (each accepts a +fp32 or +bf16 precision suffix)";
   throw std::invalid_argument(msg.str());
 }
 
 std::string backend_help() {
   std::ostringstream o;
-  o << "device backends:\n";
+  o << "device backends (spec: name[+fp32|+bf16], default fp32):\n";
   for (const auto& b : available_backends()) {
     o << "  " << b.name << (b.caps.available ? "" : "  [unavailable in this build]") << "\n"
       << "      " << b.caps.description << "\n"
       << "      unified_memory=" << (b.caps.unified_memory ? "yes" : "no")
-      << " alignment=" << b.caps.alignment << "B simd_lanes=" << b.caps.simd_lanes << "\n";
+      << " alignment=" << b.caps.alignment << "B simd_lanes=" << b.caps.simd_lanes
+      << " isa=" << b.caps.isa << "\n";
   }
   return o.str();
 }

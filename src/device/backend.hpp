@@ -15,11 +15,23 @@
 // bitwise-stability guarantee of the whole system (tests/test_device,
 // tests/test_dist, the CI byte-diff jobs) rests on this.
 //
-// Registry: make_backend("host" | "blocked" | "cuda"). "host" delegates to
-// exec::cgemm / exec::permute unchanged; "blocked" runs cache-blocked,
-// alignment-aware, compiler-vectorizable kernels with the identical
-// reduction order; "cuda" is compile-gated behind LTNS_ENABLE_CUDA (listed
+// Registry: make_backend("host" | "blocked" | "simd" | "cuda"). "host"
+// delegates to exec::cgemm / exec::permute unchanged; "blocked" runs
+// cache-blocked, alignment-aware, compiler-vectorizable kernels with the
+// identical reduction order; "simd" runs the explicit-intrinsic vector
+// tiers (runtime avx2/avx512/neon dispatch, src/device/cpu_probe.*) with
+// the same bits; "cuda" is compile-gated behind LTNS_ENABLE_CUDA (listed
 // as unavailable otherwise) so real hardware is a drop-in later.
+//
+// Backend SPECS: every name accepts an optional precision suffix,
+// "name+fp32" (the default) or "name+bf16" (the mixed-precision mode:
+// bf16 operands, fp32 accumulation). A bf16 backend is still deterministic
+// — all conforming backends produce identical bf16 bits — but it is only
+// ULP-close to the fp32 reference, so the byte-diff jobs compare bf16 runs
+// against each other bitwise and against fp32 under --compare-mode=ulp:<N>
+// (docs/kernels.md). The spec string is what travels through every
+// existing backend-name channel (SimulatorOptions, shard options, job
+// records, worker overrides), so precision needs no parallel plumbing.
 #pragma once
 
 #include <memory>
@@ -28,6 +40,7 @@
 
 #include "device/stats.hpp"
 #include "exec/contract.hpp"
+#include "exec/simd_kernels.hpp"
 #include "exec/tensor.hpp"
 #include "util/parallel.hpp"
 
@@ -37,13 +50,20 @@ struct DeviceCaps {
   bool available = true;       // constructible in this build
   bool unified_memory = true;  // kernels read host tensors in place
   size_t alignment = exec::kTensorAlignment;  // required/guaranteed buffer alignment
-  size_t simd_lanes = 8;       // float lanes the kernels target
+  size_t simd_lanes = 8;  // float lanes the kernels target (cpu_probe's active tier)
+  std::string isa;        // active ISA tier label ("avx2", "portable", ...)
   std::string description;
 };
 
 class DeviceBackend {
  public:
+  explicit DeviceBackend(exec::Precision precision = exec::Precision::kFp32)
+      : precision_(precision) {}
   virtual ~DeviceBackend() = default;
+
+  // Operand precision of this instance's GEMM kernels (from the backend
+  // spec). Permute and transfers are precision-blind data movement.
+  exec::Precision precision() const { return precision_; }
 
   virtual const char* name() const = 0;
   virtual DeviceCaps capabilities() const = 0;
@@ -80,6 +100,9 @@ class DeviceBackend {
   virtual exec::Tensor run_stem_window(exec::Tensor w, const exec::Tensor* branches,
                                        int n_steps, exec::ContractStats* cs,
                                        DeviceStats* stats, size_t* peak_elems = nullptr);
+
+ private:
+  exec::Precision precision_;
 };
 
 // --- registry -------------------------------------------------------------
@@ -89,13 +112,36 @@ struct BackendInfo {
   DeviceCaps caps;
 };
 
+// A parsed "name[+precision]" spec. spec() rebuilds the canonical string
+// ("host" stays "host", bf16 specs print the suffix).
+struct BackendSpec {
+  std::string name = "host";
+  exec::Precision precision = exec::Precision::kFp32;
+  std::string spec() const;
+};
+
+// Splits "blocked+bf16" -> {blocked, kBf16}. Empty spec means the default
+// backend ("host"). Throws std::invalid_argument for an unknown precision
+// suffix; the NAME is validated later by make_backend (so help/error paths
+// can parse specs for unavailable backends).
+BackendSpec parse_backend_spec(const std::string& spec);
+
+// Merges a worker-local --backend override with a job's backend spec: the
+// override's NAME wins (the worker knows its own hardware), but the JOB's
+// precision wins unless the override pins one explicitly with a "+..."
+// suffix — precision is part of the job's numeric contract, not a
+// hardware choice, and an override must not silently flip a bf16 job to
+// fp32 (or vice versa) on one worker of a fleet sharing a reduction.
+std::string merge_backend_override(const std::string& job_spec,
+                                   const std::string& override_spec);
+
 // Every registered backend, available or not (the CLI's `--backend=help`).
 std::vector<BackendInfo> available_backends();
 
-// Constructs a backend by name; throws std::invalid_argument for unknown
-// names and for backends compiled out of this build, with a message that
-// lists what IS available.
-std::unique_ptr<DeviceBackend> make_backend(const std::string& name);
+// Constructs a backend from a "name[+precision]" spec; throws
+// std::invalid_argument for unknown names/precisions and for backends
+// compiled out of this build, with a message that lists what IS available.
+std::unique_ptr<DeviceBackend> make_backend(const std::string& spec);
 
 // Human-readable listing of every backend with capability/alignment info.
 std::string backend_help();

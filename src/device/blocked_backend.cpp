@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "device/backend.hpp"
+#include "device/cpu_probe.hpp"
 #include "exec/gemm.hpp"
+#include "exec/mixed_gemm.hpp"
 #include "exec/permute.hpp"
 #include "obs/trace.hpp"
 #include "util/aligned_alloc.hpp"
@@ -155,6 +157,8 @@ void blocked_rows(int m0, int m1, int n, int k, const cfloat* a, const cfloat* b
 
 class BlockedBackend final : public DeviceBackend {
  public:
+  explicit BlockedBackend(exec::Precision prec) : DeviceBackend(prec) {}
+
   const char* name() const override { return "blocked"; }
 
   DeviceCaps capabilities() const override {
@@ -162,7 +166,8 @@ class BlockedBackend final : public DeviceBackend {
     c.available = true;
     c.unified_memory = false;  // stem windows stage through device scratch
     c.alignment = exec::kTensorAlignment;
-    c.simd_lanes = 8;
+    c.simd_lanes = probe_simd_lanes();  // from the runtime dispatch probe
+    c.isa = exec::isa_name(cpu_probe().active);
     c.description = "cache-blocked host kernels: packed aligned B panels, L2 column "
                     "blocking, staged stem windows; bitwise identical to 'host'";
     return c;
@@ -171,6 +176,13 @@ class BlockedBackend final : public DeviceBackend {
   void gemm(int m, int n, int k, const cfloat* a, const cfloat* b, cfloat* c, ThreadPool* pool,
             DeviceStats* stats) override {
     if (stats) stats->gemm_calls += 1;
+    if (precision() == exec::Precision::kBf16) {
+      // Mixed mode runs the canonical bf16 chain; the packed-panel path is
+      // an fp32-operand optimization and would need round-at-pack plumbing
+      // to match it — not worth a second bf16 code path here.
+      exec::cgemm_mixed(m, n, k, a, b, c, pool);
+      return;
+    }
     if (m == 0 || n == 0) return;
     if (k == 0) {
       std::memset(c, 0, size_t(m) * n * sizeof(cfloat));
@@ -212,8 +224,8 @@ class BlockedBackend final : public DeviceBackend {
 
 }  // namespace
 
-std::unique_ptr<DeviceBackend> make_blocked_backend() {
-  return std::make_unique<BlockedBackend>();
+std::unique_ptr<DeviceBackend> make_blocked_backend(exec::Precision prec) {
+  return std::make_unique<BlockedBackend>(prec);
 }
 
 }  // namespace ltns::device

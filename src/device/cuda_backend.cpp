@@ -15,7 +15,9 @@
 #include <stdexcept>
 
 #include "device/backend.hpp"
+#include "device/cpu_probe.hpp"
 #include "exec/gemm.hpp"
+#include "exec/mixed_gemm.hpp"
 #include "exec/permute.hpp"
 
 namespace ltns::device {
@@ -27,7 +29,11 @@ DeviceCaps cuda_caps(bool available) {
   c.available = available;
   c.unified_memory = false;
   c.alignment = 256;  // cudaMalloc guarantees 256-byte alignment
-  c.simd_lanes = 32;  // warp width
+  // Until a real device launch lands, the scaffolding runs the host CPU
+  // kernels — so the honest lanes/isa are the CPU probe's, not the warp
+  // width of hypothetical hardware.
+  c.simd_lanes = probe_simd_lanes();
+  c.isa = exec::isa_name(cpu_probe().active);
   c.description = available
                       ? "CUDA scaffolding (staged host kernels; hardware launch TODO)"
                       : "compiled out — configure with -DLTNS_ENABLE_CUDA=ON";
@@ -38,6 +44,7 @@ DeviceCaps cuda_caps(bool available) {
 
 class CudaBackend final : public DeviceBackend {
  public:
+  explicit CudaBackend(exec::Precision prec) : DeviceBackend(prec) {}
   const char* name() const override { return "cuda"; }
   DeviceCaps capabilities() const override { return cuda_caps(true); }
 
@@ -45,7 +52,10 @@ class CudaBackend final : public DeviceBackend {
             ThreadPool* pool, DeviceStats* stats) override {
     // TODO(hardware): device buffers + cublasCgemm. The host kernel keeps
     // the staged path runnable (and bitwise identical) until then.
-    exec::cgemm(m, n, k, a, b, c, pool);
+    if (precision() == exec::Precision::kBf16)
+      exec::cgemm_mixed(m, n, k, a, b, c, pool);
+    else
+      exec::cgemm(m, n, k, a, b, c, pool);
     if (stats) stats->gemm_calls += 1;
   }
 
@@ -68,13 +78,14 @@ DeviceCaps cuda_backend_caps() {
 #endif
 }
 
-std::unique_ptr<DeviceBackend> make_cuda_backend() {
+std::unique_ptr<DeviceBackend> make_cuda_backend(exec::Precision prec) {
 #ifdef LTNS_ENABLE_CUDA
-  return std::make_unique<CudaBackend>();
+  return std::make_unique<CudaBackend>(prec);
 #else
+  (void)prec;
   throw std::invalid_argument(
       "device backend 'cuda' is compiled out of this build (configure with "
-      "-DLTNS_ENABLE_CUDA=ON); available backends: host, blocked");
+      "-DLTNS_ENABLE_CUDA=ON); available backends: host, blocked, simd");
 #endif
 }
 

@@ -3,11 +3,15 @@
 // Delegates straight to exec::cgemm / exec::permute, so its output is the
 // host path's output by definition — this is the backend every other
 // implementation is byte-compared against, and the default the Simulator
-// and CLI run on.
+// and CLI run on. Under a +bf16 spec the GEMM runs exec::cgemm_mixed (the
+// portable-tier bf16 chain), which every other bf16 backend matches
+// bitwise the same way the fp32 backends match exec::cgemm.
 #include <memory>
 
 #include "device/backend.hpp"
+#include "device/cpu_probe.hpp"
 #include "exec/gemm.hpp"
+#include "exec/mixed_gemm.hpp"
 #include "exec/permute.hpp"
 
 namespace ltns::device {
@@ -16,6 +20,8 @@ namespace {
 
 class HostBackend final : public DeviceBackend {
  public:
+  explicit HostBackend(exec::Precision prec) : DeviceBackend(prec) {}
+
   const char* name() const override { return "host"; }
 
   DeviceCaps capabilities() const override {
@@ -23,7 +29,10 @@ class HostBackend final : public DeviceBackend {
     c.available = true;
     c.unified_memory = true;
     c.alignment = exec::kTensorAlignment;
-    c.simd_lanes = 4;  // whatever the 4x4 micro-kernel auto-vectorizes to
+    // Lanes from the runtime probe: what the compiler's auto-vectorizer can
+    // actually use on this machine, not a hard-coded guess.
+    c.simd_lanes = probe_simd_lanes();
+    c.isa = exec::isa_name(cpu_probe().active);
     c.description = "reference host kernels (exec::cgemm 4x4 micro-kernel, "
                     "exec::permute reduced map)";
     return c;
@@ -31,7 +40,10 @@ class HostBackend final : public DeviceBackend {
 
   void gemm(int m, int n, int k, const exec::cfloat* a, const exec::cfloat* b, exec::cfloat* c,
             ThreadPool* pool, DeviceStats* stats) override {
-    exec::cgemm(m, n, k, a, b, c, pool);
+    if (precision() == exec::Precision::kBf16)
+      exec::cgemm_mixed(m, n, k, a, b, c, pool);
+    else
+      exec::cgemm(m, n, k, a, b, c, pool);
     if (stats) stats->gemm_calls += 1;
   }
 
@@ -44,6 +56,8 @@ class HostBackend final : public DeviceBackend {
 
 }  // namespace
 
-std::unique_ptr<DeviceBackend> make_host_backend() { return std::make_unique<HostBackend>(); }
+std::unique_ptr<DeviceBackend> make_host_backend(exec::Precision prec) {
+  return std::make_unique<HostBackend>(prec);
+}
 
 }  // namespace ltns::device

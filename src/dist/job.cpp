@@ -71,6 +71,7 @@ void put_job_spec(ByteWriter& w, const JobSpec& s) {
   w.put_string(s.query_text);
   w.put<int32_t>(s.max_open);
   w.put_string(s.amp_mode);
+  w.put_string(s.precision);  // v7
 }
 
 JobSpec get_job_spec(ByteReader& r) {
@@ -89,6 +90,7 @@ JobSpec get_job_spec(ByteReader& r) {
   s.query_text = r.get_string();
   s.max_open = r.get<int32_t>();
   s.amp_mode = r.get_string();
+  s.precision = r.get_string();  // v7
   return s;
 }
 

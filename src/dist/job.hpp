@@ -77,6 +77,10 @@ struct JobSpec {
   std::string query_text;
   int32_t max_open = 6;           // query grouper merge bound
   std::string amp_mode = "exact"; // "exact" | "grouped" (docs/queries.md)
+  // v7: GEMM operand precision, "fp32" (bitwise contract) or "bf16" (mixed
+  // precision, deterministic + ULP-bounded). The server folds this into the
+  // backend spec of every Job it derives for this submission.
+  std::string precision = "fp32";
 };
 
 void put_job_spec(ByteWriter& w, const JobSpec& s);

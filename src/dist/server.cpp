@@ -47,8 +47,19 @@ namespace {
 // JobSpec/JobResultRecord layouts alone must not orphan a state dir.
 // v2: specs carry the v6 query-job tail (kind/query_text/max_open/
 // amp_mode) and result records the kind + per-query result list.
+// v3: specs carry the v7 precision tail.
 constexpr uint32_t kStateMagic = 0x4C544A53u;  // "LTJS"
-constexpr uint16_t kStateVersion = 2;
+constexpr uint16_t kStateVersion = 3;
+
+// The backend spec stamped into a job's kJob payload: the server's
+// configured backend NAME with the submission's precision folded in. An
+// explicit +suffix on the server's --backend pins precision server-wide
+// and wins over the spec (mirrors device::merge_backend_override).
+std::string job_backend_spec(const std::string& server_backend, const JobSpec& spec) {
+  const std::string base = server_backend.empty() ? "host" : server_backend;
+  if (spec.precision == "bf16" && base.find('+') == std::string::npos) return base + "+bf16";
+  return base;
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -501,7 +512,7 @@ struct ServerImpl {
     j.base.ldm_elems = j.spec.ldm_elems;
     j.base.elastic = 1;
     j.base.heartbeat_seconds = opt.heartbeat_seconds;
-    j.base.backend = opt.backend.empty() ? "host" : opt.backend;
+    j.base.backend = job_backend_spec(opt.backend, j.spec);
 
     // Disjoint lease-id base: the job id rides the high 32 bits of every
     // lease this ledger issues, so worker frames route by lease id alone.
@@ -644,7 +655,7 @@ struct ServerImpl {
     c.base.ldm_elems = parent.spec.ldm_elems;
     c.base.elastic = 1;
     c.base.heartbeat_seconds = opt.heartbeat_seconds;
-    c.base.backend = opt.backend.empty() ? "host" : opt.backend;
+    c.base.backend = job_backend_spec(opt.backend, parent.spec);
 
     c.ledger = std::make_unique<LeaseLedger>(c.total, std::max(1, opt.home_workers),
                                              opt.lease_size, (id << 32) | 1);
@@ -1001,6 +1012,8 @@ struct ServerImpl {
       reason = "unknown job kind \"" + spec.kind + "\" (expected \"amp\" or \"query\")";
     } else if (spec.kind == "query" && spec.amp_mode != "exact" && spec.amp_mode != "grouped") {
       reason = "unknown amp mode \"" + spec.amp_mode + "\" (expected \"exact\" or \"grouped\")";
+    } else if (!spec.precision.empty() && spec.precision != "fp32" && spec.precision != "bf16") {
+      reason = "unknown precision \"" + spec.precision + "\" (expected \"fp32\" or \"bf16\")";
     } else {
       try {
         auto circ = circuit::circuit_from_string(spec.circuit_text);
@@ -1703,9 +1716,8 @@ int serve_fleet_worker(int fd, int worker_id, double heartbeat_seconds,
                 "plan mismatch for job " + std::to_string(job.job_id) + ": local |S| = " +
                 std::to_string(ctx->p->plan.num_slices()) + ", server expected " +
                 std::to_string(job.num_slices));
-          ctx->backend_name = !backend_override.empty()
-                                  ? backend_override
-                                  : (job.backend.empty() ? "host" : job.backend);
+          // Override keeps the job's precision unless it pins its own.
+          ctx->backend_name = device::merge_backend_override(job.backend, backend_override);
           ctx->backend = device::make_backend(ctx->backend_name);
           if (job.fused != 0) {
             ctx->fused_plan = exec::plan_fused(ctx->p->plan.stem, ctx->p->plan.slices.to_vector(),

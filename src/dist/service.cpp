@@ -295,12 +295,12 @@ int serve_worker(const std::string& host, uint16_t port, const std::string& back
     const int workers = job.workers > 0 ? job.workers : 0;  // 0 = hardware
     ThreadPool pool(workers);
     runtime::SliceScheduler sched(workers);
-    // This worker's hardware decides the backend: the CLI override wins,
-    // then the job's default. Bitwise identity across conforming backends
-    // is what lets a heterogeneous fleet share one reduction.
-    const std::string backend_name =
-        !backend_override.empty() ? backend_override
-                                  : (job.backend.empty() ? "host" : job.backend);
+    // This worker's hardware decides the backend NAME: the CLI override
+    // wins, then the job's default. The job's precision sticks to the
+    // override unless it pins its own (+fp32/+bf16) — bitwise identity
+    // across conforming backends at one precision is what lets a
+    // heterogeneous fleet share one reduction.
+    const std::string backend_name = device::merge_backend_override(job.backend, backend_override);
     auto backend = device::make_backend(backend_name);
     auto leaves = [&ln = p.lowered](tn::VertId v) -> const exec::Tensor& {
       return ln.tensors[size_t(v)];

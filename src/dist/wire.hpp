@@ -53,7 +53,13 @@ inline constexpr uint32_t kWireMagic = 0x4C544E53u;  // "LTNS"
 //     kind/query_text/max_open/amp_mode (kind "query" submits a whole
 //     query file as one job); JobResultRecord grew kind + the per-query
 //     result list. All appended at the end of their payloads.
-inline constexpr uint16_t kWireVersion = 6;
+// v7: mixed precision. JobSpec grew a `precision` tail field ("fp32" |
+//     "bf16"); the server folds it into the backend SPEC it hands workers
+//     (Job.backend already carries "name[+precision]" strings, so Job
+//     itself is unchanged). Worker --backend overrides preserve the job's
+//     precision unless they pin one explicitly
+//     (device::merge_backend_override).
+inline constexpr uint16_t kWireVersion = 7;
 
 // Header endianness markers; read_frame rejects a frame whose marker does
 // not match the host's.

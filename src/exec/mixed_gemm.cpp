@@ -1,43 +1,12 @@
 #include "exec/mixed_gemm.hpp"
 
-#include <complex>
-#include <cstring>
-#include <vector>
+#include "exec/simd_kernels.hpp"
 
 namespace ltns::exec {
 
-namespace {
-
-void rows_mixed(int m0, int m1, int n, int k, const cfloat* a, const cfloat* b, cfloat* c) {
-  std::vector<std::complex<double>> acc(size_t(n), {0, 0});
-  for (int i = m0; i < m1; ++i) {
-    for (int j = 0; j < n; ++j) acc[size_t(j)] = {0, 0};
-    for (int p = 0; p < k; ++p) {
-      const std::complex<double> av(a[size_t(i) * k + p]);
-      const cfloat* brow = b + size_t(p) * n;
-      for (int j = 0; j < n; ++j) acc[size_t(j)] += av * std::complex<double>(brow[j]);
-    }
-    for (int j = 0; j < n; ++j) c[size_t(i) * n + j] = cfloat(acc[size_t(j)]);
-  }
-}
-
-}  // namespace
-
 void cgemm_mixed(int m, int n, int k, const cfloat* a, const cfloat* b, cfloat* c,
                  ThreadPool* pool) {
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    std::memset(c, 0, size_t(m) * n * sizeof(cfloat));
-    return;
-  }
-  const double work = double(m) * n * k;
-  if (pool != nullptr && pool->size() > 1 && work > 1 << 16) {
-    pool->parallel_for(size_t(m), [&](int, size_t b0, size_t e0) {
-      rows_mixed(int(b0), int(e0), n, k, a, b, c);
-    });
-  } else {
-    rows_mixed(0, m, n, k, a, b, c);
-  }
+  cgemm_simd(IsaTier::kPortable, Precision::kBf16, m, n, k, a, b, c, pool);
 }
 
 }  // namespace ltns::exec

@@ -1,13 +1,15 @@
-// Mixed-precision GEMM: complex<float> operands, complex<double>
-// accumulation (the "mixed precision" configuration the paper's Fig. 13
-// quotes at arithmetic intensity 2.6 vs 1.22 for pure single precision —
-// twice the accumulator traffic per flop).
+// Mixed-precision GEMM: bfloat16 operands, fp32 accumulation (the paper's
+// mixed configuration — Fig. 13 quotes arithmetic intensity 2.6 vs 1.22 for
+// pure single precision: half the operand bytes per flop).
 //
-// Long stems chain tens of contractions; single-precision accumulation
-// loses ~half a digit per fat GEMM, and the quantum-advantage workloads
-// validate cross-entropy from amplitudes of magnitude ~2^-27, so the
-// accumulator precision matters at scale even though the memory-bound
-// analysis only sees the byte counts.
+// Operands are rounded to bf16 (round-to-nearest-even) and the reference
+// fp32 accumulation chain runs on the rounded values — see
+// exec/simd_kernels.hpp for the chain contract. That makes mixed output
+// DETERMINISTIC (bitwise identical across ISA tiers, device backends and
+// process counts) while its distance from the fp32 reference is bounded in
+// ULPs, not bits: the pinned regression corpus in
+// tests/test_kernels_parity.cpp and the e2e --compare-mode=ulp:<N> jobs
+// own that tolerance.
 #pragma once
 
 #include "exec/tensor.hpp"
@@ -15,12 +17,15 @@
 
 namespace ltns::exec {
 
-// C = A · B, row-major, double accumulation, result rounded to cfloat.
+// C = A · B, row-major, bf16-rounded operands, fp32 accumulation, C
+// overwritten. This is the portable-tier entry point; the simd backend
+// dispatches the same chain through its vector tiers (cgemm_simd with
+// Precision::kBf16) to the same bits.
 void cgemm_mixed(int m, int n, int k, const cfloat* a, const cfloat* b, cfloat* c,
                  ThreadPool* pool = nullptr);
 
-// Bytes-per-flop bookkeeping for the roofline: mixed precision moves the
-// 16-byte accumulator tile instead of 8-byte results.
-inline double mixed_bytes_per_elem() { return 16.0; }
+// Bytes-per-flop bookkeeping for the roofline: bf16 operands halve the
+// streamed operand bytes (4 B/elem vs 8 B/elem complex-float).
+inline double mixed_bytes_per_elem() { return 4.0; }
 
 }  // namespace ltns::exec

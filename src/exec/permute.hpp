@@ -44,6 +44,9 @@ class PermuteMap {
   size_t map_entries() const { return map_.size(); }
   size_t block_elems() const { return size_t(1) << block_axes_; }
   int block_axes() const { return block_axes_; }
+  // Raw map (out block index -> in element offset) for the vectorized
+  // gather/blocked-copy apply in simd_kernels.
+  const uint32_t* map_data() const { return map_.data(); }
 
   // out must have 2^rank elements.
   void apply(const cfloat* in, cfloat* out) const;

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "device/cpu_probe.hpp"
 #include "dist/lease.hpp"
+#include "exec/simd_kernels.hpp"
 #include "obs/build_info.hpp"
 
 namespace ltns::obs {
@@ -240,6 +242,22 @@ void fill_run_metrics(MetricsRegistry& reg, const runtime::ExecutorSnapshot& s,
   reg.counter("ltns_device_kernel_calls_total", double(s.device.permute_calls),
               {{"kind", "permute"}});
   reg.counter("ltns_device_stem_steps_total", double(s.device.stem_steps));
+
+  // SIMD dispatch tier (docs/kernels.md): the runtime probe's active ISA
+  // is process-global, so the kernel series carry it as a label — a
+  // dashboard overlaying runs from a heterogeneous fleet (or a forced
+  // LTNS_FORCE_ISA CI leg) can split per-tier throughput without a new
+  // schema. Lane count doubles as the roofline's vector-width axis.
+  const auto& probe = device::cpu_probe();
+  const std::string isa = exec::isa_name(probe.active);
+  reg.gauge("ltns_kernel_isa_lanes", double(exec::isa_lanes(probe.active)), {{"isa", isa}});
+  reg.gauge("ltns_kernel_isa_forced", probe.forced ? 1.0 : 0.0, {{"isa", isa}});
+  reg.counter("ltns_kernel_seconds_total", s.gemm.seconds, {{"kind", "gemm"}, {"isa", isa}});
+  reg.counter("ltns_kernel_seconds_total", s.permute.seconds,
+              {{"kind", "permute"}, {"isa", isa}});
+  reg.counter("ltns_kernel_calls_total", double(s.gemm.count), {{"kind", "gemm"}, {"isa", isa}});
+  reg.counter("ltns_kernel_calls_total", double(s.permute.count),
+              {{"kind", "permute"}, {"isa", isa}});
 
   // Memory hierarchy traffic.
   reg.counter("ltns_memory_bytes_total", mem.main_bytes, {{"tier", "main"}});

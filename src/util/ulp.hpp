@@ -1,0 +1,77 @@
+// Bounded-ULP float comparison for the mixed-precision tolerance contract.
+//
+// fp32 SIMD tiers are compared BITWISE (memcmp); there is no tolerance to
+// define. Mixed precision (bf16 operands) is deterministic but lands on
+// different bits than the fp32 reference, so its contract is a distance
+// bound measured in float32 ULPs: the number of representable floats
+// between the two values. The pinned regression corpus in
+// tests/test_kernels_parity.cpp and the e2e --compare-mode=ulp:<N> jobs
+// (scripts/compare_amps.py mirrors this definition in python) are both
+// stated in these units.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace ltns::util {
+
+// Monotone integer ladder over the floats: negative values map below zero,
+// positive above, so ulp distance is plain integer subtraction across the
+// whole axis (including across 0 and between denormals).
+inline int64_t float_ladder(float x) {
+  int32_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits >= 0 ? int64_t(bits) : -int64_t(bits & 0x7fffffff);
+}
+
+// ULP distance between two finite floats; NaN/Inf on either side compares
+// infinitely far (except bitwise-equal values, which are distance 0 — so
+// identical Infs pass).
+inline int64_t ulp_distance(float a, float b) {
+  uint32_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ab == bb) return 0;
+  if (!std::isfinite(a) || !std::isfinite(b)) return INT64_MAX;
+  const int64_t d = float_ladder(a) - float_ladder(b);
+  return d < 0 ? -d : d;
+}
+
+// Float spacing at magnitude |x| (the size of one ULP there): the gap to
+// the next representable float above |x|. Bit arithmetic, no libm.
+inline float ulp_of(float x) {
+  float ax = std::fabs(x);
+  if (!std::isfinite(ax)) return ax;
+  uint32_t bits;
+  std::memcpy(&bits, &ax, sizeof(bits));
+  bits += 1;
+  float next;
+  std::memcpy(&next, &bits, sizeof(next));
+  return next - ax;
+}
+
+// Scale-relative ULP distance: |a - b| measured in units of the float
+// spacing at `scale` (use the max |component| of the reference tensor).
+// This is the comparator the mixed-precision contract is stated in: raw
+// per-element ULP distance explodes on catastrophic cancellation (a tiny
+// element with a flipped sign is billions of ULPs from its reference while
+// being a negligible absolute error), whereas spacing-at-scale units bound
+// the absolute error the way a backward-error analysis of the bf16 chain
+// actually predicts. Deterministic: float subtraction, one double divide.
+inline int64_t ulp_distance_at_scale(float a, float b, float scale) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    uint32_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ab == bb ? 0 : INT64_MAX;
+  }
+  const double diff = double(a) >= double(b) ? double(a) - double(b) : double(b) - double(a);
+  if (diff == 0.0) return 0;
+  const double unit = double(ulp_of(scale));
+  if (unit <= 0.0) return INT64_MAX;
+  return int64_t(std::ceil(diff / unit));
+}
+
+}  // namespace ltns::util

@@ -1,6 +1,7 @@
 // Device-backend subsystem tests (src/device/). The load-bearing
 // invariants:
-//   1. the registry lists host/blocked/cuda, constructs the available ones,
+//   1. the registry lists host/blocked/simd/cuda, constructs the available
+//      ones (with or without a +fp32/+bf16 precision suffix),
 //      and fails unknown or compiled-out names with a message naming what
 //      IS available;
 //   2. BlockedBackend output is BITWISE identical to HostBackend (and to
@@ -17,6 +18,8 @@
 
 #include "core/greedy_slicer.hpp"
 #include "device/backend.hpp"
+#include "device/cpu_probe.hpp"
+#include "exec/simd_kernels.hpp"
 #include "exec/fused_executor.hpp"
 #include "exec/gemm.hpp"
 #include "exec/slice_runner.hpp"
@@ -40,29 +43,50 @@ using test::bitwise_equal;
 
 // --- registry -------------------------------------------------------------
 
-TEST(DeviceRegistry, ListsHostBlockedAndCuda) {
+TEST(DeviceRegistry, ListsHostBlockedSimdAndCuda) {
   auto all = available_backends();
-  ASSERT_EQ(all.size(), 3u);
+  ASSERT_EQ(all.size(), 4u);
   EXPECT_EQ(all[0].name, "host");
   EXPECT_TRUE(all[0].caps.available);
   EXPECT_TRUE(all[0].caps.unified_memory);
   EXPECT_EQ(all[1].name, "blocked");
   EXPECT_TRUE(all[1].caps.available);
   EXPECT_FALSE(all[1].caps.unified_memory);  // staged stem windows
-  EXPECT_EQ(all[2].name, "cuda");
+  EXPECT_EQ(all[2].name, "simd");
+  EXPECT_TRUE(all[2].caps.available);
+  EXPECT_TRUE(all[2].caps.unified_memory);
+  EXPECT_EQ(all[3].name, "cuda");
 #ifndef LTNS_ENABLE_CUDA
-  EXPECT_FALSE(all[2].caps.available);
+  EXPECT_FALSE(all[3].caps.available);
 #endif
   for (const auto& b : all) {
     EXPECT_GE(b.caps.alignment, alignof(cfloat));
     EXPECT_FALSE(b.caps.description.empty());
+    // Lanes/isa come from the runtime dispatch probe, not hard-coded
+    // guesses: every CPU-class backend reports the same active tier.
+    EXPECT_EQ(b.caps.simd_lanes, probe_simd_lanes()) << b.name;
+    EXPECT_EQ(b.caps.isa, exec::isa_name(cpu_probe().active)) << b.name;
   }
 }
 
 TEST(DeviceRegistry, ConstructsByNameAndEmptyMeansHost) {
   EXPECT_STREQ(make_backend("host")->name(), "host");
   EXPECT_STREQ(make_backend("blocked")->name(), "blocked");
+  EXPECT_STREQ(make_backend("simd")->name(), "simd");
   EXPECT_STREQ(make_backend("")->name(), "host");
+}
+
+TEST(DeviceRegistry, PrecisionSpecsParseAndDefaultToFp32) {
+  EXPECT_EQ(make_backend("host")->precision(), exec::Precision::kFp32);
+  EXPECT_EQ(make_backend("simd+fp32")->precision(), exec::Precision::kFp32);
+  EXPECT_EQ(make_backend("simd+bf16")->precision(), exec::Precision::kBf16);
+  EXPECT_EQ(make_backend("blocked+bf16")->precision(), exec::Precision::kBf16);
+  EXPECT_THROW(make_backend("host+fp64"), std::invalid_argument);
+  const auto spec = parse_backend_spec("simd+bf16");
+  EXPECT_EQ(spec.name, "simd");
+  EXPECT_EQ(spec.precision, exec::Precision::kBf16);
+  EXPECT_EQ(spec.spec(), "simd+bf16");
+  EXPECT_EQ(parse_backend_spec("blocked").spec(), "blocked");
 }
 
 TEST(DeviceRegistry, UnknownNameFailsListingKnownBackends) {
@@ -114,7 +138,7 @@ TEST(DeviceAlignment, TensorStorageIs64ByteAligned) {
 }
 
 TEST(DeviceAlignment, BackendScratchHonorsCapabilityAlignment) {
-  for (const char* name : {"host", "blocked"}) {
+  for (const char* name : {"host", "blocked", "simd"}) {
     auto b = make_backend(name);
     const size_t align = b->capabilities().alignment;
     cfloat* p = b->alloc_elems(1000);
@@ -272,7 +296,7 @@ TEST(DeviceBackend, ContractMatchesRawHostPathBitwise) {
   auto t1 = exec::random_tensor({0, 1, 2, 3, 4, 5, 6, 7}, 11);
   auto t2 = exec::random_tensor({4, 5, 6, 7, 8, 9}, 12);
   auto raw = exec::contract(t1, t2);
-  for (const char* name : {"host", "blocked"}) {
+  for (const char* name : {"host", "blocked", "simd"}) {
     auto b = make_backend(name);
     exec::ContractStats cs;
     DeviceStats ds;
@@ -294,7 +318,7 @@ TEST(DeviceBackend, StemWindowBatchedMatchesStepLoopBitwise) {
   exec::Tensor expect = w0;
   for (const auto& b : branches) expect = exec::contract(expect, b);
 
-  for (const char* name : {"host", "blocked"}) {
+  for (const char* name : {"host", "blocked", "simd"}) {
     auto backend = make_backend(name);
     exec::ContractStats cs;
     DeviceStats ds;
@@ -348,7 +372,7 @@ TEST(RunSlicedBackends, BitwiseIdenticalAcrossBackendsExecutorsAndWorkers) {
   auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, base);  // raw host path
   ASSERT_TRUE(ref.completed);
 
-  for (const char* name : {"host", "blocked"}) {
+  for (const char* name : {"host", "blocked", "simd"}) {
     auto backend = make_backend(name);
     for (auto ex : {exec::SliceExecutor::kInnerPool, exec::SliceExecutor::kStaticPool,
                     exec::SliceExecutor::kWorkStealing}) {
@@ -385,7 +409,7 @@ TEST(RunSlicedBackends, FusedPathBitwiseIdenticalAcrossBackends) {
   auto ref = exec::run_sliced(*f.tree, f.leaves(), f.slices, base);
   ASSERT_TRUE(ref.completed);
 
-  for (const char* name : {"host", "blocked"}) {
+  for (const char* name : {"host", "blocked", "simd"}) {
     auto backend = make_backend(name);
     for (int workers : {1, 2}) {
       ThreadPool pool(workers);
